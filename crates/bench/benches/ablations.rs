@@ -1,0 +1,188 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * the Patricia trie vs a linear scan for longest-prefix match — the
+//!   central index of every correlation;
+//! * per-(prefix, peer) announcement intervals vs replaying raw updates
+//!   for "observed on day D" queries;
+//! * canonical [`droplens_net::PrefixSet`] accounting vs naive per-entry
+//!   summation (which double counts overlapping listings);
+//! * keyword classification cost per SBL record.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use droplens_bgp::{BgpArchive, BgpEvent};
+use droplens_core::{experiments::fig2, Study};
+use droplens_drop::classify;
+use droplens_net::{AddressSpace, Date, Ipv4Prefix, PrefixSet, PrefixTrie};
+use droplens_synth::{SblTextGenerator, TrueCategory, World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_prefixes(n: usize, seed: u64) -> Vec<Ipv4Prefix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(8..=24);
+            Ipv4Prefix::from_u32(rng.gen::<u32>(), len)
+        })
+        .collect()
+}
+
+/// Trie vs linear scan: longest-match over a realistic table size.
+fn bench_trie_vs_linear(c: &mut Criterion) {
+    let table = random_prefixes(10_000, 1);
+    let queries = random_prefixes(1_000, 2);
+    let trie: PrefixTrie<usize> = table.iter().cloned().zip(0..).collect();
+
+    let mut g = c.benchmark_group("ablation_longest_match");
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("patricia_trie", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|q| trie.longest_match(q).is_some())
+                .count()
+        })
+    });
+    g.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .filter(|q| {
+                    table
+                        .iter()
+                        .filter(|p| p.covers(q))
+                        .max_by_key(|p| p.len())
+                        .is_some()
+                })
+                .count()
+        })
+    });
+    g.finish();
+}
+
+/// Interval index vs raw-update replay for point-in-time observation.
+fn bench_intervals_vs_replay(c: &mut Criterion) {
+    let world = World::generate(42, &WorldConfig::small());
+    let archive = BgpArchive::from_updates(world.peers.clone(), &world.bgp_updates);
+    let prefixes: Vec<Ipv4Prefix> = archive.prefixes().take(200).collect();
+    let probe = Date::from_ymd(2021, 6, 1);
+
+    let mut g = c.benchmark_group("ablation_observation");
+    g.measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(prefixes.len() as u64));
+    g.bench_function("interval_index", |b| {
+        b.iter(|| {
+            prefixes
+                .iter()
+                .filter(|p| archive.observed_any(p, probe))
+                .count()
+        })
+    });
+    g.bench_function("raw_update_replay", |b| {
+        b.iter(|| {
+            // The naive alternative: scan the update stream per query.
+            prefixes
+                .iter()
+                .filter(|target| {
+                    let mut up = false;
+                    for u in &world.bgp_updates {
+                        if u.date > probe {
+                            break;
+                        }
+                        if u.prefix == **target {
+                            up = matches!(u.event, BgpEvent::Announce(_));
+                        }
+                    }
+                    up
+                })
+                .count()
+        })
+    });
+    g.finish();
+}
+
+/// Canonical set accounting vs naive summation.
+fn bench_space_accounting(c: &mut Criterion) {
+    // Overlap-heavy population: covering blocks plus their subnets.
+    let mut prefixes = Vec::new();
+    for base in random_prefixes(500, 3) {
+        let capped = if base.len() > 22 {
+            base.truncate(20)
+        } else {
+            base
+        };
+        prefixes.push(capped);
+        prefixes.extend(capped.subdivide(capped.len() + 2).take(2));
+    }
+    let mut g = c.benchmark_group("ablation_space_accounting");
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("canonical_prefix_set", |b| {
+        b.iter(|| {
+            let set: PrefixSet = prefixes.iter().cloned().collect();
+            set.space()
+        })
+    });
+    g.bench_function("naive_sum_overcounts", |b| {
+        b.iter(|| {
+            prefixes
+                .iter()
+                .map(AddressSpace::of_prefix)
+                .sum::<AddressSpace>()
+        })
+    });
+    g.finish();
+}
+
+/// Withdrawal-threshold sensitivity: the cost of sweeping the
+/// "withdrawn" visibility threshold over the whole DROP population (the
+/// ablation DESIGN.md calls out — how robust is the 19%-within-30-days
+/// headline to the definition of "withdrawn").
+fn bench_threshold_sensitivity(c: &mut Criterion) {
+    let world = World::generate(42, &WorldConfig::small());
+    let study = Study::from_world(&world);
+    let mut g = c.benchmark_group("ablation_withdrawal_threshold");
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("sweep_thresholds_1_to_5", |b| {
+        b.iter(|| fig2::threshold_sensitivity(&study, &[1, 2, 3, 4, 5]))
+    });
+    g.finish();
+}
+
+/// Appendix-A classifier throughput over generated record bodies.
+fn bench_classifier(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let cats = [
+        TrueCategory::Hijacked,
+        TrueCategory::Snowshoe,
+        TrueCategory::KnownSpamOp,
+        TrueCategory::MaliciousHosting,
+        TrueCategory::Unallocated,
+    ];
+    let bodies: Vec<String> = (0..1_000)
+        .map(|i| SblTextGenerator::body(&mut rng, &[cats[i % cats.len()]], None, i % 13 == 0))
+        .collect();
+    let mut g = c.benchmark_group("ablation_classifier");
+    g.throughput(Throughput::Elements(bodies.len() as u64));
+    g.bench_function("keyword_classifier", |b| {
+        b.iter(|| {
+            bodies
+                .iter()
+                .map(|t| classify(t).keyword_hits)
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trie_vs_linear,
+    bench_intervals_vs_replay,
+    bench_space_accounting,
+    bench_threshold_sensitivity,
+    bench_classifier
+);
+criterion_main!(benches);

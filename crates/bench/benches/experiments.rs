@@ -1,0 +1,77 @@
+//! One benchmark per paper artifact: each `bench_*` target times the
+//! computation that regenerates that table or figure from the fully
+//! indexed paper-scale study (712 listings, ≈12k routed prefixes, 30
+//! peers, 2019-06-05 .. 2022-03-30).
+//!
+//! Run with `cargo bench -p droplens-bench --bench experiments`.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use droplens_core::{experiments, Study};
+use droplens_synth::{World, WorldConfig};
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let world = World::generate(42, &WorldConfig::paper());
+        Study::from_world(&world)
+    })
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let s = study();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    g.bench_function("bench_fig1_classification", |b| {
+        b.iter(|| experiments::fig1::compute(s))
+    });
+    g.bench_function("bench_fig2_withdrawal_and_filtering", |b| {
+        b.iter(|| experiments::fig2::compute(s))
+    });
+    g.bench_function("bench_table1_signing_rates", |b| {
+        b.iter(|| experiments::table1::compute(s))
+    });
+    g.bench_function("bench_sec5_irr_effectiveness", |b| {
+        b.iter(|| experiments::sec5::compute(s))
+    });
+    g.bench_function("bench_fig3_forged_lead_times", |b| {
+        b.iter(|| experiments::fig3::compute(s))
+    });
+    g.bench_function("bench_fig4_rpki_valid_hijack", |b| {
+        b.iter(|| experiments::fig4::compute(s))
+    });
+    g.bench_function("bench_fig5_roa_routing_status", |b| {
+        b.iter(|| experiments::fig5::compute(s))
+    });
+    g.bench_function("bench_fig6_unallocated_timeline", |b| {
+        b.iter(|| experiments::fig6::compute(s))
+    });
+    g.bench_function("bench_fig7_free_pools", |b| {
+        b.iter(|| experiments::fig7::compute(s))
+    });
+    g.bench_function("bench_table2_classifier", |b| {
+        b.iter(|| experiments::table2::compute(s))
+    });
+    g.bench_function("bench_sec4_deallocation", |b| {
+        b.iter(|| experiments::sec4::compute(s))
+    });
+    g.bench_function("bench_sec6_as0", |b| {
+        b.iter(|| experiments::sec6::compute(s))
+    });
+    g.bench_function("bench_ext_maxlen", |b| {
+        b.iter(|| experiments::ext_maxlen::compute(s))
+    });
+    g.bench_function("bench_ext_rov", |b| {
+        b.iter(|| experiments::ext_rov::compute(s))
+    });
+    g.bench_function("bench_ext_profiles", |b| {
+        b.iter(|| experiments::ext_profiles::compute(s))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

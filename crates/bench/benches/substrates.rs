@@ -1,0 +1,135 @@
+//! Substrate throughput: the parsers and index builders the pipeline
+//! spends its time in when pointed at real archives.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use droplens_bgp::{format as bgpfmt, BgpArchive};
+use droplens_drop::{DropSnapshot, DropTimeline};
+use droplens_irr::{journal, IrrRegistry, RouteObject};
+use droplens_net::{Date, Ipv4Prefix};
+use droplens_rir::format::{parse_stats_file, write_stats_file};
+use droplens_rpki::format::parse_events;
+use droplens_rpki::RoaArchive;
+use droplens_synth::{World, WorldConfig};
+
+fn world() -> World {
+    World::generate(42, &WorldConfig::small())
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let w = world();
+    let text = w.to_text_archives();
+    let mut g = c.benchmark_group("parsers");
+    g.measurement_time(Duration::from_secs(5));
+
+    g.throughput(Throughput::Bytes(text.bgp_updates.len() as u64));
+    g.bench_function("bgp_update_archive", |b| {
+        b.iter(|| bgpfmt::parse_updates(&text.bgp_updates).expect("parses"))
+    });
+
+    g.throughput(Throughput::Bytes(text.irr_journal.len() as u64));
+    g.bench_function("irr_nrtm_journal", |b| {
+        b.iter(|| journal::parse_journal(&text.irr_journal).expect("parses"))
+    });
+
+    g.throughput(Throughput::Bytes(text.roa_events.len() as u64));
+    g.bench_function("roa_csv_journal", |b| {
+        b.iter(|| parse_events(&text.roa_events).expect("parses"))
+    });
+
+    let stats_text = write_stats_file(&w.rir_snapshots.last().expect("snapshots").1[2]);
+    g.throughput(Throughput::Bytes(stats_text.len() as u64));
+    g.bench_function("rir_delegated_stats", |b| {
+        b.iter(|| parse_stats_file(&stats_text).expect("parses"))
+    });
+
+    let drop_text = w.drop_snapshots.last().expect("snapshots").to_text();
+    g.throughput(Throughput::Bytes(drop_text.len() as u64));
+    g.bench_function("drop_snapshot", |b| {
+        b.iter(|| DropSnapshot::parse(Date::from_ymd(2022, 3, 30), &drop_text).expect("parses"))
+    });
+
+    let rpsl = RouteObject::new("132.255.0.0/22".parse().expect("prefix"), 263692.into())
+        .with_descr("customer announcement")
+        .with_maintainer("MAINT-TEST")
+        .with_org("ORG-TEST")
+        .to_string();
+    g.bench_function("rpsl_route_object", |b| {
+        b.iter(|| rpsl.parse::<RouteObject>().expect("parses"))
+    });
+    g.finish();
+}
+
+fn bench_index_builders(c: &mut Criterion) {
+    let w = world();
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(20).measurement_time(Duration::from_secs(8));
+
+    g.bench_function("bgp_archive_from_updates", |b| {
+        b.iter(|| BgpArchive::from_updates(w.peers.clone(), &w.bgp_updates))
+    });
+    g.bench_function("irr_registry_from_journal", |b| {
+        b.iter(|| IrrRegistry::from_journal(&w.irr_journal))
+    });
+    g.bench_function("roa_archive_from_events", |b| {
+        b.iter(|| RoaArchive::from_events(&w.roa_events))
+    });
+    g.bench_function("drop_timeline_from_snapshots", |b| {
+        b.iter(|| DropTimeline::from_snapshots(&w.drop_snapshots))
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    g.bench_function("world_small", |b| {
+        b.iter(|| World::generate(42, &WorldConfig::small()))
+    });
+    g.bench_function("world_paper", |b| {
+        b.iter(|| World::generate(42, &WorldConfig::paper()))
+    });
+    g.finish();
+}
+
+fn bench_archive_queries(c: &mut Criterion) {
+    let w = world();
+    let archive = BgpArchive::from_updates(w.peers.clone(), &w.bgp_updates);
+    let prefixes: Vec<Ipv4Prefix> = archive.prefixes().collect();
+    let probe = Date::from_ymd(2021, 6, 1);
+    let mut g = c.benchmark_group("bgp_queries");
+    g.throughput(Throughput::Elements(prefixes.len() as u64));
+    g.bench_function("peers_observing_all_prefixes", |b| {
+        b.iter_batched(
+            || prefixes.clone(),
+            |ps| {
+                ps.iter()
+                    .map(|p| archive.peers_observing(p, probe))
+                    .sum::<usize>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("origins_at_all_prefixes", |b| {
+        b.iter_batched(
+            || prefixes.clone(),
+            |ps| {
+                ps.iter()
+                    .map(|p| archive.origins_at(p, probe).len())
+                    .sum::<usize>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parsers,
+    bench_index_builders,
+    bench_generation,
+    bench_archive_queries
+);
+criterion_main!(benches);

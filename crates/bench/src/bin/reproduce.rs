@@ -1,0 +1,101 @@
+//! Regenerate every table and figure of the paper at full scale.
+//!
+//! ```text
+//! cargo run --release -p droplens-bench --bin reproduce [seed]
+//! ```
+//!
+//! Generates the paper-scale synthetic world (≈712 DROP listings, ≈12k
+//! routed prefixes, 30 collector peers, June 2019 – March 2022), builds
+//! the five-source study, and prints each experiment in the order the
+//! paper presents them. EXPERIMENTS.md records this output against the
+//! published numbers.
+
+use std::time::Instant;
+
+use droplens_core::{experiments, Study};
+use droplens_synth::{World, WorldConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(42);
+
+    let t0 = Instant::now();
+    let config = WorldConfig::paper();
+    let world = World::generate(seed, &config);
+    eprintln!(
+        "world generated in {:?}: {} BGP updates, {} ROA events, {} IRR entries, {} listings",
+        t0.elapsed(),
+        world.bgp_updates.len(),
+        world.roa_events.len(),
+        world.irr_journal.len(),
+        world.truth.listed.len(),
+    );
+
+    let t1 = Instant::now();
+    let study = Study::from_world(&world);
+    eprintln!("study built in {:?}\n", t1.elapsed());
+
+    println!("=== droplens reproduction (seed {seed}) ===\n");
+
+    section("Study overview");
+    println!("{}", experiments::summary::compute(&study));
+
+    section("Figure 1 — classification of DROP entries");
+    println!("{}", experiments::fig1::compute(&study));
+
+    section("Figure 2 — effects of blocklisting on visibility");
+    println!("{}", experiments::fig2::compute(&study));
+
+    section("Table 1 — RPKI signing rates");
+    println!("{}", experiments::table1::compute(&study));
+
+    section("Section 5 — effectiveness of the IRR");
+    println!("{}", experiments::sec5::compute(&study));
+
+    section("Figure 3 — forged-IRR lead times");
+    println!("{}", experiments::fig3::compute(&study));
+
+    section("Figure 4 / Section 6.1 — RPKI-signed hijacks");
+    println!("{}", experiments::fig4::compute(&study));
+
+    section("Figure 5 — routing status of ROAs");
+    println!("{}", experiments::fig5::compute(&study));
+
+    section("Figure 6 — unallocated space on DROP vs AS0 policies");
+    println!("{}", experiments::fig6::compute(&study));
+
+    section("Figure 7 — RIR free pools");
+    println!("{}", experiments::fig7::compute(&study));
+
+    section("Table 2 / Appendix A — SBL categorization");
+    println!("{}", experiments::table2::compute(&study));
+
+    section("Section 4.1 — deallocation after listing");
+    println!("{}", experiments::sec4::compute(&study));
+
+    section("Section 6.2 — AS0 at operator and RIR level");
+    println!("{}", experiments::sec6::compute(&study));
+
+    section("Extension — maxLength sub-prefix hijack surface");
+    println!("{}", experiments::ext_maxlen::compute(&study));
+
+    section("Extension — counterfactual ROV deployment");
+    println!("{}", experiments::ext_rov::compute(&study));
+
+    section("Extension — attacker-AS dossiers");
+    println!("{}", experiments::ext_profiles::compute(&study));
+
+    section("Scorecard — paper vs measured");
+    let targets = droplens_core::paper::scorecard(&study);
+    println!("{}", droplens_core::paper::render(&targets));
+
+    eprintln!("total: {:?}", t0.elapsed());
+}
+
+fn section(title: &str) {
+    println!("──────────────────────────────────────────────────────────");
+    println!("{title}");
+    println!("──────────────────────────────────────────────────────────");
+}

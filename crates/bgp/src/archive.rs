@@ -1,0 +1,600 @@
+//! Longitudinal BGP observation index.
+//!
+//! [`BgpArchive`] compresses an update stream into per-(prefix, peer)
+//! announcement *intervals* — the representation every §4 question needs:
+//! "was this prefix observed on day X", "when after listing did every peer
+//! stop observing it", "which origins did peers report on day X". Interval
+//! lookups are binary searches, so the whole-study correlations stay fast
+//! even with hundreds of peers and thousands of prefixes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use droplens_net::{Asn, Date, Ipv4Prefix, PrefixTrie};
+
+use crate::{AsPath, BgpEvent, BgpUpdate, Peer, PeerId};
+
+/// A maximal period `[start, end)` during which one peer continuously
+/// reported one path for a prefix. `end == None` means the route was still
+/// present at the end of the archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// First day the path was observed.
+    pub start: Date,
+    /// Day the route was withdrawn or replaced; `None` if never.
+    pub end: Option<Date>,
+    /// The path reported throughout the interval.
+    pub path: AsPath,
+}
+
+impl Interval {
+    /// True if `date` falls inside the interval.
+    pub fn contains(&self, date: Date) -> bool {
+        date >= self.start && self.end.is_none_or(|e| date < e)
+    }
+}
+
+/// Per-prefix observation record: intervals for every peer that ever
+/// carried the prefix.
+#[derive(Debug, Default)]
+struct PrefixRecord {
+    by_peer: BTreeMap<PeerId, Vec<Interval>>,
+}
+
+/// An index over a complete collector update stream.
+///
+/// Build once with [`BgpArchive::from_updates`]; all queries are read-only.
+pub struct BgpArchive {
+    peers: Vec<Peer>,
+    records: PrefixTrie<PrefixRecord>,
+    first_date: Option<Date>,
+    last_date: Option<Date>,
+}
+
+impl BgpArchive {
+    /// Build the index by replaying `updates` in stream order.
+    ///
+    /// Within one (prefix, peer) lane: an announcement with an unchanged
+    /// path extends the open interval; a path change closes it and opens a
+    /// new one on the same day; a withdrawal closes it. Withdrawals without
+    /// an open interval are ignored (idle withdraws are legal BGP chatter).
+    pub fn from_updates(peers: Vec<Peer>, updates: &[BgpUpdate]) -> BgpArchive {
+        let mut records: PrefixTrie<PrefixRecord> = PrefixTrie::new();
+        let mut first_date = None;
+        let mut last_date = None;
+        for u in updates {
+            first_date = Some(first_date.map_or(u.date, |d: Date| d.min(u.date)));
+            last_date = Some(last_date.map_or(u.date, |d: Date| d.max(u.date)));
+            if records.get(&u.prefix).is_none() {
+                records.insert(u.prefix, PrefixRecord::default());
+            }
+            let record = records.get_mut(&u.prefix).expect("just inserted");
+            let lane = record.by_peer.entry(u.peer).or_default();
+            match &u.event {
+                BgpEvent::Announce(path) => {
+                    if let Some(open) = lane.last_mut().filter(|iv| iv.end.is_none()) {
+                        if open.path == *path {
+                            continue; // duplicate announcement
+                        }
+                        open.end = Some(u.date);
+                    }
+                    lane.push(Interval {
+                        start: u.date,
+                        end: None,
+                        path: path.clone(),
+                    });
+                }
+                BgpEvent::Withdraw => {
+                    if let Some(open) = lane.last_mut().filter(|iv| iv.end.is_none()) {
+                        open.end = Some(u.date);
+                    }
+                }
+            }
+        }
+        BgpArchive {
+            peers,
+            records,
+            first_date,
+            last_date,
+        }
+    }
+
+    /// The collector's peers.
+    pub fn peers(&self) -> &[Peer] {
+        &self.peers
+    }
+
+    /// Earliest update date in the archive.
+    pub fn first_date(&self) -> Option<Date> {
+        self.first_date
+    }
+
+    /// Latest update date in the archive.
+    pub fn last_date(&self) -> Option<Date> {
+        self.last_date
+    }
+
+    /// Every prefix that ever appeared, in address order.
+    pub fn prefixes(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.records.keys()
+    }
+
+    /// The announcement intervals one peer recorded for `prefix`.
+    pub fn intervals(&self, prefix: &Ipv4Prefix, peer: PeerId) -> &[Interval] {
+        self.records
+            .get(prefix)
+            .and_then(|r| r.by_peer.get(&peer))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True if `peer` had a route for `prefix` on `date`.
+    pub fn observed_by(&self, prefix: &Ipv4Prefix, peer: PeerId, date: Date) -> bool {
+        self.path_at(prefix, peer, date).is_some()
+    }
+
+    /// The path `peer` reported for `prefix` on `date`, if any.
+    pub fn path_at(&self, prefix: &Ipv4Prefix, peer: PeerId, date: Date) -> Option<&AsPath> {
+        let lane = self.records.get(prefix)?.by_peer.get(&peer)?;
+        // Intervals are chronologically ordered; binary search by start.
+        let idx = lane.partition_point(|iv| iv.start <= date);
+        let iv = lane[..idx].last()?;
+        iv.contains(date).then_some(&iv.path)
+    }
+
+    /// Number of peers with a route for `prefix` on `date`.
+    pub fn peers_observing(&self, prefix: &Ipv4Prefix, date: Date) -> usize {
+        let Some(record) = self.records.get(prefix) else {
+            return 0;
+        };
+        record
+            .by_peer
+            .keys()
+            .filter(|&&peer| self.observed_by(prefix, peer, date))
+            .count()
+    }
+
+    /// Fraction of all peers observing `prefix` on `date`.
+    pub fn visibility(&self, prefix: &Ipv4Prefix, date: Date) -> f64 {
+        if self.peers.is_empty() {
+            return 0.0;
+        }
+        self.peers_observing(prefix, date) as f64 / self.peers.len() as f64
+    }
+
+    /// True if any peer observed `prefix` on `date`.
+    pub fn observed_any(&self, prefix: &Ipv4Prefix, date: Date) -> bool {
+        let Some(record) = self.records.get(prefix) else {
+            return false;
+        };
+        record
+            .by_peer
+            .keys()
+            .any(|&peer| self.observed_by(prefix, peer, date))
+    }
+
+    /// True if the prefix appears anywhere in the archive.
+    pub fn ever_observed(&self, prefix: &Ipv4Prefix) -> bool {
+        self.records.get(prefix).is_some()
+    }
+
+    /// True if `peer` ever carried `prefix`.
+    pub fn ever_observed_by(&self, prefix: &Ipv4Prefix, peer: PeerId) -> bool {
+        !self.intervals(prefix, peer).is_empty()
+    }
+
+    /// First day any peer announced `prefix`.
+    pub fn first_announced(&self, prefix: &Ipv4Prefix) -> Option<Date> {
+        let record = self.records.get(prefix)?;
+        record
+            .by_peer
+            .values()
+            .filter_map(|lane| lane.first())
+            .map(|iv| iv.start)
+            .min()
+    }
+
+    /// First day any peer announced `prefix` on or after `from`.
+    pub fn first_announced_at_or_after(&self, prefix: &Ipv4Prefix, from: Date) -> Option<Date> {
+        let record = self.records.get(prefix)?;
+        record
+            .by_peer
+            .values()
+            .flat_map(|lane| lane.iter())
+            .filter_map(|iv| {
+                if iv.contains(from) {
+                    Some(from)
+                } else if iv.start >= from {
+                    Some(iv.start)
+                } else {
+                    None
+                }
+            })
+            .min()
+    }
+
+    /// The first day `>= from` on which **no** peer observed `prefix` —
+    /// the paper's withdrawal inference (§4.1). Returns `None` if the
+    /// prefix stayed observed through the end of the archive.
+    pub fn first_unobserved_after(&self, prefix: &Ipv4Prefix, from: Date) -> Option<Date> {
+        self.first_below_threshold_after(prefix, from, 1)
+    }
+
+    /// Generalized withdrawal inference: the first day `>= from` on which
+    /// fewer than `threshold` peers observed `prefix`. The paper uses
+    /// `threshold = 1` ("not BGP-observed"); the sensitivity ablation
+    /// sweeps it, since a route lingering at one stale peer arguably
+    /// *is* withdrawn.
+    ///
+    /// Observation counts only change at interval boundaries, so only
+    /// `from` itself and interval end dates need to be tested.
+    pub fn first_below_threshold_after(
+        &self,
+        prefix: &Ipv4Prefix,
+        from: Date,
+        threshold: usize,
+    ) -> Option<Date> {
+        let record = self.records.get(prefix)?;
+        let mut candidates: BTreeSet<Date> = BTreeSet::new();
+        candidates.insert(from);
+        for lane in record.by_peer.values() {
+            for iv in lane {
+                if let Some(end) = iv.end {
+                    if end >= from {
+                        candidates.insert(end);
+                    }
+                }
+            }
+        }
+        candidates
+            .into_iter()
+            .find(|&d| self.peers_observing(prefix, d) < threshold)
+    }
+
+    /// The set of origin ASNs peers reported for `prefix` on `date`.
+    pub fn origins_at(&self, prefix: &Ipv4Prefix, date: Date) -> BTreeSet<Asn> {
+        let Some(record) = self.records.get(prefix) else {
+            return BTreeSet::new();
+        };
+        record
+            .by_peer
+            .keys()
+            .filter_map(|&peer| self.path_at(prefix, peer, date))
+            .map(|p| p.origin())
+            .collect()
+    }
+
+    /// Every origin ASN ever reported for `prefix` before `date`, with the
+    /// first day each was seen. Used to decide whether a new announcement
+    /// reuses a historic origin (the Figure 4 spoofing pattern).
+    pub fn historic_origins_before(&self, prefix: &Ipv4Prefix, date: Date) -> BTreeMap<Asn, Date> {
+        let mut out: BTreeMap<Asn, Date> = BTreeMap::new();
+        if let Some(record) = self.records.get(prefix) {
+            for lane in record.by_peer.values() {
+                for iv in lane {
+                    if iv.start < date {
+                        let origin = iv.path.origin();
+                        out.entry(origin)
+                            .and_modify(|d| *d = (*d).min(iv.start))
+                            .or_insert(iv.start);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstruct one peer's full routing table as of `date` — the
+    /// paper's "RouteViews tables for peers that provided a full routing
+    /// table on March 30, 2022" (§6.2.2).
+    pub fn rib_at(&self, peer: PeerId, date: Date) -> crate::Rib {
+        let mut rib = crate::Rib::new();
+        for prefix in self.prefixes() {
+            if let Some(path) = self.path_at(&prefix, peer, date) {
+                rib.apply(prefix, &BgpEvent::Announce(path.clone()));
+            }
+        }
+        rib
+    }
+
+    /// The visibility fraction of `prefix` sampled on each day of
+    /// `range` — the per-prefix series behind Figure 2's right panel.
+    pub fn visibility_series(
+        &self,
+        prefix: &Ipv4Prefix,
+        range: droplens_net::DateRange,
+    ) -> Vec<(Date, f64)> {
+        range
+            .iter()
+            .map(|d| (d, self.visibility(prefix, d)))
+            .collect()
+    }
+
+    /// Archived prefixes equal to or more specific than `covering`.
+    pub fn prefixes_covered_by(&self, covering: &Ipv4Prefix) -> Vec<Ipv4Prefix> {
+        self.records
+            .covered_by(covering)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    fn two_peers() -> Vec<Peer> {
+        vec![
+            Peer::new(PeerId(0), Asn(3356), "p0"),
+            Peer::new(PeerId(1), Asn(7018), "p1"),
+        ]
+    }
+
+    #[test]
+    fn interval_construction_from_updates() {
+        let updates = vec![
+            BgpUpdate::announce(
+                d("2020-01-01"),
+                PeerId(0),
+                p("10.0.0.0/8"),
+                path("3356 64500"),
+            ),
+            BgpUpdate::withdraw(d("2020-02-01"), PeerId(0), p("10.0.0.0/8")),
+            BgpUpdate::announce(
+                d("2020-03-01"),
+                PeerId(0),
+                p("10.0.0.0/8"),
+                path("3356 64500"),
+            ),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        let ivs = a.intervals(&p("10.0.0.0/8"), PeerId(0));
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].start, d("2020-01-01"));
+        assert_eq!(ivs[0].end, Some(d("2020-02-01")));
+        assert_eq!(ivs[1].start, d("2020-03-01"));
+        assert_eq!(ivs[1].end, None);
+        assert_eq!(a.first_date(), Some(d("2020-01-01")));
+        assert_eq!(a.last_date(), Some(d("2020-03-01")));
+    }
+
+    #[test]
+    fn duplicate_announce_extends_interval() {
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.0.0.0/8"), path("1 2")),
+            BgpUpdate::announce(d("2020-06-01"), PeerId(0), p("10.0.0.0/8"), path("1 2")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        assert_eq!(a.intervals(&p("10.0.0.0/8"), PeerId(0)).len(), 1);
+    }
+
+    #[test]
+    fn path_change_splits_interval() {
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.0.0.0/8"), path("1 2")),
+            BgpUpdate::announce(d("2020-06-01"), PeerId(0), p("10.0.0.0/8"), path("9 2")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        let ivs = a.intervals(&p("10.0.0.0/8"), PeerId(0));
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].end, Some(d("2020-06-01")));
+        assert_eq!(
+            a.path_at(&p("10.0.0.0/8"), PeerId(0), d("2020-05-31")),
+            Some(&path("1 2"))
+        );
+        assert_eq!(
+            a.path_at(&p("10.0.0.0/8"), PeerId(0), d("2020-06-01")),
+            Some(&path("9 2"))
+        );
+    }
+
+    #[test]
+    fn idle_withdraw_ignored() {
+        let updates = vec![BgpUpdate::withdraw(
+            d("2020-01-01"),
+            PeerId(0),
+            p("10.0.0.0/8"),
+        )];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        assert!(a.intervals(&p("10.0.0.0/8"), PeerId(0)).is_empty());
+        assert!(a.ever_observed(&p("10.0.0.0/8"))); // recorded, but never up
+        assert!(!a.ever_observed_by(&p("10.0.0.0/8"), PeerId(0)));
+    }
+
+    #[test]
+    fn observation_queries() {
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.0.0.0/8"), path("1 2")),
+            BgpUpdate::announce(d("2020-01-05"), PeerId(1), p("10.0.0.0/8"), path("9 2")),
+            BgpUpdate::withdraw(d("2020-02-01"), PeerId(0), p("10.0.0.0/8")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        let pfx = p("10.0.0.0/8");
+        assert!(a.observed_by(&pfx, PeerId(0), d("2020-01-01")));
+        assert!(!a.observed_by(&pfx, PeerId(0), d("2019-12-31")));
+        assert!(!a.observed_by(&pfx, PeerId(0), d("2020-02-01"))); // end exclusive
+        assert_eq!(a.peers_observing(&pfx, d("2020-01-10")), 2);
+        assert_eq!(a.peers_observing(&pfx, d("2020-02-01")), 1);
+        assert_eq!(a.visibility(&pfx, d("2020-01-10")), 1.0);
+        assert!(a.observed_any(&pfx, d("2020-03-01")));
+        assert_eq!(a.first_announced(&pfx), Some(d("2020-01-01")));
+    }
+
+    #[test]
+    fn withdrawal_inference() {
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.0.0.0/8"), path("1 2")),
+            BgpUpdate::announce(d("2020-01-01"), PeerId(1), p("10.0.0.0/8"), path("9 2")),
+            BgpUpdate::withdraw(d("2020-01-20"), PeerId(0), p("10.0.0.0/8")),
+            BgpUpdate::withdraw(d("2020-01-25"), PeerId(1), p("10.0.0.0/8")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        // Listed on Jan 10: all peers stop observing on Jan 25.
+        assert_eq!(
+            a.first_unobserved_after(&p("10.0.0.0/8"), d("2020-01-10")),
+            Some(d("2020-01-25"))
+        );
+        // If asked from a date when it is already down, that date qualifies.
+        assert_eq!(
+            a.first_unobserved_after(&p("10.0.0.0/8"), d("2020-02-15")),
+            Some(d("2020-02-15"))
+        );
+    }
+
+    #[test]
+    fn threshold_sensitivity() {
+        let pfx = p("10.0.0.0/8");
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), pfx, path("1 2")),
+            BgpUpdate::announce(d("2020-01-01"), PeerId(1), pfx, path("9 2")),
+            BgpUpdate::withdraw(d("2020-02-01"), PeerId(0), pfx),
+            BgpUpdate::withdraw(d("2020-04-01"), PeerId(1), pfx),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        let from = d("2020-01-15");
+        // Threshold 1 (the paper's): gone when the last peer drops it.
+        assert_eq!(
+            a.first_below_threshold_after(&pfx, from, 1),
+            Some(d("2020-04-01"))
+        );
+        // Threshold 2: gone as soon as it dips below full visibility.
+        assert_eq!(
+            a.first_below_threshold_after(&pfx, from, 2),
+            Some(d("2020-02-01"))
+        );
+        // Threshold 0 can never fire.
+        assert_eq!(a.first_below_threshold_after(&pfx, from, 0), None);
+    }
+
+    #[test]
+    fn still_observed_returns_none() {
+        let updates = vec![BgpUpdate::announce(
+            d("2020-01-01"),
+            PeerId(0),
+            p("10.0.0.0/8"),
+            path("1 2"),
+        )];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        assert_eq!(
+            a.first_unobserved_after(&p("10.0.0.0/8"), d("2020-01-10")),
+            None
+        );
+    }
+
+    #[test]
+    fn origins_and_history() {
+        let pfx = p("132.255.0.0/22");
+        let updates = vec![
+            BgpUpdate::announce(d("2019-01-01"), PeerId(0), pfx, path("21575 263692")),
+            BgpUpdate::withdraw(d("2020-07-01"), PeerId(0), pfx),
+            BgpUpdate::announce(d("2020-12-01"), PeerId(0), pfx, path("50509 34665 263692")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        assert_eq!(
+            a.origins_at(&pfx, d("2021-01-01")),
+            [Asn(263692)].into_iter().collect()
+        );
+        assert!(a.origins_at(&pfx, d("2020-08-01")).is_empty());
+        let hist = a.historic_origins_before(&pfx, d("2020-12-01"));
+        assert_eq!(hist.get(&Asn(263692)), Some(&d("2019-01-01")));
+    }
+
+    #[test]
+    fn first_announced_at_or_after() {
+        let pfx = p("10.0.0.0/8");
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), pfx, path("1 2")),
+            BgpUpdate::withdraw(d("2020-02-01"), PeerId(0), pfx),
+            BgpUpdate::announce(d("2020-05-01"), PeerId(0), pfx, path("1 2")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        // During an open interval: the query date itself.
+        assert_eq!(
+            a.first_announced_at_or_after(&pfx, d("2020-01-15")),
+            Some(d("2020-01-15"))
+        );
+        // During a gap: the next interval start.
+        assert_eq!(
+            a.first_announced_at_or_after(&pfx, d("2020-03-01")),
+            Some(d("2020-05-01"))
+        );
+        // After everything: none only if no open interval; here open.
+        assert_eq!(
+            a.first_announced_at_or_after(&pfx, d("2021-01-01")),
+            Some(d("2021-01-01"))
+        );
+    }
+
+    #[test]
+    fn covered_by_query() {
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.0.0.0/16"), path("1 2")),
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.1.0.0/16"), path("1 2")),
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("11.0.0.0/16"), path("1 2")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        assert_eq!(a.prefixes_covered_by(&p("10.0.0.0/8")).len(), 2);
+        assert_eq!(a.prefixes().count(), 3);
+    }
+
+    #[test]
+    fn rib_reconstruction() {
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.0.0.0/8"), path("1 2")),
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("11.0.0.0/8"), path("1 3")),
+            BgpUpdate::withdraw(d("2020-06-01"), PeerId(0), p("11.0.0.0/8")),
+            BgpUpdate::announce(d("2020-01-01"), PeerId(1), p("12.0.0.0/8"), path("9 4")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        let rib = a.rib_at(PeerId(0), d("2020-03-01"));
+        assert_eq!(rib.len(), 2);
+        assert!(rib.has_route(&p("11.0.0.0/8")));
+        let rib = a.rib_at(PeerId(0), d("2020-07-01"));
+        assert_eq!(rib.len(), 1);
+        assert!(!rib.has_route(&p("11.0.0.0/8")));
+        assert!(!rib.has_route(&p("12.0.0.0/8")), "peer 1's route leaked");
+        let rib = a.rib_at(PeerId(1), d("2020-03-01"));
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn visibility_series_tracks_events() {
+        let pfx = p("10.0.0.0/8");
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-02"), PeerId(0), pfx, path("1 2")),
+            BgpUpdate::announce(d("2020-01-03"), PeerId(1), pfx, path("9 2")),
+            BgpUpdate::withdraw(d("2020-01-05"), PeerId(0), pfx),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        let series = a.visibility_series(
+            &pfx,
+            droplens_net::DateRange::inclusive(d("2020-01-01"), d("2020-01-06")),
+        );
+        let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![0.0, 0.5, 1.0, 1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_archive() {
+        let a = BgpArchive::from_updates(two_peers(), &[]);
+        assert_eq!(a.first_date(), None);
+        assert_eq!(a.last_date(), None);
+        assert!(!a.ever_observed(&p("10.0.0.0/8")));
+        assert_eq!(a.visibility(&p("10.0.0.0/8"), d("2020-01-01")), 0.0);
+        assert!(a
+            .first_unobserved_after(&p("10.0.0.0/8"), d("2020-01-01"))
+            .is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! Textual archive format for BGP updates and table dumps.
+//!
+//! Real pipelines consume RouteViews MRT files through `bgpdump -m`, which
+//! emits one pipe-separated line per route. Our synthetic archives use the
+//! same shape so the analysis exercises genuine line-oriented parsing:
+//!
+//! ```text
+//! BGP4MP|2020-12-01|A|peer3|50509|132.255.0.0/22|50509 34665 263692
+//! BGP4MP|2021-01-15|W|peer3|50509|132.255.0.0/22
+//! TABLE_DUMP2|2020-12-01|B|peer3|50509|132.255.0.0/22|50509 34665 263692
+//! ```
+//!
+//! Fields: record type, date, `A`nnounce / `W`ithdraw / `B`est-route, peer
+//! token, peer ASN, prefix, and (for announcements and dump entries) the
+//! AS path.
+
+use droplens_net::{Asn, Date, ParseError};
+
+use crate::{AsPath, BgpEvent, BgpUpdate, Peer, PeerId, RibEntry};
+
+/// Serialize one update as an archive line.
+pub fn write_update_line(update: &BgpUpdate, peers: &[Peer]) -> String {
+    let peer_asn = peers
+        .get(update.peer.index())
+        .map(|p| p.asn)
+        .unwrap_or(Asn(0));
+    match &update.event {
+        BgpEvent::Announce(path) => format!(
+            "BGP4MP|{}|A|{}|{}|{}|{}",
+            update.date,
+            update.peer,
+            peer_asn.value(),
+            update.prefix,
+            path
+        ),
+        BgpEvent::Withdraw => format!(
+            "BGP4MP|{}|W|{}|{}|{}",
+            update.date,
+            update.peer,
+            peer_asn.value(),
+            update.prefix
+        ),
+    }
+}
+
+/// Serialize a table-dump (RIB snapshot) entry as an archive line.
+pub fn write_table_dump_line(date: Date, peer: &Peer, entry: &RibEntry) -> String {
+    format!(
+        "TABLE_DUMP2|{}|B|{}|{}|{}|{}",
+        date,
+        peer.id,
+        peer.asn.value(),
+        entry.prefix,
+        entry.path
+    )
+}
+
+/// Parse one `BGP4MP` update line.
+pub fn parse_update_line(line: &str) -> Result<BgpUpdate, ParseError> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() < 6 {
+        return Err(ParseError::new("BgpUpdate", line, "too few fields"));
+    }
+    if fields[0] != "BGP4MP" {
+        return Err(ParseError::new(
+            "BgpUpdate",
+            line,
+            format!("expected BGP4MP record, got {:?}", fields[0]),
+        ));
+    }
+    let date: Date = fields[1].parse()?;
+    let peer = parse_peer_token(line, fields[3])?;
+    let prefix = fields[5].parse()?;
+    match fields[2] {
+        "A" => {
+            let path_field = fields
+                .get(6)
+                .ok_or_else(|| ParseError::new("BgpUpdate", line, "announcement missing path"))?;
+            let path: AsPath = path_field.parse()?;
+            Ok(BgpUpdate::announce(date, peer, prefix, path))
+        }
+        "W" => Ok(BgpUpdate::withdraw(date, peer, prefix)),
+        other => Err(ParseError::new(
+            "BgpUpdate",
+            line,
+            format!("unknown event type {other:?}"),
+        )),
+    }
+}
+
+/// Parse one `TABLE_DUMP2` line into `(date, peer, peer_asn, entry)`.
+pub fn parse_table_dump_line(line: &str) -> Result<(Date, PeerId, Asn, RibEntry), ParseError> {
+    let fields: Vec<&str> = line.split('|').collect();
+    if fields.len() < 7 {
+        return Err(ParseError::new("TableDump", line, "too few fields"));
+    }
+    if fields[0] != "TABLE_DUMP2" || fields[2] != "B" {
+        return Err(ParseError::new(
+            "TableDump",
+            line,
+            "not a TABLE_DUMP2/B record",
+        ));
+    }
+    let date: Date = fields[1].parse()?;
+    let peer = parse_peer_token(line, fields[3])?;
+    let peer_asn: Asn = fields[4].parse()?;
+    let prefix = fields[5].parse()?;
+    let path: AsPath = fields[6].parse()?;
+    Ok((date, peer, peer_asn, RibEntry { prefix, path }))
+}
+
+fn parse_peer_token(line: &str, token: &str) -> Result<PeerId, ParseError> {
+    let idx = token
+        .strip_prefix("peer")
+        .and_then(|n| n.parse::<u32>().ok())
+        .ok_or_else(|| ParseError::new("BgpUpdate", line, format!("bad peer token {token:?}")))?;
+    Ok(PeerId(idx))
+}
+
+/// Serialize a full-table snapshot of every peer as of `date` — the
+/// TABLE_DUMP2 file a collector would have written that day.
+pub fn write_table_dump(archive: &crate::BgpArchive, date: Date) -> String {
+    let mut out = String::new();
+    for peer in archive.peers() {
+        for entry in archive.rib_at(peer.id, date).iter() {
+            out.push_str(&write_table_dump_line(date, peer, &entry));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parse a whole TABLE_DUMP2 file into per-peer tables. Blank and `#`
+/// lines are skipped.
+pub fn parse_table_dump(text: &str) -> Result<Vec<(PeerId, RibEntry)>, ParseError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (_, peer, _, entry) = parse_table_dump_line(line)?;
+        out.push((peer, entry));
+    }
+    Ok(out)
+}
+
+/// Serialize an entire update stream, one line each, ordered as given.
+pub fn write_updates(updates: &[BgpUpdate], peers: &[Peer]) -> String {
+    let mut out = String::new();
+    for u in updates {
+        out.push_str(&write_update_line(u, peers));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse an update archive produced by [`write_updates`]. Blank lines and
+/// `#` comment lines are skipped; any malformed line aborts with an error
+/// identifying the line.
+pub fn parse_updates(text: &str) -> Result<Vec<BgpUpdate>, ParseError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_update_line(line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers() -> Vec<Peer> {
+        vec![
+            Peer::new(PeerId(0), Asn(3356), "rv2/AS3356"),
+            Peer::new(PeerId(1), Asn(7018), "rv2/AS7018"),
+        ]
+    }
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn announce_round_trip() {
+        let u = BgpUpdate::announce(
+            d("2020-12-01"),
+            PeerId(1),
+            "132.255.0.0/22".parse().unwrap(),
+            "7018 50509 34665 263692".parse().unwrap(),
+        );
+        let line = write_update_line(&u, &peers());
+        assert_eq!(
+            line,
+            "BGP4MP|2020-12-01|A|peer1|7018|132.255.0.0/22|7018 50509 34665 263692"
+        );
+        assert_eq!(parse_update_line(&line).unwrap(), u);
+    }
+
+    #[test]
+    fn withdraw_round_trip() {
+        let u = BgpUpdate::withdraw(d("2021-01-15"), PeerId(0), "10.0.0.0/8".parse().unwrap());
+        let line = write_update_line(&u, &peers());
+        assert_eq!(line, "BGP4MP|2021-01-15|W|peer0|3356|10.0.0.0/8");
+        assert_eq!(parse_update_line(&line).unwrap(), u);
+    }
+
+    #[test]
+    fn table_dump_round_trip() {
+        let entry = RibEntry {
+            prefix: "132.255.0.0/22".parse().unwrap(),
+            path: "3356 263692".parse().unwrap(),
+        };
+        let line = write_table_dump_line(d("2022-03-30"), &peers()[0], &entry);
+        assert_eq!(
+            line,
+            "TABLE_DUMP2|2022-03-30|B|peer0|3356|132.255.0.0/22|3356 263692"
+        );
+        let (date, peer, asn, parsed) = parse_table_dump_line(&line).unwrap();
+        assert_eq!(date, d("2022-03-30"));
+        assert_eq!(peer, PeerId(0));
+        assert_eq!(asn, Asn(3356));
+        assert_eq!(parsed, entry);
+    }
+
+    #[test]
+    fn stream_round_trip_with_comments() {
+        let updates = vec![
+            BgpUpdate::announce(
+                d("2020-01-01"),
+                PeerId(0),
+                "10.0.0.0/8".parse().unwrap(),
+                "3356 64500".parse().unwrap(),
+            ),
+            BgpUpdate::withdraw(d("2020-02-01"), PeerId(0), "10.0.0.0/8".parse().unwrap()),
+        ];
+        let mut text = String::from("# synthetic archive\n\n");
+        text.push_str(&write_updates(&updates, &peers()));
+        assert_eq!(parse_updates(&text).unwrap(), updates);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_update_line("BOGUS|2020-01-01|A|peer0|1|10.0.0.0/8|1").is_err());
+        assert!(parse_update_line("BGP4MP|2020-01-01|X|peer0|1|10.0.0.0/8|1").is_err());
+        assert!(parse_update_line("BGP4MP|2020-01-01|A|peer0|1|10.0.0.0/8").is_err());
+        assert!(parse_update_line("BGP4MP|2020-01-01|A|nope|1|10.0.0.0/8|1").is_err());
+        assert!(parse_update_line("BGP4MP|2020-99-01|A|peer0|1|10.0.0.0/8|1").is_err());
+        assert!(parse_update_line("BGP4MP|2020-01-01").is_err());
+        assert!(parse_table_dump_line("TABLE_DUMP2|2020-01-01|B|peer0|1|10.0.0.0/8").is_err());
+        assert!(parse_table_dump_line("BGP4MP|2020-01-01|A|peer0|1|10.0.0.0/8|1").is_err());
+    }
+
+    #[test]
+    fn whole_table_dump_round_trips() {
+        use crate::BgpArchive;
+        let updates = vec![
+            BgpUpdate::announce(
+                d("2020-01-01"),
+                PeerId(0),
+                "10.0.0.0/8".parse().unwrap(),
+                "3356 64500".parse().unwrap(),
+            ),
+            BgpUpdate::announce(
+                d("2020-01-01"),
+                PeerId(1),
+                "10.0.0.0/8".parse().unwrap(),
+                "7018 64500".parse().unwrap(),
+            ),
+            BgpUpdate::announce(
+                d("2020-02-01"),
+                PeerId(0),
+                "11.0.0.0/8".parse().unwrap(),
+                "3356 64501".parse().unwrap(),
+            ),
+            BgpUpdate::withdraw(d("2020-03-01"), PeerId(1), "10.0.0.0/8".parse().unwrap()),
+        ];
+        let archive = BgpArchive::from_updates(peers(), &updates);
+        let dump = write_table_dump(&archive, d("2020-02-15"));
+        let parsed = parse_table_dump(&dump).unwrap();
+        // Peer 0 carries two routes, peer 1 one.
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.iter().filter(|(p, _)| *p == PeerId(0)).count(), 2);
+        // After peer 1 withdraws, its table shrinks.
+        let dump = write_table_dump(&archive, d("2020-03-15"));
+        let parsed = parse_table_dump(&dump).unwrap();
+        assert_eq!(parsed.iter().filter(|(p, _)| *p == PeerId(1)).count(), 0);
+        // Garbage is rejected.
+        assert!(parse_table_dump("not a table dump\n").is_err());
+        assert!(parse_table_dump("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_peer_serializes_as_as0() {
+        let u = BgpUpdate::withdraw(d("2021-01-15"), PeerId(9), "10.0.0.0/8".parse().unwrap());
+        let line = write_update_line(&u, &peers());
+        assert!(line.contains("|peer9|0|"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Collector peer identities.
+
+use std::fmt;
+
+use droplens_net::Asn;
+
+/// A dense identifier for a collector peer, assigned in registration
+/// order. Used as an index into per-peer structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+/// A full-table BGP peer of a route collector (the RouteViews vantage
+/// points of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peer {
+    /// Dense identifier.
+    pub id: PeerId,
+    /// The peer's ASN.
+    pub asn: Asn,
+    /// Human-readable collector/peer name, e.g. `"route-views2/AS3356"`.
+    pub name: String,
+}
+
+impl Peer {
+    /// Construct a peer record.
+    pub fn new(id: PeerId, asn: Asn, name: impl Into<String>) -> Peer {
+        Peer {
+            id,
+            asn,
+            name: name.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peer_id_display_and_index() {
+        assert_eq!(PeerId(7).to_string(), "peer7");
+        assert_eq!(PeerId(7).index(), 7);
+    }
+
+    #[test]
+    fn peer_construction() {
+        let p = Peer::new(PeerId(0), Asn(3356), "route-views2/AS3356");
+        assert_eq!(p.asn, Asn(3356));
+        assert_eq!(p.name, "route-views2/AS3356");
+    }
+
+    #[test]
+    fn peer_id_ordering() {
+        assert!(PeerId(1) < PeerId(2));
+    }
+}

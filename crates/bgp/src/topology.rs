@@ -1,0 +1,385 @@
+//! AS-level route propagation under Gao–Rexford policies.
+//!
+//! The collector simulation ([`crate::CollectorSim`]) models *what a
+//! collector records*; this module models *why*: business relationships
+//! between ASes determine which routes propagate where. An AS prefers
+//! routes learned from customers over peers over providers, and only
+//! exports customer routes to everyone — peer and provider routes go to
+//! customers alone (the "valley-free" property).
+//!
+//! The paper's phenomena live one level above this machinery, but the
+//! machinery explains them: a hijack announced through a well-connected
+//! transit (AS50509's position) captures large parts of the Internet,
+//! and collector peers attached at different points see different paths
+//! — or none at all.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use droplens_net::Asn;
+
+use crate::AsPath;
+
+/// How a route was learned, in Gao–Rexford preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RouteClass {
+    /// Learned from a customer: preferred, exported to everyone.
+    Customer,
+    /// Learned from a peer: exported to customers only.
+    Peer,
+    /// Learned from a provider: least preferred, exported to customers
+    /// only.
+    Provider,
+}
+
+/// A selected route at one AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectedRoute {
+    /// The AS path from this AS to the origin (this AS first).
+    pub path: AsPath,
+    /// How the best route was learned (`Customer` for the origin itself,
+    /// by convention).
+    pub class: RouteClass,
+}
+
+/// An AS-relationship graph.
+///
+/// Edges are directed provider→customer plus undirected peerings. The
+/// graph is append-only; [`AsGraph::propagate`] runs the three-stage
+/// valley-free propagation for one origin.
+#[derive(Debug, Default, Clone)]
+pub struct AsGraph {
+    providers: BTreeMap<Asn, BTreeSet<Asn>>,
+    customers: BTreeMap<Asn, BTreeSet<Asn>>,
+    peers: BTreeMap<Asn, BTreeSet<Asn>>,
+}
+
+impl AsGraph {
+    /// An empty graph.
+    pub fn new() -> AsGraph {
+        AsGraph::default()
+    }
+
+    /// Record that `customer` buys transit from `provider`.
+    pub fn add_provider(&mut self, customer: Asn, provider: Asn) {
+        assert_ne!(customer, provider, "an AS cannot be its own provider");
+        self.providers.entry(customer).or_default().insert(provider);
+        self.customers.entry(provider).or_default().insert(customer);
+    }
+
+    /// Record a settlement-free peering between `a` and `b`.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) {
+        assert_ne!(a, b, "an AS cannot peer with itself");
+        self.peers.entry(a).or_default().insert(b);
+        self.peers.entry(b).or_default().insert(a);
+    }
+
+    /// Every AS mentioned by any edge.
+    pub fn ases(&self) -> BTreeSet<Asn> {
+        let mut out = BTreeSet::new();
+        for (k, vs) in self
+            .providers
+            .iter()
+            .chain(&self.customers)
+            .chain(&self.peers)
+        {
+            out.insert(*k);
+            out.extend(vs.iter().copied());
+        }
+        out
+    }
+
+    fn neighbors<'a>(
+        map: &'a BTreeMap<Asn, BTreeSet<Asn>>,
+        asn: Asn,
+    ) -> impl Iterator<Item = Asn> + 'a {
+        map.get(&asn).into_iter().flatten().copied()
+    }
+
+    /// Gao–Rexford propagation of a single origination. Returns, for
+    /// every AS that ends up with a route, its selected path and class.
+    ///
+    /// Preference: customer > peer > provider; ties broken by shortest
+    /// path, then lowest neighbor ASN (deterministic).
+    pub fn propagate(&self, origin: Asn) -> BTreeMap<Asn, SelectedRoute> {
+        let mut best: BTreeMap<Asn, SelectedRoute> = BTreeMap::new();
+        best.insert(
+            origin,
+            SelectedRoute {
+                path: AsPath::new(vec![origin]),
+                class: RouteClass::Customer,
+            },
+        );
+
+        // Stage 1: customer routes climb provider chains (BFS by path
+        // length guarantees shortest-first; BTree order makes tie-breaks
+        // lowest-ASN-first).
+        let mut queue: VecDeque<Asn> = VecDeque::new();
+        queue.push_back(origin);
+        while let Some(asn) = queue.pop_front() {
+            let path = best[&asn].path.clone();
+            for provider in Self::neighbors(&self.providers, asn) {
+                if best.contains_key(&provider) || path.contains(provider) {
+                    continue;
+                }
+                best.insert(
+                    provider,
+                    SelectedRoute {
+                        path: path.prepended(provider),
+                        class: RouteClass::Customer,
+                    },
+                );
+                queue.push_back(provider);
+            }
+        }
+
+        // Stage 2: one hop across peerings, from every AS holding a
+        // customer route (including the origin).
+        let customer_holders: Vec<Asn> = best.keys().copied().collect();
+        for asn in customer_holders {
+            let path = best[&asn].path.clone();
+            for peer in Self::neighbors(&self.peers, asn) {
+                if best.contains_key(&peer) || path.contains(peer) {
+                    continue;
+                }
+                best.insert(
+                    peer,
+                    SelectedRoute {
+                        path: path.prepended(peer),
+                        class: RouteClass::Peer,
+                    },
+                );
+            }
+        }
+
+        // Stage 3: everything flows down provider→customer edges. BFS
+        // again; an AS that already has a (customer or peer) route keeps
+        // it — provider routes are least preferred.
+        let mut queue: VecDeque<Asn> = best.keys().copied().collect();
+        while let Some(asn) = queue.pop_front() {
+            let path = best[&asn].path.clone();
+            for customer in Self::neighbors(&self.customers, asn) {
+                if best.contains_key(&customer) || path.contains(customer) {
+                    continue;
+                }
+                best.insert(
+                    customer,
+                    SelectedRoute {
+                        path: path.prepended(customer),
+                        class: RouteClass::Provider,
+                    },
+                );
+                queue.push_back(customer);
+            }
+        }
+
+        best
+    }
+
+    /// Competitive propagation: two origins announce the same prefix (the
+    /// hijack situation). Each AS selects between the two offers by the
+    /// Gao–Rexford rules; returns who wins where.
+    ///
+    /// Implemented by propagating each origin independently and comparing
+    /// at every AS — exact for the preference model above (each AS's
+    /// choice depends only on class then length then tie-break, and a
+    /// route's availability along a policy-compliant path is independent
+    /// of the competing announcement under shortest-first selection;
+    /// the standard simplification in hijack-capture analyses).
+    pub fn compete(&self, legitimate: Asn, hijacker: Asn) -> BTreeMap<Asn, (Asn, SelectedRoute)> {
+        let a = self.propagate(legitimate);
+        let b = self.propagate(hijacker);
+        let mut out = BTreeMap::new();
+        for asn in self.ases() {
+            let choice = match (a.get(&asn), b.get(&asn)) {
+                (Some(ra), Some(rb)) => {
+                    let ka = (ra.class, ra.path.len(), rb.path.first_hop());
+                    let kb = (rb.class, rb.path.len(), ra.path.first_hop());
+                    // Lower class wins; then shorter path; then the
+                    // origin reached through the lower next hop.
+                    if ka < kb {
+                        (legitimate, ra.clone())
+                    } else {
+                        (hijacker, rb.clone())
+                    }
+                }
+                (Some(ra), None) => (legitimate, ra.clone()),
+                (None, Some(rb)) => (hijacker, rb.clone()),
+                (None, None) => continue,
+            };
+            out.insert(asn, choice);
+        }
+        out
+    }
+}
+
+/// True if `path` is valley-free under the graph's relationships: reading
+/// from the origin outward, the path climbs customer→provider links,
+/// crosses at most one peering, then descends provider→customer links.
+pub fn is_valley_free(graph: &AsGraph, path: &AsPath) -> bool {
+    // Walk origin → first hop. Phases: 0 = climbing, 1 = crossed peer,
+    // 2 = descending.
+    let hops: Vec<Asn> = path.hops().iter().rev().copied().collect();
+    let mut phase = 0u8;
+    for pair in hops.windows(2) {
+        let (from, to) = (pair[0], pair[1]);
+        let up = graph.providers.get(&from).is_some_and(|s| s.contains(&to));
+        let across = graph.peers.get(&from).is_some_and(|s| s.contains(&to));
+        let down = graph.customers.get(&from).is_some_and(|s| s.contains(&to));
+        match (up, across, down) {
+            (true, _, _) if phase == 0 => {}
+            (_, true, _) if phase == 0 => phase = 1,
+            (_, _, true) => phase = 2,
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small clos-ish Internet:
+    ///
+    /// ```text
+    ///   T1a ══ T1b          (tier-1 peering)
+    ///   /  \    |  \
+    ///  Ra   Rb  Rc  Evil    (regional transits; Evil buys from T1b)
+    ///  |    |    |    |
+    ///  S1   S2  S3   S4     (stubs)
+    /// ```
+    fn graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        let (t1a, t1b) = (Asn(10), Asn(20));
+        g.add_peering(t1a, t1b);
+        for (r, t) in [(100, 10), (200, 10), (300, 20), (666, 20)] {
+            g.add_provider(Asn(r), Asn(t));
+        }
+        for (s, r) in [(1001, 100), (2002, 200), (3003, 300), (4004, 666)] {
+            g.add_provider(Asn(s), Asn(r));
+        }
+        g
+    }
+
+    #[test]
+    fn propagation_reaches_everyone_in_a_connected_graph() {
+        let g = graph();
+        let routes = g.propagate(Asn(1001));
+        assert_eq!(routes.len(), g.ases().len());
+        // The origin's own entry is trivial.
+        assert_eq!(routes[&Asn(1001)].path.to_string(), "1001");
+    }
+
+    #[test]
+    fn classes_follow_relationships() {
+        let g = graph();
+        let routes = g.propagate(Asn(1001));
+        // Providers of the origin hold customer routes.
+        assert_eq!(routes[&Asn(100)].class, RouteClass::Customer);
+        assert_eq!(routes[&Asn(10)].class, RouteClass::Customer);
+        // The other tier-1 learns across the peering.
+        assert_eq!(routes[&Asn(20)].class, RouteClass::Peer);
+        // Stubs elsewhere learn from their providers.
+        assert_eq!(routes[&Asn(3003)].class, RouteClass::Provider);
+        assert_eq!(routes[&Asn(2002)].class, RouteClass::Provider);
+    }
+
+    #[test]
+    fn all_paths_are_valley_free_and_loop_free() {
+        let g = graph();
+        for origin in g.ases() {
+            for (asn, route) in g.propagate(origin) {
+                assert!(is_valley_free(&g, &route.path), "{asn}: {}", route.path);
+                let mut seen = BTreeSet::new();
+                for hop in route.path.hops() {
+                    assert!(seen.insert(*hop), "loop in {}", route.path);
+                }
+                assert_eq!(route.path.origin(), origin);
+                assert_eq!(route.path.first_hop(), asn);
+            }
+        }
+    }
+
+    #[test]
+    fn peer_routes_do_not_cross_two_peerings() {
+        // Chain of three tier-1s: a peer route must not transit a peer.
+        let mut g = AsGraph::new();
+        g.add_peering(Asn(1), Asn(2));
+        g.add_peering(Asn(2), Asn(3));
+        g.add_provider(Asn(11), Asn(1));
+        let routes = g.propagate(Asn(11));
+        // AS2 learns via its peering with AS1; AS3 must NOT learn (a
+        // peer route is not exported to another peer).
+        assert!(routes.contains_key(&Asn(2)));
+        assert!(!routes.contains_key(&Asn(3)), "valley: peer->peer export");
+    }
+
+    #[test]
+    fn customers_prefer_customer_routes_over_shorter_provider_routes() {
+        // AS5 hears the origin both from its customer (long path) and
+        // its provider (short path); customer must win.
+        let mut g = AsGraph::new();
+        // origin -> c1 -> c2 -> AS5 (customer chain up)
+        g.add_provider(Asn(900), Asn(31));
+        g.add_provider(Asn(31), Asn(32));
+        g.add_provider(Asn(32), Asn(5));
+        // origin -> P (direct provider), P -> AS5's provider side: make P
+        // a provider of AS5 so AS5 could hear a 2-hop provider route.
+        g.add_provider(Asn(900), Asn(77));
+        g.add_provider(Asn(5), Asn(77));
+        let routes = g.propagate(Asn(900));
+        let r5 = &routes[&Asn(5)];
+        assert_eq!(r5.class, RouteClass::Customer);
+        assert_eq!(r5.path.to_string(), "5 32 31 900");
+    }
+
+    #[test]
+    fn hijack_capture_is_position_dependent() {
+        let g = graph();
+        // Victim stub 1001 vs hijacker stub 4004 announcing its prefix.
+        let outcome = g.compete(Asn(1001), Asn(4004));
+        // Everyone has a route to something.
+        assert_eq!(outcome.len(), g.ases().len());
+        // The victim keeps its own providers.
+        assert_eq!(outcome[&Asn(100)].0, Asn(1001));
+        assert_eq!(outcome[&Asn(10)].0, Asn(1001));
+        // The hijacker's side of the topology is captured.
+        assert_eq!(outcome[&Asn(666)].0, Asn(4004));
+        assert_eq!(
+            outcome[&Asn(20)].0,
+            Asn(4004),
+            "T1b prefers its customer cone"
+        );
+        assert_eq!(
+            outcome[&Asn(3003)].0,
+            Asn(4004),
+            "stub behind T1b is captured"
+        );
+        // Both tier-1s hold customer routes to different origins: the
+        // split-brain the collectors observe.
+        let captured = outcome
+            .values()
+            .filter(|(who, _)| *who == Asn(4004))
+            .count();
+        assert!(captured >= 4, "hijack captured {captured} ASes");
+        assert!(
+            captured < outcome.len(),
+            "victim retained part of the graph"
+        );
+    }
+
+    #[test]
+    fn disconnected_ases_get_no_route() {
+        let mut g = graph();
+        g.add_provider(Asn(7777), Asn(8888)); // island
+        let routes = g.propagate(Asn(1001));
+        assert!(!routes.contains_key(&Asn(7777)));
+        assert!(!routes.contains_key(&Asn(8888)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_provider_rejected() {
+        AsGraph::new().add_provider(Asn(1), Asn(1));
+    }
+}

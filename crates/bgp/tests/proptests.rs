@@ -1,0 +1,192 @@
+//! Property-based tests: the interval archive must agree with a naive
+//! replay model on every query, and the collector simulation must honor
+//! its contracts.
+
+use droplens_bgp::{
+    format as bgpfmt, AsPath, BgpArchive, BgpEvent, BgpUpdate, CollectorSim, Origination, Peer,
+    PeerId,
+};
+use droplens_net::{Asn, Date, DateRange, Ipv4Prefix};
+use proptest::prelude::*;
+
+const EPOCH: i32 = 18_000; // ≈ 2019-04, arbitrary base day
+
+fn day() -> impl Strategy<Value = Date> {
+    (0i32..400).prop_map(|o| Date::from_days_since_epoch(EPOCH + o))
+}
+
+fn prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    // A handful of prefixes so updates collide on the same lanes.
+    (0u32..6, 16u8..22).prop_map(|(i, len)| Ipv4Prefix::from_u32(0x0a00_0000 | (i << 20), len))
+}
+
+fn path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(1u32..100, 1..4)
+        .prop_map(|hops| AsPath::new(hops.into_iter().map(Asn).collect()))
+}
+
+fn update() -> impl Strategy<Value = BgpUpdate> {
+    (day(), 0u32..3, prefix(), prop::option::of(path())).prop_map(|(date, peer, prefix, p)| match p
+    {
+        Some(path) => BgpUpdate::announce(date, PeerId(peer), prefix, path),
+        None => BgpUpdate::withdraw(date, PeerId(peer), prefix),
+    })
+}
+
+fn peers() -> Vec<Peer> {
+    (0..3u32)
+        .map(|i| Peer::new(PeerId(i), Asn(1000 + i), format!("p{i}")))
+        .collect()
+}
+
+/// Naive model: replay the stream up to `date` (inclusive, in stream
+/// order) and report the last state of (prefix, peer).
+fn model_observed(updates: &[BgpUpdate], prefix: &Ipv4Prefix, peer: PeerId, date: Date) -> bool {
+    let mut up = false;
+    for u in updates {
+        if u.date > date {
+            break;
+        }
+        if u.peer == peer && u.prefix == *prefix {
+            up = matches!(u.event, BgpEvent::Announce(_));
+        }
+    }
+    up
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn archive_matches_replay_model(mut updates in prop::collection::vec(update(), 0..60),
+                                    probe in day()) {
+        // The archive assumes stream order is chronological.
+        updates.sort_by_key(|u| u.date);
+        let archive = BgpArchive::from_updates(peers(), &updates);
+        for peer in 0..3u32 {
+            for prefix in updates.iter().map(|u| u.prefix).collect::<std::collections::BTreeSet<_>>() {
+                let expected = model_observed(&updates, &prefix, PeerId(peer), probe);
+                let got = archive.observed_by(&prefix, PeerId(peer), probe);
+                prop_assert_eq!(got, expected, "{} peer{} at {}", prefix, peer, probe);
+            }
+        }
+    }
+
+    #[test]
+    fn first_unobserved_is_sound_and_minimal(mut updates in prop::collection::vec(update(), 1..40),
+                                             from in day()) {
+        updates.sort_by_key(|u| u.date);
+        let archive = BgpArchive::from_updates(peers(), &updates);
+        for prefix in updates.iter().map(|u| u.prefix).collect::<std::collections::BTreeSet<_>>() {
+            match archive.first_unobserved_after(&prefix, from) {
+                Some(gone) => {
+                    prop_assert!(gone >= from);
+                    prop_assert_eq!(archive.peers_observing(&prefix, gone), 0);
+                    // Minimality: scan every day in [from, gone).
+                    let mut d = from;
+                    while d < gone {
+                        prop_assert!(
+                            archive.peers_observing(&prefix, d) > 0,
+                            "{} unobserved at {} before reported {}", prefix, d, gone
+                        );
+                        d = d.succ();
+                    }
+                }
+                None => {
+                    // Still observed at the end of the archive.
+                    let last = archive.last_date().expect("non-empty");
+                    prop_assert!(archive.peers_observing(&prefix, last.max(from)) > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_lines_round_trip(mut updates in prop::collection::vec(update(), 0..40)) {
+        updates.sort_by_key(|u| u.date);
+        let text = bgpfmt::write_updates(&updates, &peers());
+        let parsed = bgpfmt::parse_updates(&text).expect("own output parses");
+        prop_assert_eq!(parsed, updates);
+    }
+
+    #[test]
+    fn as_path_round_trip(p in path()) {
+        let s = p.to_string();
+        prop_assert_eq!(s.parse::<AsPath>().expect("parses"), p);
+    }
+
+    #[test]
+    fn collector_sim_full_visibility_without_filters(
+        start_off in 0i32..200, len in 1i32..200, transits in prop::collection::vec(1u32..100, 0..3)
+    ) {
+        let start = Date::from_days_since_epoch(EPOCH + start_off);
+        let end = start + len;
+        let horizon = Date::from_days_since_epoch(EPOCH + 500);
+        let o = Origination {
+            prefix: "10.0.0.0/16".parse().expect("prefix"),
+            origin: Asn(64500),
+            transits: transits.into_iter().map(Asn).collect(),
+            start,
+            end: Some(end),
+        };
+        let sim = CollectorSim::new(peers(), horizon);
+        let updates = sim.updates_for(std::slice::from_ref(&o));
+        let archive = BgpArchive::from_updates(peers(), &updates);
+        // Every peer sees it exactly during [start, end).
+        for peer in 0..3u32 {
+            prop_assert!(archive.observed_by(&o.prefix, PeerId(peer), start));
+            prop_assert!(archive.observed_by(&o.prefix, PeerId(peer), end.pred()));
+            prop_assert!(!archive.observed_by(&o.prefix, PeerId(peer), start.pred()));
+            prop_assert!(!archive.observed_by(&o.prefix, PeerId(peer), end));
+            // And the observed path ends at the origin.
+            let path = archive.path_at(&o.prefix, PeerId(peer), start).expect("announced");
+            prop_assert_eq!(path.origin(), o.origin);
+            prop_assert_eq!(path.first_hop(), peers()[peer as usize].asn);
+        }
+    }
+
+    #[test]
+    fn suppression_never_widens_visibility(
+        start_off in 0i32..100, len in 30i32..200,
+        win_off in 0i32..300, win_len in 1i32..100,
+    ) {
+        let start = Date::from_days_since_epoch(EPOCH + start_off);
+        let end = start + len;
+        let horizon = Date::from_days_since_epoch(EPOCH + 500);
+        let prefix: Ipv4Prefix = "10.0.0.0/16".parse().expect("prefix");
+        let o = Origination {
+            prefix,
+            origin: Asn(64500),
+            transits: vec![Asn(3356)],
+            start,
+            end: Some(end),
+        };
+        let win_start = Date::from_days_since_epoch(EPOCH + win_off);
+        let window = DateRange::new(win_start, win_start + win_len);
+
+        let plain = CollectorSim::new(peers(), horizon);
+        let mut filtered = CollectorSim::new(peers(), horizon);
+        filtered.suppress(PeerId(0), prefix, window);
+
+        let a_plain = BgpArchive::from_updates(peers(), &plain.updates_for(std::slice::from_ref(&o)));
+        let a_filt = BgpArchive::from_updates(peers(), &filtered.updates_for(std::slice::from_ref(&o)));
+
+        let mut d = start - 5;
+        while d < end + 5 {
+            let plain_sees = a_plain.observed_by(&prefix, PeerId(0), d);
+            let filt_sees = a_filt.observed_by(&prefix, PeerId(0), d);
+            // Filtering can only remove visibility, never add it; and it
+            // removes exactly the suppressed window.
+            prop_assert!(!filt_sees || plain_sees, "widened at {d}");
+            if plain_sees {
+                prop_assert_eq!(filt_sees, !window.contains(d), "at {}", d);
+            }
+            // Peer 1 is untouched.
+            prop_assert_eq!(
+                a_plain.observed_by(&prefix, PeerId(1), d),
+                a_filt.observed_by(&prefix, PeerId(1), d)
+            );
+            d = d.succ();
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Subcommand implementations, process-free for testability.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use droplens_core::{experiments, Study};
+use droplens_drop::{classify, extract_asns};
+use droplens_net::{Asn, Date, Ipv4Prefix};
+use droplens_rpki::format::parse_events;
+use droplens_rpki::{RoaArchive, RovOutcome, Tal};
+use droplens_synth::{World, WorldConfig};
+
+use crate::layout;
+use crate::CliError;
+
+/// `droplens generate`: write a world to an archive tree.
+pub fn generate(out: &Path, seed: u64, scale: &str) -> Result<String, CliError> {
+    let config = match scale {
+        "small" => WorldConfig::small(),
+        "paper" => WorldConfig::paper(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scale {other:?} (small|paper)"
+            )))
+        }
+    };
+    let world = World::generate(seed, &config);
+    layout::write_world(out, &world)?;
+    Ok(format!(
+        "wrote {} listings, {} BGP updates, {} ROA events, {} IRR entries, {} stats snapshots to {}",
+        world.truth.listed.len(),
+        world.bgp_updates.len(),
+        world.roa_events.len(),
+        world.irr_journal.len(),
+        world.rir_snapshots.len(),
+        out.display(),
+    ))
+}
+
+/// `droplens analyze`: load an archive tree and run experiments.
+pub fn analyze(dir: &Path, experiment: &str) -> Result<String, CliError> {
+    let (config, peers, text) = layout::read_archives(dir)?;
+    let study = Study::from_text(config, peers, &text)?;
+    run_experiments(&study, experiment)
+}
+
+/// Run one named experiment (or `all`) and render it.
+pub fn run_experiments(study: &Study, experiment: &str) -> Result<String, CliError> {
+    let mut out = String::new();
+    let mut run = |name: &str, body: String| {
+        if experiment == "all" || experiment == name {
+            let _ = writeln!(out, "## {name}\n{body}");
+        }
+    };
+    run("summary", experiments::summary::compute(study).to_string());
+    run("fig1", experiments::fig1::compute(study).to_string());
+    run("fig2", experiments::fig2::compute(study).to_string());
+    run("fig3", experiments::fig3::compute(study).to_string());
+    run("fig4", experiments::fig4::compute(study).to_string());
+    run("fig5", experiments::fig5::compute(study).to_string());
+    run("fig6", experiments::fig6::compute(study).to_string());
+    run("fig7", experiments::fig7::compute(study).to_string());
+    run("table1", experiments::table1::compute(study).to_string());
+    run("table2", experiments::table2::compute(study).to_string());
+    run("sec4", experiments::sec4::compute(study).to_string());
+    run("sec5", experiments::sec5::compute(study).to_string());
+    run("sec6", experiments::sec6::compute(study).to_string());
+    run(
+        "ext_maxlen",
+        experiments::ext_maxlen::compute(study).to_string(),
+    );
+    run(
+        "ext_profiles",
+        experiments::ext_profiles::compute(study).to_string(),
+    );
+    run("ext_rov", experiments::ext_rov::compute(study).to_string());
+    if out.is_empty() {
+        return Err(CliError::Usage(format!(
+            "unknown experiment {experiment:?}"
+        )));
+    }
+    Ok(out)
+}
+
+/// `droplens scorecard`: load an archive tree and print the paper-vs-
+/// measured scorecard.
+pub fn scorecard(dir: &Path) -> Result<String, CliError> {
+    let (config, peers, text) = layout::read_archives(dir)?;
+    let study = Study::from_text(config, peers, &text)?;
+    let targets = droplens_core::paper::scorecard(&study);
+    Ok(droplens_core::paper::render(&targets))
+}
+
+/// `droplens classify`: Appendix-A classification of SBL record text.
+/// Blank-line-separated blocks are classified independently.
+pub fn classify_text(text: &str) -> String {
+    let mut out = String::new();
+    for (i, block) in text
+        .split("\n\n")
+        .map(str::trim)
+        .filter(|b| !b.is_empty())
+        .enumerate()
+    {
+        let c = classify(block);
+        let cats: Vec<&str> = c.categories.iter().map(|c| c.code()).collect();
+        let asns: Vec<String> = extract_asns(block).iter().map(|a| a.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "record {}: categories=[{}] keywords={} asns=[{}]",
+            i + 1,
+            if cats.is_empty() {
+                "(manual inference needed)".to_owned()
+            } else {
+                cats.join(",")
+            },
+            c.keyword_hits,
+            asns.join(","),
+        );
+    }
+    if out.is_empty() {
+        out.push_str("no records found\n");
+    }
+    out
+}
+
+/// `droplens validate`: ROV of one announcement against a ROA journal.
+pub fn validate(
+    roas_path: &Path,
+    date: Date,
+    prefix: Ipv4Prefix,
+    origin: Asn,
+    all_tals: bool,
+) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(roas_path)
+        .map_err(|e| CliError::Io(roas_path.display().to_string(), e))?;
+    let archive = RoaArchive::from_events(&parse_events(&text)?);
+    let tals: &[Tal] = if all_tals {
+        &Tal::ALL
+    } else {
+        &Tal::PRODUCTION
+    };
+    let outcome = archive.validate_at(&prefix, origin, date, tals);
+    let mut out = format!(
+        "{prefix} originated by {origin} on {date}: {}\n",
+        match outcome {
+            RovOutcome::Valid => "Valid",
+            RovOutcome::Invalid => "Invalid",
+            RovOutcome::NotFound => "NotFound",
+        }
+    );
+    for roa in archive.roas_covering_at(&prefix, date, tals) {
+        let _ = writeln!(out, "  covered by {roa}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_blocks() {
+        let out = classify_text(
+            "Snowshoe IP block on Stolen AS62927\n\nbulletproof hosting outfit\n\nquiet range\n",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("HJ"));
+        assert!(lines[0].contains("SS"));
+        assert!(lines[0].contains("AS62927"));
+        assert!(lines[1].contains("MH"));
+        assert!(lines[2].contains("manual inference needed"));
+    }
+
+    #[test]
+    fn classify_empty() {
+        assert_eq!(classify_text("  \n \n"), "no records found\n");
+    }
+
+    #[test]
+    fn generate_rejects_unknown_scale() {
+        let err = generate(Path::new("/tmp/never-used"), 1, "galactic").unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn run_experiments_rejects_unknown_name() {
+        // Cheap study via the small world.
+        let world = World::generate(3, &WorldConfig::small());
+        let study = Study::from_world(&world);
+        assert!(run_experiments(&study, "fig99").is_err());
+        let one = run_experiments(&study, "fig1").unwrap();
+        assert!(one.contains("## fig1"));
+        assert!(!one.contains("## fig2"));
+    }
+}

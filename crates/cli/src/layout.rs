@@ -1,0 +1,200 @@
+//! On-disk archive layout: writing a world out and reading it back.
+//!
+//! ```text
+//! <dir>/
+//!   manifest.tsv                     study window + peer table
+//!   bgp/updates.txt                  bgpdump-style one-line updates
+//!   irr/journal.txt                  NRTM-style dated journal
+//!   rpki/roas.csv                    dated ROA event journal
+//!   rir/<YYYYMMDD>/delegated-<rir>-extended.txt
+//!   drop/<YYYY-MM-DD>.txt            daily DROP snapshots
+//!   sbl/records.txt                  SBL record blocks
+//!   labels/manual_labels.tsv         analyst labels for keyword-less records
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use droplens_bgp::{Peer, PeerId};
+use droplens_core::StudyConfig;
+use droplens_drop::{Category, SblId};
+use droplens_net::{Asn, Date, DateRange};
+use droplens_rir::Rir;
+use droplens_synth::{TextArchives, World};
+
+use crate::CliError;
+
+fn write(path: &Path, contents: &str) -> Result<(), CliError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| CliError::Io(parent.display().to_string(), e))?;
+    }
+    fs::write(path, contents).map_err(|e| CliError::Io(path.display().to_string(), e))
+}
+
+fn read(path: &Path) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::Io(path.display().to_string(), e))
+}
+
+/// Serialize a world into the archive tree rooted at `dir`.
+pub fn write_world(dir: &Path, world: &World) -> Result<(), CliError> {
+    let text = world.to_text_archives();
+
+    // Manifest: window plus the peer table.
+    let mut manifest = String::from("# droplens archive manifest\n");
+    manifest.push_str(&format!(
+        "window\t{}\t{}\n",
+        world.config.study_start, world.config.study_end
+    ));
+    for peer in &world.peers {
+        manifest.push_str(&format!(
+            "peer\t{}\t{}\t{}\n",
+            peer.id.0,
+            peer.asn.value(),
+            peer.name
+        ));
+    }
+    write(&dir.join("manifest.tsv"), &manifest)?;
+
+    write(&dir.join("bgp/updates.txt"), &text.bgp_updates)?;
+    write(&dir.join("irr/journal.txt"), &text.irr_journal)?;
+    write(&dir.join("rpki/roas.csv"), &text.roa_events)?;
+    for (date, files) in &text.rir_snapshots {
+        for (rir, body) in Rir::ALL.iter().zip(files) {
+            let path = dir
+                .join("rir")
+                .join(date.to_compact_string())
+                .join(format!("delegated-{}-extended.txt", rir.token()));
+            write(&path, body)?;
+        }
+    }
+    for (date, body) in &text.drop_snapshots {
+        write(&dir.join("drop").join(format!("{date}.txt")), body)?;
+    }
+    write(&dir.join("sbl/records.txt"), &text.sbl_records)?;
+
+    // The analyst's manual labels for keyword-less records.
+    let mut labels = String::from("# sbl-id\tcategories\n");
+    for (id, cats) in world.manual_labels() {
+        let codes: Vec<&str> = cats.iter().map(|c| c.code()).collect();
+        labels.push_str(&format!("{id}\t{}\n", codes.join(",")));
+    }
+    write(&dir.join("labels/manual_labels.tsv"), &labels)?;
+    Ok(())
+}
+
+/// Read an archive tree back into the pieces `Study::from_text` needs.
+pub fn read_archives(dir: &Path) -> Result<(StudyConfig, Vec<Peer>, TextArchives), CliError> {
+    // Manifest.
+    let manifest = read(&dir.join("manifest.tsv"))?;
+    let mut window: Option<DateRange> = None;
+    let mut peers: Vec<Peer> = Vec::new();
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields[0] {
+            "window" if fields.len() == 3 => {
+                let start: Date = fields[1].parse()?;
+                let end: Date = fields[2].parse()?;
+                window = Some(DateRange::inclusive(start, end));
+            }
+            "peer" if fields.len() == 4 => {
+                let id: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad peer id in manifest: {line}")))?;
+                let asn: Asn = fields[2].parse()?;
+                peers.push(Peer::new(PeerId(id), asn, fields[3]));
+            }
+            _ => return Err(CliError::Usage(format!("bad manifest line: {line}"))),
+        }
+    }
+    let window = window.ok_or_else(|| CliError::Usage("manifest has no window line".to_owned()))?;
+
+    let mut config = StudyConfig::new(window);
+    config.manual_labels = read_labels(&dir.join("labels/manual_labels.tsv"))?;
+
+    // Dated subdirectories, sorted by name (= chronological).
+    let rir_snapshots = read_rir_tree(&dir.join("rir"))?;
+    let drop_snapshots = read_drop_tree(&dir.join("drop"))?;
+
+    let text = TextArchives {
+        bgp_updates: read(&dir.join("bgp/updates.txt"))?,
+        irr_journal: read(&dir.join("irr/journal.txt"))?,
+        roa_events: read(&dir.join("rpki/roas.csv"))?,
+        rir_snapshots,
+        drop_snapshots,
+        sbl_records: read(&dir.join("sbl/records.txt"))?,
+    };
+    Ok((config, peers, text))
+}
+
+fn read_labels(path: &Path) -> Result<BTreeMap<SblId, Vec<Category>>, CliError> {
+    let mut out = BTreeMap::new();
+    if !path.exists() {
+        return Ok(out); // labels are optional analyst input
+    }
+    for line in read(path)?.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (id_s, cats_s) = line
+            .split_once('\t')
+            .ok_or_else(|| CliError::Usage(format!("bad label line: {line}")))?;
+        let id: SblId = id_s.parse()?;
+        let mut cats = Vec::new();
+        for code in cats_s.split(',') {
+            cats.push(code.trim().parse::<Category>()?);
+        }
+        out.insert(id, cats);
+    }
+    Ok(out)
+}
+
+fn sorted_entries(dir: &Path) -> Result<Vec<PathBuf>, CliError> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| CliError::Io(dir.display().to_string(), e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+fn read_rir_tree(dir: &Path) -> Result<Vec<(Date, Vec<String>)>, CliError> {
+    let mut out = Vec::new();
+    for datedir in sorted_entries(dir)? {
+        let name = datedir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let date = Date::parse_compact(&name)?;
+        let mut files = Vec::with_capacity(5);
+        for rir in Rir::ALL {
+            let path = datedir.join(format!("delegated-{}-extended.txt", rir.token()));
+            files.push(read(&path)?);
+        }
+        out.push((date, files));
+    }
+    Ok(out)
+}
+
+fn read_drop_tree(dir: &Path) -> Result<Vec<(Date, String)>, CliError> {
+    let mut out = Vec::new();
+    for file in sorted_entries(dir)? {
+        let name = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let Some(stem) = name.strip_suffix(".txt") else {
+            continue;
+        };
+        let date: Date = stem.parse()?;
+        out.push((date, read(&file)?));
+    }
+    Ok(out)
+}

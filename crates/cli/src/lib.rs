@@ -1,0 +1,66 @@
+//! The `droplens` command-line tool.
+//!
+//! Four subcommands, all built on the workspace libraries:
+//!
+//! * `generate` — write a synthetic world to an archive directory tree,
+//!   in the wire formats the real feeds use;
+//! * `analyze` — load an archive tree and run the paper's experiments;
+//! * `classify` — run the Appendix-A classifier over SBL record text;
+//! * `validate` — RFC 6811 route origin validation against a ROA journal.
+//!
+//! The command implementations return their output as `String` so the
+//! integration tests can drive them without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod layout;
+
+use std::fmt;
+
+/// CLI-level error: IO, parse failures, or usage problems.
+#[derive(Debug)]
+pub enum CliError {
+    /// Filesystem failure, with the path involved.
+    Io(String, std::io::Error),
+    /// Archive or argument parse failure.
+    Parse(droplens_net::ParseError),
+    /// Bad usage (unknown flag, missing argument, ...).
+    Usage(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(path, e) => write!(f, "{path}: {e}"),
+            CliError::Parse(e) => write!(f, "{e}"),
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<droplens_net::ParseError> for CliError {
+    fn from(e: droplens_net::ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+droplens — Stop, DROP, and ROA reproduction toolkit
+
+USAGE:
+    droplens generate --out DIR [--seed N] [--scale small|paper]
+    droplens analyze --dir DIR [--experiment NAME]
+    droplens scorecard --dir DIR
+    droplens classify [FILE]            (stdin when no file)
+    droplens validate --roas FILE --date YYYY-MM-DD [--all-tals] PREFIX ASN
+    droplens help
+
+EXPERIMENTS:
+    all (default), summary, fig1..fig7, table1, table2, sec4, sec5, sec6,
+    ext_maxlen, ext_profiles, ext_rov
+";

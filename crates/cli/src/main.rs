@@ -1,0 +1,132 @@
+//! `droplens` binary entry point: flag parsing and dispatch.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use droplens_cli::{commands, CliError, USAGE};
+use droplens_net::{Asn, Date, Ipv4Prefix};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("droplens: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("generate") => {
+            let mut out: Option<PathBuf> = None;
+            let mut seed = 42u64;
+            let mut scale = "small".to_owned();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--out" => {
+                        out = Some(PathBuf::from(value(&rest, &mut i)?));
+                    }
+                    "--seed" => {
+                        seed = value(&rest, &mut i)?
+                            .parse()
+                            .map_err(|_| CliError::Usage("--seed wants a u64".into()))?;
+                    }
+                    "--scale" => scale = value(&rest, &mut i)?.to_owned(),
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            let out = out.ok_or_else(|| CliError::Usage("generate needs --out DIR".into()))?;
+            commands::generate(&out, seed, &scale).map(|s| s + "\n")
+        }
+        Some("analyze") => {
+            let mut dir: Option<PathBuf> = None;
+            let mut experiment = "all".to_owned();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--dir" => dir = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    "--experiment" => experiment = value(&rest, &mut i)?.to_owned(),
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            let dir = dir.ok_or_else(|| CliError::Usage("analyze needs --dir DIR".into()))?;
+            commands::analyze(&dir, &experiment)
+        }
+        Some("scorecard") => {
+            let mut dir: Option<PathBuf> = None;
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--dir" => dir = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            let dir = dir.ok_or_else(|| CliError::Usage("scorecard needs --dir DIR".into()))?;
+            commands::scorecard(&dir)
+        }
+        Some("classify") => {
+            let text = match it.next() {
+                Some(path) => {
+                    std::fs::read_to_string(path).map_err(|e| CliError::Io(path.to_owned(), e))?
+                }
+                None => {
+                    use std::io::Read as _;
+                    let mut buf = String::new();
+                    std::io::stdin()
+                        .read_to_string(&mut buf)
+                        .map_err(|e| CliError::Io("<stdin>".into(), e))?;
+                    buf
+                }
+            };
+            Ok(commands::classify_text(&text))
+        }
+        Some("validate") => {
+            let mut roas: Option<PathBuf> = None;
+            let mut date: Option<Date> = None;
+            let mut all_tals = false;
+            let mut positional: Vec<&str> = Vec::new();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--roas" => roas = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    "--date" => date = Some(value(&rest, &mut i)?.parse()?),
+                    "--all-tals" => all_tals = true,
+                    other => positional.push(other),
+                }
+                i += 1;
+            }
+            let roas = roas.ok_or_else(|| CliError::Usage("validate needs --roas FILE".into()))?;
+            let date = date.ok_or_else(|| CliError::Usage("validate needs --date".into()))?;
+            let [prefix, asn] = positional.as_slice() else {
+                return Err(CliError::Usage("validate needs PREFIX and ASN".into()));
+            };
+            let prefix: Ipv4Prefix = prefix.parse()?;
+            let asn: Asn = asn.parse()?;
+            commands::validate(&roas, date, prefix, asn, all_tals)
+        }
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn value<'a>(rest: &[&'a str], i: &mut usize) -> Result<&'a str, CliError> {
+    *i += 1;
+    rest.get(*i)
+        .copied()
+        .ok_or_else(|| CliError::Usage(format!("{} needs a value", rest[*i - 1])))
+}

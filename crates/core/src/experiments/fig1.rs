@@ -1,0 +1,221 @@
+//! Figure 1: classification of DROP entries by prefixes and address
+//! space.
+//!
+//! The figure's two bar groups: per category, how many prefixes carried
+//! the label (split into "exclusively this label" and "this label plus
+//! others"), and how much address space those prefixes covered — with the
+//! AFRINIC-incident share of the hijack bars hatched out.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use droplens_drop::Category;
+use droplens_net::{AddressSpace, PrefixSet};
+
+use crate::report::{pct, TextTable};
+use crate::Study;
+
+/// One category's bar pair.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// The category.
+    pub category: Category,
+    /// Entries labeled with this category only.
+    pub exclusive_prefixes: usize,
+    /// Entries labeled with this category plus at least one other.
+    pub additional_prefixes: usize,
+    /// Address space covered by all entries with this label.
+    pub space: AddressSpace,
+    /// Of that, space attributed to the AFRINIC incidents.
+    pub incident_space: AddressSpace,
+    /// Prefix count attributed to the AFRINIC incidents.
+    pub incident_prefixes: usize,
+}
+
+impl Fig1Row {
+    /// Total labeled prefixes.
+    pub fn total_prefixes(&self) -> usize {
+        self.exclusive_prefixes + self.additional_prefixes
+    }
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// One row per category, in the figure's order.
+    pub rows: Vec<Fig1Row>,
+    /// Unique prefixes listed during the study.
+    pub total_prefixes: usize,
+    /// Total address space across all entries (each address once).
+    pub total_space: AddressSpace,
+    /// Share of the DROP address space attributed to the AFRINIC
+    /// incidents (paper: 48.8%).
+    pub incident_space_fraction: f64,
+    /// Share of the prefix count attributed to the incidents (paper:
+    /// 6.3%).
+    pub incident_prefix_fraction: f64,
+}
+
+/// Compute Figure 1.
+pub fn compute(study: &Study) -> Fig1 {
+    let mut rows: BTreeMap<Category, Fig1Row> = Category::ALL
+        .into_iter()
+        .map(|c| {
+            (
+                c,
+                Fig1Row {
+                    category: c,
+                    exclusive_prefixes: 0,
+                    additional_prefixes: 0,
+                    space: AddressSpace::ZERO,
+                    incident_space: AddressSpace::ZERO,
+                    incident_prefixes: 0,
+                },
+            )
+        })
+        .collect();
+
+    let mut incident_space = AddressSpace::ZERO;
+    let mut incident_prefixes = 0usize;
+    for entry in &study.entries {
+        let exclusive = entry.categories.len() == 1;
+        for &cat in &entry.categories {
+            let row = rows.get_mut(&cat).expect("all categories present");
+            if exclusive {
+                row.exclusive_prefixes += 1;
+            } else {
+                row.additional_prefixes += 1;
+            }
+            row.space += entry.space();
+            if entry.afrinic_incident {
+                row.incident_space += entry.space();
+                row.incident_prefixes += 1;
+            }
+        }
+        if entry.afrinic_incident {
+            incident_space += entry.space();
+            incident_prefixes += 1;
+        }
+    }
+
+    let total_space = study.total_listed_space();
+    let total_prefixes = study.entries.len();
+    // A union set for the incident share keeps double counting out even
+    // if incident prefixes nested.
+    let incident_set: PrefixSet = study
+        .entries
+        .iter()
+        .filter(|e| e.afrinic_incident)
+        .map(|e| e.prefix())
+        .collect();
+    let incident_space = incident_set.space().min(incident_space);
+
+    Fig1 {
+        rows: Category::ALL
+            .into_iter()
+            .map(|c| rows.remove(&c).expect("present"))
+            .collect(),
+        total_prefixes,
+        total_space,
+        incident_space_fraction: incident_space.fraction_of(total_space),
+        incident_prefix_fraction: if total_prefixes == 0 {
+            0.0
+        } else {
+            incident_prefixes as f64 / total_prefixes as f64
+        },
+    }
+}
+
+impl fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 1: {} prefixes, {} listed space; AFRINIC incidents = {} of prefixes, {} of space",
+            self.total_prefixes,
+            self.total_space,
+            pct(self.incident_prefix_fraction),
+            pct(self.incident_space_fraction),
+        )?;
+        let mut t = TextTable::new(vec![
+            "Category",
+            "Exclusive",
+            "Additional",
+            "Space (/8s)",
+            "Space share",
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.category.name().to_owned(),
+                row.exclusive_prefixes.to_string(),
+                row.additional_prefixes.to_string(),
+                format!("{:.3}", row.space.slash8_equivalents()),
+                pct(row.space.fraction_of(self.total_space)),
+            ]);
+        }
+        f.write_str(&t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+    use droplens_synth::WorldConfig;
+
+    #[test]
+    fn category_counts_match_mix() {
+        let fig = compute(testutil::study());
+        let mix = WorldConfig::small().mix;
+        let by_cat: BTreeMap<Category, &Fig1Row> =
+            fig.rows.iter().map(|r| (r.category, r)).collect();
+        assert_eq!(
+            by_cat[&Category::Hijacked].total_prefixes(),
+            mix.hj_forged_irr
+                + mix.hj_labeled_no_irr
+                + mix.hj_afrinic_incident
+                + mix.hj_unlabeled
+                + mix.ss_plus_hj
+        );
+        assert_eq!(
+            by_cat[&Category::SnowshoeSpam].total_prefixes(),
+            mix.ss_exclusive + mix.ss_plus_hj + mix.ss_plus_ks
+        );
+        assert_eq!(
+            by_cat[&Category::SnowshoeSpam].additional_prefixes,
+            mix.ss_plus_hj + mix.ss_plus_ks
+        );
+        assert_eq!(by_cat[&Category::NoSblRecord].total_prefixes(), mix.nr);
+        assert_eq!(by_cat[&Category::NoSblRecord].additional_prefixes, 0);
+        assert_eq!(by_cat[&Category::Unallocated].total_prefixes(), mix.ua);
+        assert_eq!(fig.total_prefixes, mix.total());
+    }
+
+    #[test]
+    fn incident_space_dominates_like_the_paper() {
+        // Few prefixes, huge share of space (paper: 6.3% / 48.8%).
+        let fig = compute(testutil::study());
+        assert!(
+            fig.incident_prefix_fraction < 0.15,
+            "{}",
+            fig.incident_prefix_fraction
+        );
+        assert!(
+            fig.incident_space_fraction > 0.30,
+            "{}",
+            fig.incident_space_fraction
+        );
+        // Hijack space share dwarfs snowshoe's despite fewer prefixes.
+        let by_cat: BTreeMap<Category, &Fig1Row> =
+            fig.rows.iter().map(|r| (r.category, r)).collect();
+        assert!(by_cat[&Category::Hijacked].space > by_cat[&Category::SnowshoeSpam].space);
+    }
+
+    #[test]
+    fn renders_every_category() {
+        let fig = compute(testutil::study());
+        let text = fig.to_string();
+        for c in Category::ALL {
+            assert!(text.contains(c.name()), "{} missing:\n{text}", c.name());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 3: lead time from forged-IRR-object creation to BGP and DROP
+//! appearance.
+//!
+//! For every hijack whose route object origin matches the labeled
+//! hijacker ASN, the days between the object's creation and (a) the
+//! prefix's first BGP announcement, (b) its DROP listing. The paper: all
+//! but 2 prefixes appeared in BGP less than a week after the IRR record;
+//! the 2 outliers had been announced over a year *before* the record.
+
+use std::fmt;
+
+use droplens_net::Ipv4Prefix;
+
+use crate::report::pct;
+use crate::Study;
+
+/// One matched prefix's lead times.
+#[derive(Debug, Clone, Copy)]
+pub struct LeadTime {
+    /// The prefix.
+    pub prefix: Ipv4Prefix,
+    /// Days from IRR creation to first BGP announcement (negative when
+    /// the prefix was announced before the record existed).
+    pub to_bgp: i32,
+    /// Days from IRR creation to DROP listing.
+    pub to_drop: i32,
+}
+
+/// The computed figure.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// One row per forged-IRR prefix, sorted by `to_bgp`.
+    pub rows: Vec<LeadTime>,
+}
+
+impl Fig3 {
+    /// Prefixes announced in BGP within `days` of IRR creation (among
+    /// those announced after the record; the CDF body).
+    pub fn bgp_within(&self, days: i32) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.to_bgp >= 0 && r.to_bgp <= days)
+            .count()
+    }
+
+    /// Prefixes announced long before the record existed (the outliers).
+    pub fn announced_before_record(&self) -> usize {
+        self.rows.iter().filter(|r| r.to_bgp < 0).count()
+    }
+}
+
+/// Compute Figure 3.
+pub fn compute(study: &Study) -> Fig3 {
+    let mut rows = Vec::new();
+    for e in study.without_incidents() {
+        let Some(asn) = e.hijacker_asn() else {
+            continue;
+        };
+        // The earliest object generation matching the hijacker ASN.
+        let Some(object) = study
+            .irr
+            .for_prefix_or_more_specific(&e.prefix())
+            .into_iter()
+            .filter(|o| o.object.origin == asn)
+            .min_by_key(|o| o.created)
+        else {
+            continue;
+        };
+        let Some(first_bgp) = study.bgp.first_announced(&e.prefix()) else {
+            continue;
+        };
+        rows.push(LeadTime {
+            prefix: e.prefix(),
+            to_bgp: first_bgp - object.created,
+            to_drop: e.entry.added - object.created,
+        });
+    }
+    rows.sort_by_key(|r| r.to_bgp);
+    Fig3 { rows }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.rows.len();
+        writeln!(f, "Figure 3: {} prefixes with forged IRR records", n)?;
+        if n == 0 {
+            return Ok(());
+        }
+        for days in [7, 30, 100, 300] {
+            writeln!(
+                f,
+                "  in BGP within {days:>3} days of IRR creation: {} ({})",
+                self.bgp_within(days),
+                pct(self.bgp_within(days) as f64 / n as f64),
+            )?;
+        }
+        writeln!(
+            f,
+            "  announced >1yr before the IRR record: {}",
+            self.announced_before_record()
+        )?;
+        let drop_median = {
+            let mut d: Vec<i32> = self.rows.iter().map(|r| r.to_drop).collect();
+            d.sort_unstable();
+            d[d.len() / 2]
+        };
+        writeln!(
+            f,
+            "  median days from IRR creation to DROP listing: {drop_median}"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+    use droplens_synth::WorldConfig;
+
+    #[test]
+    fn covers_the_forged_population() {
+        let fig = compute(testutil::study());
+        assert_eq!(fig.rows.len(), WorldConfig::small().mix.hj_forged_irr);
+    }
+
+    #[test]
+    fn bulk_within_a_week_with_configured_outliers() {
+        let fig = compute(testutil::study());
+        let cfg = WorldConfig::small();
+        assert_eq!(fig.announced_before_record(), cfg.late_irr_outliers);
+        // Everyone else was announced within 7 days of the record.
+        assert_eq!(fig.bgp_within(7), fig.rows.len() - cfg.late_irr_outliers);
+    }
+
+    #[test]
+    fn drop_listing_follows_bgp() {
+        let fig = compute(testutil::study());
+        for r in &fig.rows {
+            if r.to_bgp >= 0 {
+                assert!(
+                    r.to_drop >= r.to_bgp,
+                    "{}: listed before announced?",
+                    r.prefix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let fig = compute(testutil::study());
+        assert!(fig.to_string().contains("IRR creation"));
+    }
+}

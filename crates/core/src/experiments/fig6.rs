@@ -1,0 +1,171 @@
+//! Figure 6: unallocated address space appearing on DROP vs the RIRs'
+//! AS0 policies.
+//!
+//! The timeline of unallocated listings (paper: 40, clustered — LACNIC 19
+//! and AFRINIC 12), with each RIR's AS0 policy implementation date, and
+//! the observation that listings continued after the policies landed
+//! (the AS0 TALs are advisory and unconfigured by default).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use droplens_drop::Category;
+use droplens_net::{Date, Ipv4Prefix};
+use droplens_rir::Rir;
+
+use crate::Study;
+
+/// One unallocated listing event.
+#[derive(Debug, Clone, Copy)]
+pub struct UaEvent {
+    /// Listing day.
+    pub date: Date,
+    /// The squatted prefix.
+    pub prefix: Ipv4Prefix,
+    /// The RIR whose pool the space belongs to.
+    pub rir: Option<Rir>,
+    /// Whether the managing RIR had an AS0 policy in force on the
+    /// listing day.
+    pub after_as0_policy: bool,
+}
+
+/// The computed figure.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// All unallocated listings, chronological.
+    pub events: Vec<UaEvent>,
+    /// Listings per RIR.
+    pub per_rir: BTreeMap<Rir, usize>,
+    /// Listings per RIR that happened *after* that RIR's AS0 policy.
+    pub after_policy_per_rir: BTreeMap<Rir, usize>,
+}
+
+impl Fig6 {
+    /// Total unallocated listings (paper: 40).
+    pub fn total(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// Compute Figure 6.
+pub fn compute(study: &Study) -> Fig6 {
+    let mut events = Vec::new();
+    let mut per_rir: BTreeMap<Rir, usize> = BTreeMap::new();
+    let mut after: BTreeMap<Rir, usize> = BTreeMap::new();
+    for e in study.with_category(Category::Unallocated) {
+        let date = e.entry.added;
+        let rir = e.rir;
+        let after_as0_policy = rir
+            .and_then(|r| r.as0_policy_date())
+            .is_some_and(|policy| date >= policy);
+        events.push(UaEvent {
+            date,
+            prefix: e.prefix(),
+            rir,
+            after_as0_policy,
+        });
+        if let Some(r) = rir {
+            *per_rir.entry(r).or_insert(0) += 1;
+            if after_as0_policy {
+                *after.entry(r).or_insert(0) += 1;
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.date, e.prefix));
+    Fig6 {
+        events,
+        per_rir,
+        after_policy_per_rir: after,
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 6: {} unallocated prefixes appeared on DROP",
+            self.total()
+        )?;
+        for rir in Rir::ALL {
+            let n = self.per_rir.get(&rir).copied().unwrap_or(0);
+            let after = self.after_policy_per_rir.get(&rir).copied().unwrap_or(0);
+            let policy = rir
+                .as0_policy_date()
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "none".to_owned());
+            writeln!(
+                f,
+                "  {:<9} {n:>3} listings (AS0 policy: {policy}; {after} after policy)",
+                rir.display_name()
+            )?;
+        }
+        for e in &self.events {
+            writeln!(
+                f,
+                "  {}  {:<18} {}{}",
+                e.date,
+                e.prefix.to_string(),
+                e.rir.map(|r| r.display_name()).unwrap_or("?"),
+                if e.after_as0_policy {
+                    "  [after AS0 policy]"
+                } else {
+                    ""
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+    use droplens_synth::WorldConfig;
+
+    #[test]
+    fn totals_and_clusters_match_config() {
+        let fig = compute(testutil::study());
+        let cfg = WorldConfig::small();
+        assert_eq!(fig.total(), cfg.mix.ua);
+        for (i, rir) in Rir::ALL.into_iter().enumerate() {
+            assert_eq!(
+                fig.per_rir.get(&rir).copied().unwrap_or(0),
+                cfg.ua_per_rir[i],
+                "{rir}"
+            );
+        }
+    }
+
+    #[test]
+    fn listings_continue_after_as0_policies() {
+        let fig = compute(testutil::study());
+        // LACNIC's second cluster postdates its 2021-06-23 policy.
+        assert!(
+            fig.after_policy_per_rir
+                .get(&Rir::Lacnic)
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "{:?}",
+            fig.after_policy_per_rir
+        );
+        // RIRs without a policy never count "after policy".
+        assert_eq!(fig.after_policy_per_rir.get(&Rir::Arin), None);
+        assert_eq!(fig.after_policy_per_rir.get(&Rir::RipeNcc), None);
+    }
+
+    #[test]
+    fn events_are_chronological() {
+        let fig = compute(testutil::study());
+        assert!(fig.events.windows(2).all(|p| p[0].date <= p[1].date));
+    }
+
+    #[test]
+    fn renders() {
+        let fig = compute(testutil::study());
+        let s = fig.to_string();
+        assert!(s.contains("unallocated prefixes appeared on DROP"));
+        assert!(s.contains("2021-06-23")); // LACNIC policy date
+    }
+}

@@ -1,0 +1,213 @@
+//! Figure 7: unallocated address space remaining in each RIR's free
+//! pool, over time.
+//!
+//! The paper plots each RIR's `available` space from the daily stats
+//! files: AFRINIC and ARIN hold the most unallocated space not covered by
+//! an AS0 ROA; LACNIC's pool nearly exhausts during the study.
+
+use std::fmt;
+
+use droplens_net::{AddressSpace, Date, PrefixSet};
+use droplens_rir::Rir;
+use droplens_rpki::Tal;
+
+use crate::report::{render_series_csv, Series};
+use crate::Study;
+
+/// The computed figure: per-RIR free-pool series sampled at the stats
+/// snapshots inside the study window, plus the figure's annotation — how
+/// much of each final pool an AS0 ROA covers (only APNIC and LACNIC
+/// published AS0 TALs, so "unallocated space not covered by an AS0 ROA"
+/// is dominated by AFRINIC and ARIN).
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Sample dates.
+    pub dates: Vec<Date>,
+    /// Pool sizes per RIR, aligned with `dates`, in RIR order.
+    pub pools: Vec<(Rir, Vec<AddressSpace>)>,
+    /// At the final sample: per RIR, `(pool space covered by an AS0 ROA,
+    /// pool space uncovered)`.
+    pub as0_coverage: Vec<(Rir, AddressSpace, AddressSpace)>,
+}
+
+impl Fig7 {
+    /// Final pool size for one RIR.
+    pub fn final_pool(&self, rir: Rir) -> AddressSpace {
+        self.pools
+            .iter()
+            .find(|(r, _)| *r == rir)
+            .and_then(|(_, v)| v.last().copied())
+            .unwrap_or(AddressSpace::ZERO)
+    }
+
+    /// Initial pool size for one RIR.
+    pub fn initial_pool(&self, rir: Rir) -> AddressSpace {
+        self.pools
+            .iter()
+            .find(|(r, _)| *r == rir)
+            .and_then(|(_, v)| v.first().copied())
+            .unwrap_or(AddressSpace::ZERO)
+    }
+}
+
+/// Compute Figure 7.
+pub fn compute(study: &Study) -> Fig7 {
+    let dates: Vec<Date> = study
+        .rir
+        .snapshot_dates()
+        .into_iter()
+        .filter(|d| study.config.window.contains(*d))
+        .collect();
+    let pools: Vec<(Rir, Vec<AddressSpace>)> = Rir::ALL
+        .into_iter()
+        .map(|rir| {
+            let series = dates.iter().map(|&d| study.rir.free_pool(rir, d)).collect();
+            (rir, series)
+        })
+        .collect();
+
+    // AS0 coverage of each final free pool: walk the AS0-TAL ROAs active
+    // at the end and intersect them with the pool's `available` rows.
+    let mut as0_coverage = Vec::new();
+    if let Some(&end) = dates.last() {
+        let mut as0_space = PrefixSet::new();
+        for rec in study.roa.active_on(end, &[Tal::ApnicAs0, Tal::LacnicAs0]) {
+            as0_space.insert(rec.roa.prefix);
+        }
+        for rir in Rir::ALL {
+            // Intersect each AS0-TAL ROA with this RIR's still-available
+            // space: a ROA prefix counts only while the registry shows it
+            // undelegated (later allocations eat into the covered set).
+            let mut covered = AddressSpace::ZERO;
+            for p in as0_space.iter() {
+                if study.rir.rir_managing(&p, end) == Some(rir)
+                    && !study.rir.is_allocated(&p, end)
+                {
+                    covered += AddressSpace::of_prefix(&p);
+                }
+            }
+            let pool = study.rir.free_pool(rir, end);
+            as0_coverage.push((rir, covered, pool.saturating_sub(covered)));
+        }
+    }
+    Fig7 {
+        dates,
+        pools,
+        as0_coverage,
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 7: unallocated addresses per RIR free pool")?;
+        let series: Vec<Series> = self
+            .pools
+            .iter()
+            .map(|(rir, values)| {
+                let mut s = Series::new(rir.token());
+                for (d, v) in self.dates.iter().zip(values) {
+                    s.push(d, v.addresses() as f64);
+                }
+                s
+            })
+            .collect();
+        f.write_str(&render_series_csv("date", &series))?;
+        for (rir, _) in &self.pools {
+            writeln!(
+                f,
+                "  {:<9} {} -> {} addresses",
+                rir.display_name(),
+                self.initial_pool(*rir).addresses(),
+                self.final_pool(*rir).addresses(),
+            )?;
+        }
+        writeln!(f, "AS0 coverage of the final pools:")?;
+        for (rir, covered, uncovered) in &self.as0_coverage {
+            writeln!(
+                f,
+                "  {:<9} covered {} / uncovered {} addresses",
+                rir.display_name(),
+                covered.addresses(),
+                uncovered.addresses(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+
+    #[test]
+    fn pools_decline_monotonically_modulo_deallocations() {
+        let fig = compute(testutil::study());
+        for (rir, series) in &fig.pools {
+            // Deallocated blocks can return to the pool, so allow small
+            // upticks; the trend must be downward.
+            assert!(
+                fig.final_pool(*rir) <= fig.initial_pool(*rir),
+                "{rir}: pool grew overall"
+            );
+            assert!(!series.is_empty());
+        }
+    }
+
+    #[test]
+    fn afrinic_has_largest_pool_and_lacnic_drains_most() {
+        let fig = compute(testutil::study());
+        let afrinic_end = fig.final_pool(Rir::Afrinic);
+        for rir in [Rir::Apnic, Rir::Arin, Rir::Lacnic, Rir::RipeNcc] {
+            assert!(afrinic_end >= fig.final_pool(rir), "{rir}");
+        }
+        let lacnic_drain = fig
+            .initial_pool(Rir::Lacnic)
+            .saturating_sub(fig.final_pool(Rir::Lacnic));
+        let arin_drain = fig
+            .initial_pool(Rir::Arin)
+            .saturating_sub(fig.final_pool(Rir::Arin));
+        assert!(lacnic_drain > arin_drain);
+    }
+
+    #[test]
+    fn sample_dates_stay_inside_window() {
+        let fig = compute(testutil::study());
+        let w = testutil::study().config.window;
+        assert!(fig.dates.iter().all(|d| w.contains(*d)));
+        assert!(fig.dates.len() >= 30, "{}", fig.dates.len());
+    }
+
+    #[test]
+    fn as0_coverage_only_where_policies_exist() {
+        let fig = compute(testutil::study());
+        for (rir, covered, uncovered) in &fig.as0_coverage {
+            match rir {
+                Rir::Apnic | Rir::Lacnic => {
+                    // Policy RIRs: the bulk of the pool is covered (later
+                    // allocations ate into covered space, so not all).
+                    assert!(!covered.is_zero(), "{rir}: no AS0 coverage");
+                }
+                _ => {
+                    assert!(covered.is_zero(), "{rir}: AS0 ROAs without a policy");
+                    assert!(!uncovered.is_zero());
+                }
+            }
+        }
+        // The caption's point: the largest uncovered pools are AFRINIC
+        // and ARIN.
+        let mut by_uncovered = fig.as0_coverage.clone();
+        by_uncovered.sort_by_key(|&(_, _, u)| std::cmp::Reverse(u));
+        let top2: Vec<Rir> = by_uncovered.iter().take(2).map(|&(r, _, _)| r).collect();
+        assert!(top2.contains(&Rir::Afrinic), "{top2:?}");
+        assert!(top2.contains(&Rir::Arin), "{top2:?}");
+    }
+
+    #[test]
+    fn renders_csv_with_all_rirs() {
+        let fig = compute(testutil::study());
+        let s = fig.to_string();
+        assert!(s.contains("afrinic"));
+        assert!(s.contains("ripencc"));
+    }
+}

@@ -1,0 +1,44 @@
+//! One module per paper artifact. Every module exposes a
+//! `compute(&Study) -> …Result` function returning a typed result that
+//! implements `Display`, rendering the same rows/series the paper
+//! reports.
+
+pub mod ext_maxlen;
+pub mod ext_profiles;
+pub mod ext_rov;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod sec4;
+pub mod sec5;
+pub mod sec6;
+pub mod summary;
+pub mod table1;
+pub mod table2;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::OnceLock;
+
+    use droplens_synth::{World, WorldConfig};
+
+    use crate::Study;
+
+    /// The shared small-world study used by every experiment test. Built
+    /// once: world generation plus index construction dominates test
+    /// runtime otherwise.
+    pub(crate) fn study() -> &'static Study {
+        static STUDY: OnceLock<Study> = OnceLock::new();
+        STUDY.get_or_init(|| Study::from_world(world()))
+    }
+
+    /// The world behind [`study`], for ground-truth comparisons.
+    pub(crate) fn world() -> &'static World {
+        static WORLD: OnceLock<World> = OnceLock::new();
+        WORLD.get_or_init(|| World::generate(42, &WorldConfig::small()))
+    }
+}

@@ -1,0 +1,138 @@
+//! Study overview: the §3 "Data Sets" summary — what was loaded, how the
+//! listings break down, and the archive footprint. The first thing to
+//! print when pointing the pipeline at a new archive tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use droplens_drop::Category;
+use droplens_net::AddressSpace;
+use droplens_rir::Rir;
+
+use crate::report::TextTable;
+use crate::Study;
+
+/// The computed overview.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// First study day.
+    pub window_start: droplens_net::Date,
+    /// Last study day.
+    pub window_end: droplens_net::Date,
+    /// Listing episodes.
+    pub listings: usize,
+    /// Unique listed prefixes.
+    pub unique_prefixes: usize,
+    /// Listings with surviving SBL records.
+    pub with_records: usize,
+    /// Total listed space (each address once).
+    pub listed_space: AddressSpace,
+    /// Listings per category.
+    pub per_category: BTreeMap<Category, usize>,
+    /// Listings per managing RIR.
+    pub per_rir: BTreeMap<Rir, usize>,
+    /// Collector peers loaded.
+    pub peers: usize,
+    /// Prefixes ever observed in BGP.
+    pub bgp_prefixes: usize,
+    /// Route-object generations in the IRR.
+    pub irr_objects: usize,
+    /// ROA generations in the archive.
+    pub roas: usize,
+    /// RIR stats snapshots loaded.
+    pub rir_snapshots: usize,
+}
+
+/// Compute the overview.
+pub fn compute(study: &Study) -> Summary {
+    let mut per_category = BTreeMap::new();
+    let mut per_rir = BTreeMap::new();
+    for e in &study.entries {
+        for &c in &e.categories {
+            *per_category.entry(c).or_insert(0) += 1;
+        }
+        if let Some(r) = e.rir {
+            *per_rir.entry(r).or_insert(0) += 1;
+        }
+    }
+    Summary {
+        window_start: study.config.window.start(),
+        window_end: study.config.window.last().expect("non-empty window"),
+        listings: study.entries.len(),
+        unique_prefixes: study.drop.unique_prefixes().len(),
+        with_records: study
+            .entries
+            .iter()
+            .filter(|e| !e.has(Category::NoSblRecord))
+            .count(),
+        listed_space: study.total_listed_space(),
+        per_category,
+        per_rir,
+        peers: study.peers.len(),
+        bgp_prefixes: study.bgp.prefixes().count(),
+        irr_objects: study.irr.all().len(),
+        roas: study.roa.all().len(),
+        rir_snapshots: study.rir.snapshot_dates().len(),
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Study {} .. {}: {} listings ({} unique prefixes, {} with SBL records, {})",
+            self.window_start,
+            self.window_end,
+            self.listings,
+            self.unique_prefixes,
+            self.with_records,
+            self.listed_space,
+        )?;
+        writeln!(
+            f,
+            "Archives: {} peers, {} BGP prefixes, {} IRR objects, {} ROAs, {} stats snapshots",
+            self.peers, self.bgp_prefixes, self.irr_objects, self.roas, self.rir_snapshots,
+        )?;
+        let mut t = TextTable::new(vec!["Category", "Listings"]);
+        for (c, n) in &self.per_category {
+            t.row(vec![c.name().to_owned(), n.to_string()]);
+        }
+        f.write_str(&t.render())?;
+        let mut t = TextTable::new(vec!["Registry", "Listings"]);
+        for (r, n) in &self.per_rir {
+            t.row(vec![r.display_name().to_owned(), n.to_string()]);
+        }
+        f.write_str(&t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+    use droplens_synth::WorldConfig;
+
+    #[test]
+    fn counts_are_consistent() {
+        let s = compute(testutil::study());
+        let cfg = WorldConfig::small();
+        assert_eq!(s.listings, cfg.mix.total());
+        assert_eq!(s.unique_prefixes, cfg.mix.total());
+        assert_eq!(s.with_records, cfg.mix.with_record());
+        assert_eq!(s.peers, cfg.peer_count);
+        assert_eq!(s.per_category[&Category::NoSblRecord], cfg.mix.nr);
+        assert!(s.bgp_prefixes > s.listings);
+        assert!(s.roas > 0);
+        assert!(s.irr_objects > 0);
+        let rir_total: usize = s.per_rir.values().sum();
+        assert_eq!(rir_total, s.listings, "every listing resolves a registry");
+    }
+
+    #[test]
+    fn renders() {
+        let s = compute(testutil::study());
+        let text = s.to_string();
+        assert!(text.contains("Study 2019-06-05 .. 2022-03-30"));
+        assert!(text.contains("Registry"));
+    }
+}

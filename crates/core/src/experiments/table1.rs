@@ -1,0 +1,327 @@
+//! Table 1: RPKI signing rate of prefixes that had no ROA, by region and
+//! DROP status.
+//!
+//! Three populations per RIR, all restricted to prefixes without a
+//! covering ROA at their reference date:
+//!
+//! * **Never on DROP** — BGP-announced prefixes never listed (reference
+//!   date: study start). Base RPKI adoption.
+//! * **Removed from DROP** — listings Spamhaus removed during the study
+//!   (reference: the listing date).
+//! * **Present on DROP** — listings still on the list at study end.
+//!
+//! A prefix "signed" if a covering production-TAL ROA was created between
+//! its reference date and the end of the study. §4.2's follow-on: of the
+//! removed-and-signed prefixes, how many signed with an ASN different
+//! from the BGP origin at listing time (paper: 82.3% different, 6.3%
+//! same).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use droplens_net::Date;
+use droplens_rir::Rir;
+use droplens_rpki::Tal;
+
+use crate::report::{pct, rate, TextTable};
+use crate::Study;
+
+/// `(signed, total)` counts for one cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cell {
+    /// Prefixes that gained a covering ROA in their window.
+    pub signed: usize,
+    /// Population size.
+    pub total: usize,
+}
+
+impl Cell {
+    /// The signing rate (0.0 for an empty cell).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.signed as f64 / self.total as f64
+        }
+    }
+}
+
+/// One region's row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The region.
+    pub rir: Rir,
+    /// Never-on-DROP population.
+    pub never: Cell,
+    /// Removed-from-DROP population.
+    pub removed: Cell,
+    /// Present-on-DROP population.
+    pub present: Cell,
+}
+
+/// The full table plus the §4.2 ASN-agreement statistic.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// One row per RIR, paper order.
+    pub rows: Vec<Table1Row>,
+    /// Column totals.
+    pub overall: Table1Row,
+    /// Of removed-and-signed prefixes: signed with an ASN different from
+    /// the BGP origin at listing.
+    pub removed_signed_different_asn: usize,
+    /// Of removed-and-signed prefixes: signed with the same ASN.
+    pub removed_signed_same_asn: usize,
+}
+
+impl Table1 {
+    /// Fraction of removed-and-signed prefixes signed with a different
+    /// ASN (paper: 82.3%).
+    pub fn different_asn_fraction(&self) -> f64 {
+        let total = self.removed_signed_different_asn + self.removed_signed_same_asn;
+        if total == 0 {
+            0.0
+        } else {
+            self.removed_signed_different_asn as f64 / total as f64
+        }
+    }
+}
+
+/// Compute Table 1.
+pub fn compute(study: &Study) -> Table1 {
+    let tals = &Tal::PRODUCTION;
+    let start = study.config.window.start();
+    let end = study.config.window.last().expect("non-empty window");
+
+    let mut rows: BTreeMap<Rir, Table1Row> = Rir::ALL
+        .into_iter()
+        .map(|r| {
+            (
+                r,
+                Table1Row {
+                    rir: r,
+                    never: Cell::default(),
+                    removed: Cell::default(),
+                    present: Cell::default(),
+                },
+            )
+        })
+        .collect();
+
+    // --- Never on DROP: every announced prefix that was never listed.
+    for prefix in study.bgp.prefixes() {
+        if !study.drop.for_prefix(&prefix).is_empty() {
+            continue;
+        }
+        let Some(rir) = study.rir.rir_managing(&prefix, start) else {
+            continue; // pool space (unlisted squats), outside the plan
+        };
+        if study.roa.is_signed_at(&prefix, start, tals) {
+            continue; // already had a ROA at the study start
+        }
+        let cell = &mut rows.get_mut(&rir).expect("present").never;
+        cell.total += 1;
+        if signed_between(study, &prefix, start, end) {
+            cell.signed += 1;
+        }
+    }
+
+    // --- DROP populations (incidents excluded, as everywhere).
+    let mut different = 0usize;
+    let mut same = 0usize;
+    for entry in study.without_incidents() {
+        let prefix = entry.prefix();
+        let listed = entry.entry.added;
+        let Some(rir) = entry.rir else { continue };
+        if !entry.allocated_at_listing {
+            continue; // unallocated listings have no RIR row in the table
+        }
+        if study.roa.is_signed_at(&prefix, listed, tals) {
+            continue; // had a ROA when added (the paper's exclusions)
+        }
+        let row = rows.get_mut(&rir).expect("present");
+        let signed = signed_between(study, &prefix, listed, end);
+        if entry.entry.was_removed() {
+            row.removed.total += 1;
+            if signed {
+                row.removed.signed += 1;
+                // §4.2: compare the signing ASN with the origin at listing.
+                if let Some(roa_rec) = study
+                    .roa
+                    .signings_in_window(&prefix, listed, end, tals)
+                    .into_iter()
+                    .min_by_key(|r| r.created)
+                {
+                    // The origin "at the time the prefix appeared on
+                    // DROP": the live origin that day, or — if the route
+                    // was already withdrawn — the last origin seen before
+                    // the listing.
+                    let mut origins = study.bgp.origins_at(&prefix, listed);
+                    if origins.is_empty() {
+                        if let Some((&asn, _)) = study
+                            .bgp
+                            .historic_origins_before(&prefix, listed + 1)
+                            .iter()
+                            .max_by_key(|(_, &first)| first)
+                        {
+                            origins.insert(asn);
+                        }
+                    }
+                    if origins.contains(&roa_rec.roa.asn) {
+                        same += 1;
+                    } else {
+                        different += 1;
+                    }
+                }
+            }
+        } else {
+            row.present.total += 1;
+            if signed {
+                row.present.signed += 1;
+            }
+        }
+    }
+
+    let rows: Vec<Table1Row> = Rir::ALL
+        .into_iter()
+        .map(|r| rows.remove(&r).expect("present"))
+        .collect();
+    let fold = |get: fn(&Table1Row) -> Cell| {
+        rows.iter().fold(Cell::default(), |acc, r| {
+            let c = get(r);
+            Cell {
+                signed: acc.signed + c.signed,
+                total: acc.total + c.total,
+            }
+        })
+    };
+    let overall = Table1Row {
+        rir: Rir::Arin, // placeholder; the overall row prints "Overall"
+        never: fold(|r| r.never),
+        removed: fold(|r| r.removed),
+        present: fold(|r| r.present),
+    };
+
+    Table1 {
+        rows,
+        overall,
+        removed_signed_different_asn: different,
+        removed_signed_same_asn: same,
+    }
+}
+
+/// A covering production-TAL ROA created strictly after `from`, up to
+/// `to` (the reference date itself is excluded: the population is
+/// "unsigned as of the reference date").
+fn signed_between(study: &Study, prefix: &droplens_net::Ipv4Prefix, from: Date, to: Date) -> bool {
+    !study
+        .roa
+        .signings_in_window(prefix, from + 1, to, &Tal::PRODUCTION)
+        .is_empty()
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(vec![
+            "Region",
+            "Never on DROP",
+            "Removed from DROP",
+            "Present on DROP",
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.rir.display_name().to_owned(),
+                rate(row.never.signed, row.never.total),
+                rate(row.removed.signed, row.removed.total),
+                rate(row.present.signed, row.present.total),
+            ]);
+        }
+        t.row(vec![
+            "Overall".to_owned(),
+            rate(self.overall.never.signed, self.overall.never.total),
+            rate(self.overall.removed.signed, self.overall.removed.total),
+            rate(self.overall.present.signed, self.overall.present.total),
+        ]);
+        f.write_str(&t.render())?;
+        writeln!(
+            f,
+            "Removed-and-signed: {} different ASN, {} same ASN ({} different)",
+            self.removed_signed_different_asn,
+            self.removed_signed_same_asn,
+            pct(self.different_asn_fraction()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+
+    #[test]
+    fn ordering_removed_gt_never_gt_present() {
+        let t = compute(testutil::study());
+        let removed = t.overall.removed.fraction();
+        let never = t.overall.never.fraction();
+        let present = t.overall.present.fraction();
+        assert!(
+            removed > never,
+            "removed {removed} should exceed base {never}"
+        );
+        assert!(
+            never > present,
+            "base {never} should exceed present {present}"
+        );
+    }
+
+    #[test]
+    fn populations_are_disjoint_and_sized() {
+        let t = compute(testutil::study());
+        let w = testutil::world();
+        assert!(t.overall.removed.total <= w.truth.listed.len());
+        assert!(t.overall.present.total <= w.truth.listed.len());
+        assert!(
+            t.overall.never.total > w.config.background_per_rir.iter().sum::<usize>() / 2,
+            "never population too small: {}",
+            t.overall.never.total
+        );
+    }
+
+    #[test]
+    fn asn_agreement_mostly_different() {
+        let t = compute(testutil::study());
+        let total = t.removed_signed_different_asn + t.removed_signed_same_asn;
+        assert!(total > 0, "no removed-and-signed prefixes at all");
+        assert!(
+            t.different_asn_fraction() > 0.5,
+            "{}",
+            t.different_asn_fraction()
+        );
+    }
+
+    #[test]
+    fn never_rates_track_config_base_rates() {
+        let t = compute(testutil::study());
+        let rates = testutil::world().config.base_signing_rate;
+        for (row, &expected) in t.rows.iter().zip(rates.iter()) {
+            if row.never.total < 20 {
+                continue; // too small to compare in the small world
+            }
+            let got = row.never.fraction();
+            assert!(
+                (got - expected).abs() < 0.20,
+                "{}: got {got}, expected ≈{expected}",
+                row.rir
+            );
+        }
+    }
+
+    #[test]
+    fn renders_all_regions() {
+        let t = compute(testutil::study());
+        let s = t.to_string();
+        for r in Rir::ALL {
+            assert!(s.contains(r.display_name()));
+        }
+        assert!(s.contains("Overall"));
+    }
+}

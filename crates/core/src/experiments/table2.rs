@@ -1,0 +1,197 @@
+//! Table 2 / Appendix A: the semi-automated SBL categorization.
+//!
+//! Two parts: (1) the six canonical record excerpts from Table 2 run
+//! through the keyword classifier, verifying each lands on the paper's
+//! labels; (2) the keyword-count distribution over the study's SBL
+//! records (paper: 90% one keyword, 2.7% two, 7.3% none).
+
+use std::fmt;
+
+use droplens_drop::{classify, Category};
+
+use crate::report::{pct, TextTable};
+use crate::Study;
+
+/// The six excerpts of the paper's Table 2, with their expected labels.
+pub const EXCERPTS: [(&str, &str, &[Category]); 6] = [
+    (
+        "SBL310721",
+        "AS204139 spammer hosting",
+        &[Category::MaliciousHosting],
+    ),
+    (
+        "SBL240976",
+        "hijacked IP range ... billing@ahostinginc.com",
+        &[Category::Hijacked],
+    ),
+    (
+        "SBL502548",
+        "Snowshoe IP block on Stolen AS62927 ... james.johnson@networxhosting.com",
+        &[Category::SnowshoeSpam, Category::Hijacked],
+    ),
+    (
+        "SBL322513",
+        "Register Of Known Spam Operations ... snowshoe range",
+        &[Category::KnownSpamOperation, Category::SnowshoeSpam],
+    ),
+    (
+        "SBL294939",
+        "Register Of Known Spam Operations ... illegal netblock hijacking operation",
+        &[Category::KnownSpamOperation, Category::Hijacked],
+    ),
+    (
+        "SBL325529",
+        "Department of Defense ... Spamhaus believes that this IP address range is being \
+         used or is about to be used for the purpose of high volume spam emission.",
+        &[], // no keyword: manual inference (snowshoe)
+    ),
+];
+
+/// One excerpt's classification outcome.
+#[derive(Debug, Clone)]
+pub struct ExcerptResult {
+    /// Record id from the paper.
+    pub id: &'static str,
+    /// Categories the classifier produced.
+    pub got: Vec<Category>,
+    /// The paper's labels.
+    pub expected: Vec<Category>,
+}
+
+impl ExcerptResult {
+    /// Did the classifier agree with the paper?
+    pub fn agrees(&self) -> bool {
+        self.got == self.expected
+    }
+}
+
+/// The computed table.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// The six canonical excerpts.
+    pub excerpts: Vec<ExcerptResult>,
+    /// Study records with exactly one keyword group.
+    pub one_keyword: usize,
+    /// Study records with two or more keyword groups.
+    pub two_keywords: usize,
+    /// Study records with none (the manual-inference bucket).
+    pub no_keywords: usize,
+}
+
+impl Table2 {
+    /// Total study records classified.
+    pub fn total(&self) -> usize {
+        self.one_keyword + self.two_keywords + self.no_keywords
+    }
+
+    /// The paper's 90 / 2.7 / 7.3% split, as fractions.
+    pub fn distribution(&self) -> (f64, f64, f64) {
+        let n = self.total().max(1) as f64;
+        (
+            self.one_keyword as f64 / n,
+            self.two_keywords as f64 / n,
+            self.no_keywords as f64 / n,
+        )
+    }
+}
+
+/// Compute Table 2.
+pub fn compute(study: &Study) -> Table2 {
+    let excerpts = EXCERPTS
+        .iter()
+        .map(|(id, text, expected)| {
+            let mut got: Vec<Category> = classify(text).categories.into_iter().collect();
+            got.sort();
+            let mut expected: Vec<Category> = expected.to_vec();
+            expected.sort();
+            ExcerptResult { id, got, expected }
+        })
+        .collect();
+
+    let mut one = 0;
+    let mut two = 0;
+    let mut none = 0;
+    for record in study.sbl.iter() {
+        match classify(&record.text).keyword_hits {
+            0 => none += 1,
+            1 => one += 1,
+            _ => two += 1,
+        }
+    }
+    Table2 {
+        excerpts,
+        one_keyword: one,
+        two_keywords: two,
+        no_keywords: none,
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new(vec!["Record", "Classifier", "Paper", "Agrees"]);
+        for e in &self.excerpts {
+            let fmt_cats = |cats: &[Category]| {
+                if cats.is_empty() {
+                    "(manual)".to_owned()
+                } else {
+                    cats.iter().map(|c| c.code()).collect::<Vec<_>>().join("+")
+                }
+            };
+            t.row(vec![
+                e.id.to_owned(),
+                fmt_cats(&e.got),
+                fmt_cats(&e.expected),
+                e.agrees().to_string(),
+            ]);
+        }
+        f.write_str(&t.render())?;
+        let (one, two, none) = self.distribution();
+        writeln!(
+            f,
+            "keyword distribution over {} records: one={} two={} none={}",
+            self.total(),
+            pct(one),
+            pct(two),
+            pct(none),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil;
+
+    #[test]
+    fn all_six_excerpts_agree_with_the_paper() {
+        let t = compute(testutil::study());
+        for e in &t.excerpts {
+            assert!(
+                e.agrees(),
+                "{}: got {:?}, expected {:?}",
+                e.id,
+                e.got,
+                e.expected
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_shape() {
+        let t = compute(testutil::study());
+        let (one, _two, none) = t.distribution();
+        // Paper: 90% one keyword, 7.3% none. Generous bands for the small
+        // world's sampling noise.
+        assert!(one > 0.7, "one={one}");
+        assert!(none < 0.25, "none={none}");
+        assert_eq!(t.total(), testutil::study().sbl.len());
+    }
+
+    #[test]
+    fn renders() {
+        let t = compute(testutil::study());
+        let s = t.to_string();
+        assert!(s.contains("SBL502548"));
+        assert!(s.contains("keyword distribution"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Plain-text table and series rendering for the experiment outputs.
+//!
+//! The bench harness prints each experiment in the same shape the paper
+//! reports it: fixed-width tables for Table 1/2-style results, `(x, y)`
+//! series for the figures. Keeping rendering here keeps the experiment
+//! modules purely computational.
+
+use std::fmt::Write as _;
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; it is padded or truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// A named `(x, y)` series, rendered as CSV.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Series name (CSV header for the y column).
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: impl ToString, y: f64) {
+        self.points.push((x.to_string(), y));
+    }
+
+    /// Final y value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, y)| *y)
+    }
+}
+
+/// Render aligned series (sharing x values) as a CSV block.
+pub fn render_series_csv(x_name: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{x_name}");
+    for s in series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|(x, _)| x.clone()))
+            .unwrap_or_default();
+        let _ = write!(out, "{x}");
+        for s in series {
+            match s.points.get(i) {
+                Some((_, y)) => {
+                    let _ = write!(out, ",{y:.4}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `12.5%`-style formatting with one decimal, the paper's convention.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// `x of y` counts with the percentage, e.g. `42.5% of 186`.
+pub fn rate(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        return "n/a".to_owned();
+    }
+    format!(
+        "{} of {}",
+        pct(numerator as f64 / denominator as f64),
+        denominator
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Region", "Rate"]);
+        t.row(vec!["AFRINIC", "11.8%"]);
+        t.row(vec!["RIPE NCC", "33.0%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Region    Rate");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "AFRINIC   11.8%");
+        assert_eq!(lines[3], "RIPE NCC  33.0%");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn series_csv() {
+        let mut a = Series::new("signed");
+        a.push("2020-01", 1.5);
+        a.push("2020-02", 2.0);
+        let mut b = Series::new("routed");
+        b.push("2020-01", 1.0);
+        b.push("2020-02", 1.75);
+        let csv = render_series_csv("month", &[a.clone(), b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "month,signed,routed");
+        assert_eq!(lines[1], "2020-01,1.5000,1.0000");
+        assert_eq!(lines[2], "2020-02,2.0000,1.7500");
+        assert_eq!(a.last(), Some(2.0));
+    }
+
+    #[test]
+    fn pct_and_rate() {
+        assert_eq!(pct(0.425), "42.5%");
+        assert_eq!(rate(79, 186), "42.5% of 186");
+        assert_eq!(rate(1, 0), "n/a");
+    }
+}

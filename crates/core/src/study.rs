@@ -1,0 +1,441 @@
+//! The study: all five sources loaded, indexed, and annotated.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use droplens_bgp::{format as bgpfmt, BgpArchive, Peer};
+use droplens_drop::{
+    classify, extract_asns, Category, DropEntry, DropSnapshot, DropTimeline, SblDatabase, SblId,
+};
+use droplens_irr::{journal, IrrRegistry};
+use droplens_net::{AddressSpace, Asn, Date, DateRange, Ipv4Prefix, ParseError};
+use droplens_rir::format::parse_stats_file;
+use droplens_rir::{Rir, RirStatsArchive};
+use droplens_rpki::format::parse_events;
+use droplens_rpki::RoaArchive;
+use droplens_synth::{TextArchives, World};
+
+/// Knobs of the analysis itself (not of the data): the study window and
+/// the analyst-supplied manual labels for keyword-less SBL records.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// The paper's measurement window (inclusive).
+    pub window: DateRange,
+    /// Manual labels for SBL records with no Appendix-A keyword.
+    pub manual_labels: BTreeMap<SblId, Vec<Category>>,
+    /// Days of lookback when inferring withdrawal around a listing
+    /// (Figure 2's CDF starts at −1 day).
+    pub withdrawal_lookback: i32,
+}
+
+impl StudyConfig {
+    /// The paper's window with no manual labels.
+    pub fn new(window: DateRange) -> StudyConfig {
+        StudyConfig {
+            window,
+            manual_labels: BTreeMap::new(),
+            withdrawal_lookback: 1,
+        }
+    }
+}
+
+/// One DROP listing episode, annotated with everything the correlations
+/// need: classification, labeled ASNs, allocation status, and the
+/// AFRINIC-incident flag.
+#[derive(Debug, Clone)]
+pub struct StudyEntry {
+    /// The raw listing episode.
+    pub entry: DropEntry,
+    /// Categories (keyword classification, falling back to manual labels;
+    /// `NoSblRecord` when the SBL record is gone).
+    pub categories: BTreeSet<Category>,
+    /// Appendix-A keyword groups that fired on the record.
+    pub keyword_hits: usize,
+    /// ASNs named in the SBL record ("malicious ASN" annotation).
+    pub asns: Vec<Asn>,
+    /// Managing RIR on the listing day.
+    pub rir: Option<Rir>,
+    /// Whether the stats in force on the listing day showed the prefix
+    /// delegated.
+    pub allocated_at_listing: bool,
+    /// Registry org handle on the listing day (groups the AFRINIC
+    /// incidents).
+    pub org: Option<String>,
+    /// Set for the prefixes attributed to the two AFRINIC incidents,
+    /// which the paper excludes from most analyses.
+    pub afrinic_incident: bool,
+}
+
+impl StudyEntry {
+    /// The listed prefix.
+    pub fn prefix(&self) -> Ipv4Prefix {
+        self.entry.prefix
+    }
+
+    /// Space covered by the prefix.
+    pub fn space(&self) -> AddressSpace {
+        AddressSpace::of_prefix(&self.entry.prefix)
+    }
+
+    /// True if the entry carries `cat`.
+    pub fn has(&self, cat: Category) -> bool {
+        self.categories.contains(&cat)
+    }
+
+    /// The labeled malicious ASN, when exactly the hijack annotation the
+    /// paper uses is present (classified hijacked + at least one ASN).
+    pub fn hijacker_asn(&self) -> Option<Asn> {
+        if self.has(Category::Hijacked) {
+            self.asns.first().copied()
+        } else {
+            None
+        }
+    }
+}
+
+/// All five sources, loaded and cross-indexed.
+pub struct Study {
+    /// Analysis configuration.
+    pub config: StudyConfig,
+    /// Collector peers.
+    pub peers: Vec<Peer>,
+    /// BGP observation index.
+    pub bgp: BgpArchive,
+    /// IRR registry.
+    pub irr: IrrRegistry,
+    /// ROA archive.
+    pub roa: RoaArchive,
+    /// RIR delegated-stats archive.
+    pub rir: RirStatsArchive,
+    /// DROP listing timeline.
+    pub drop: DropTimeline,
+    /// SBL record bodies.
+    pub sbl: SblDatabase,
+    /// Annotated listing episodes, in listing order.
+    pub entries: Vec<StudyEntry>,
+}
+
+impl Study {
+    /// Build a study directly from a generated world.
+    pub fn from_world(world: &World) -> Study {
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.manual_labels = world.manual_labels();
+
+        let bgp = BgpArchive::from_updates(world.peers.clone(), &world.bgp_updates);
+        let irr = IrrRegistry::from_journal(&world.irr_journal);
+        let roa = RoaArchive::from_events(&world.roa_events);
+        let mut rir = RirStatsArchive::new();
+        for (date, files) in &world.rir_snapshots {
+            rir.add_snapshot(*date, files);
+        }
+        let drop = DropTimeline::from_snapshots(&world.drop_snapshots);
+        Self::assemble(
+            config,
+            world.peers.clone(),
+            bgp,
+            irr,
+            roa,
+            rir,
+            drop,
+            world.sbl_db.clone(),
+        )
+    }
+
+    /// Build a study by parsing serialized archives — the same code path
+    /// a deployment against the real feeds would use.
+    pub fn from_text(
+        config: StudyConfig,
+        peers: Vec<Peer>,
+        text: &TextArchives,
+    ) -> Result<Study, ParseError> {
+        let updates = bgpfmt::parse_updates(&text.bgp_updates)?;
+        let bgp = BgpArchive::from_updates(peers.clone(), &updates);
+        let irr = IrrRegistry::from_journal(&journal::parse_journal(&text.irr_journal)?);
+        let roa = RoaArchive::from_events(&parse_events(&text.roa_events)?);
+        let mut rir = RirStatsArchive::new();
+        for (date, files) in &text.rir_snapshots {
+            let parsed: Result<Vec<_>, _> = files.iter().map(|f| parse_stats_file(f)).collect();
+            rir.add_snapshot(*date, &parsed?);
+        }
+        let mut snapshots = Vec::with_capacity(text.drop_snapshots.len());
+        for (date, body) in &text.drop_snapshots {
+            snapshots.push(DropSnapshot::parse(*date, body)?);
+        }
+        let drop = DropTimeline::from_snapshots(&snapshots);
+        let sbl = SblDatabase::parse(&text.sbl_records)?;
+        Ok(Self::assemble(config, peers, bgp, irr, roa, rir, drop, sbl))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        config: StudyConfig,
+        peers: Vec<Peer>,
+        bgp: BgpArchive,
+        irr: IrrRegistry,
+        roa: RoaArchive,
+        rir: RirStatsArchive,
+        drop: DropTimeline,
+        sbl: SblDatabase,
+    ) -> Study {
+        let mut entries: Vec<StudyEntry> = drop
+            .entries()
+            .iter()
+            .map(|e| annotate(e, &sbl, &rir, &config))
+            .collect();
+        mark_afrinic_incidents(&mut entries);
+        Study {
+            config,
+            peers,
+            bgp,
+            irr,
+            roa,
+            rir,
+            drop,
+            sbl,
+            entries,
+        }
+    }
+
+    /// Entries carrying `cat`.
+    pub fn with_category(&self, cat: Category) -> Vec<&StudyEntry> {
+        self.entries.iter().filter(|e| e.has(cat)).collect()
+    }
+
+    /// Entries excluding the AFRINIC incidents (the paper's default
+    /// analysis population).
+    pub fn without_incidents(&self) -> Vec<&StudyEntry> {
+        self.entries
+            .iter()
+            .filter(|e| !e.afrinic_incident)
+            .collect()
+    }
+
+    /// Total address space across listed prefixes (each address counted
+    /// once).
+    pub fn total_listed_space(&self) -> AddressSpace {
+        let set: droplens_net::PrefixSet = self.entries.iter().map(|e| e.prefix()).collect();
+        set.space()
+    }
+
+    /// One day past the end of the study window.
+    pub fn horizon(&self) -> Date {
+        self.config.window.end()
+    }
+
+    /// True when `prefix` (or anything it covers / is covered by) was
+    /// announced on `date` — the "routed" predicate used by the Figure 5
+    /// accounting.
+    pub fn routed_at(&self, prefix: &Ipv4Prefix, date: Date) -> bool {
+        if self.bgp.observed_any(prefix, date) {
+            return true;
+        }
+        self.bgp
+            .prefixes_covered_by(prefix)
+            .iter()
+            .any(|p| self.bgp.observed_any(p, date))
+    }
+}
+
+fn annotate(
+    entry: &DropEntry,
+    sbl: &SblDatabase,
+    rir: &RirStatsArchive,
+    config: &StudyConfig,
+) -> StudyEntry {
+    let mut categories = BTreeSet::new();
+    let mut keyword_hits = 0;
+    let mut asns = Vec::new();
+    match entry.sbl.and_then(|id| sbl.get(id)) {
+        Some(record) => {
+            let c = classify(&record.text);
+            keyword_hits = c.keyword_hits;
+            if c.categories.is_empty() {
+                // The semi-automated step: fall back to the analyst's
+                // manual read of the record.
+                if let Some(manual) = config.manual_labels.get(&record.id) {
+                    categories.extend(manual.iter().copied());
+                }
+            } else {
+                categories.extend(c.categories);
+            }
+            asns = extract_asns(&record.text);
+        }
+        None => {
+            categories.insert(Category::NoSblRecord);
+        }
+    }
+    let status = rir.status_of(&entry.prefix, entry.added);
+    StudyEntry {
+        entry: entry.clone(),
+        categories,
+        keyword_hits,
+        asns,
+        rir: status.as_ref().map(|s| s.rir),
+        allocated_at_listing: status.as_ref().is_some_and(|s| s.status.is_delegated()),
+        org: status.map(|s| s.opaque_id),
+        afrinic_incident: false,
+    }
+}
+
+/// The paper identified the two AFRINIC incidents from reporting; the
+/// data-driven equivalent is that incident prefixes are AFRINIC-managed
+/// hijack listings sharing a registry org with other hijack listings
+/// (ordinary hijack targets have unrelated holders).
+fn mark_afrinic_incidents(entries: &mut [StudyEntry]) {
+    let mut org_counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in entries.iter() {
+        if e.rir == Some(Rir::Afrinic) && e.has(Category::Hijacked) {
+            if let Some(org) = e.org.as_deref() {
+                *org_counts.entry(org).or_insert(0) += 1;
+            }
+        }
+    }
+    let incident_orgs: BTreeSet<String> = org_counts
+        .into_iter()
+        .filter(|(_, n)| *n >= 2)
+        .map(|(o, _)| o.to_owned())
+        .collect();
+    for e in entries.iter_mut() {
+        if e.rir == Some(Rir::Afrinic)
+            && e.has(Category::Hijacked)
+            && e.org.as_deref().is_some_and(|o| incident_orgs.contains(o))
+        {
+            e.afrinic_incident = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplens_synth::WorldConfig;
+
+    fn study() -> Study {
+        let world = World::generate(42, &WorldConfig::small());
+        Study::from_world(&world)
+    }
+
+    #[test]
+    fn entry_population_matches_world() {
+        let world = World::generate(42, &WorldConfig::small());
+        let s = Study::from_world(&world);
+        assert_eq!(s.entries.len(), world.truth.listed.len());
+    }
+
+    #[test]
+    fn nr_entries_have_no_record_category() {
+        let s = study();
+        let nr = s.with_category(Category::NoSblRecord);
+        assert_eq!(nr.len(), WorldConfig::small().mix.nr);
+        for e in nr {
+            assert_eq!(e.keyword_hits, 0);
+            assert!(e.asns.is_empty());
+        }
+    }
+
+    #[test]
+    fn classification_matches_ground_truth() {
+        let world = World::generate(42, &WorldConfig::small());
+        let s = Study::from_world(&world);
+        for e in &s.entries {
+            let truth = world.truth.for_prefix(&e.prefix()).expect("listed");
+            if !truth.has_sbl_record {
+                assert!(e.has(Category::NoSblRecord), "{}", e.prefix());
+                continue;
+            }
+            for cat in &truth.categories {
+                let expected = match cat {
+                    droplens_synth::TrueCategory::Hijacked => Category::Hijacked,
+                    droplens_synth::TrueCategory::Snowshoe => Category::SnowshoeSpam,
+                    droplens_synth::TrueCategory::KnownSpamOp => Category::KnownSpamOperation,
+                    droplens_synth::TrueCategory::MaliciousHosting => Category::MaliciousHosting,
+                    droplens_synth::TrueCategory::Unallocated => Category::Unallocated,
+                };
+                assert!(
+                    e.has(expected),
+                    "{}: missing {expected:?} (got {:?})",
+                    e.prefix(),
+                    e.categories
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unallocated_entries_show_unallocated_in_stats() {
+        let s = study();
+        for e in s.with_category(Category::Unallocated) {
+            assert!(!e.allocated_at_listing, "{} delegated?", e.prefix());
+        }
+        // And hijacked entries are allocated space.
+        for e in s.with_category(Category::Hijacked) {
+            assert!(e.allocated_at_listing, "{} not delegated?", e.prefix());
+        }
+    }
+
+    #[test]
+    fn afrinic_incidents_detected() {
+        let world = World::generate(42, &WorldConfig::small());
+        let s = Study::from_world(&world);
+        let flagged: BTreeSet<Ipv4Prefix> = s
+            .entries
+            .iter()
+            .filter(|e| e.afrinic_incident)
+            .map(|e| e.prefix())
+            .collect();
+        let truth: BTreeSet<Ipv4Prefix> = world
+            .truth
+            .listed
+            .iter()
+            .filter(|t| t.hijack_kind == Some(droplens_synth::HijackKind::AfrinicIncident))
+            .map(|t| t.prefix)
+            .collect();
+        assert_eq!(flagged, truth);
+        assert_eq!(s.without_incidents().len(), s.entries.len() - truth.len());
+    }
+
+    #[test]
+    fn from_text_equals_from_world() {
+        let world = World::generate(42, &WorldConfig::small());
+        let direct = Study::from_world(&world);
+        let text = world.to_text_archives();
+        let mut config = StudyConfig::new(direct.config.window);
+        config.manual_labels = world.manual_labels();
+        let parsed = Study::from_text(config, world.peers.clone(), &text).expect("parses");
+        assert_eq!(parsed.entries.len(), direct.entries.len());
+        for (a, b) in parsed.entries.iter().zip(&direct.entries) {
+            assert_eq!(a.prefix(), b.prefix());
+            assert_eq!(a.categories, b.categories);
+            assert_eq!(a.rir, b.rir);
+            assert_eq!(a.afrinic_incident, b.afrinic_incident);
+        }
+    }
+
+    #[test]
+    fn hijacker_asn_annotation() {
+        let world = World::generate(42, &WorldConfig::small());
+        let s = Study::from_world(&world);
+        // Forged-IRR hijacks must expose their labeled ASN.
+        for t in &world.truth.listed {
+            if t.forged_irr {
+                let e = s
+                    .entries
+                    .iter()
+                    .find(|e| e.prefix() == t.prefix)
+                    .expect("entry");
+                assert_eq!(e.hijacker_asn(), t.malicious_asn, "{}", t.prefix);
+            }
+        }
+    }
+
+    #[test]
+    fn total_listed_space_counts_each_address_once() {
+        let s = study();
+        let total = s.total_listed_space();
+        let naive: AddressSpace = s.entries.iter().map(|e| e.space()).sum();
+        assert!(total <= naive);
+        assert!(!total.is_zero());
+    }
+}

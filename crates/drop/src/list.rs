@@ -1,0 +1,318 @@
+//! The DROP list file format and the daily-snapshot timeline.
+//!
+//! A DROP snapshot is the text file Spamhaus publishes (and FireHOL
+//! archives) — comment headers, then one `prefix ; SBLnnnnn` line per
+//! entry:
+//!
+//! ```text
+//! ; Spamhaus DROP List 2020/12/01 - (c) 2020 The Spamhaus Project
+//! ; Last-Modified: Tue, 1 Dec 2020 04:00:00 GMT
+//! 132.255.0.0/22 ; SBL502548
+//! ```
+//!
+//! [`DropTimeline`] diffs a chronological series of snapshots into
+//! [`DropEntry`] listing episodes with added/removed dates — the unit of
+//! analysis for every experiment.
+
+use std::collections::BTreeMap;
+
+use droplens_net::{Date, DateRange, Ipv4Prefix, ParseError};
+
+use crate::SblId;
+
+/// One parsed DROP snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropSnapshot {
+    /// Snapshot day.
+    pub date: Date,
+    /// Listed prefixes with their SBL reference (if the line carried one).
+    pub entries: BTreeMap<Ipv4Prefix, Option<SblId>>,
+}
+
+impl DropSnapshot {
+    /// An empty snapshot for `date`.
+    pub fn new(date: Date) -> DropSnapshot {
+        DropSnapshot {
+            date,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Add an entry.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, sbl: Option<SblId>) {
+        self.entries.insert(prefix, sbl);
+    }
+
+    /// Serialize in the Spamhaus file shape.
+    pub fn to_text(&self) -> String {
+        let (y, m, d) = self.date.ymd();
+        let mut out = format!(
+            "; Spamhaus DROP List {y}/{m:02}/{d:02} - (c) {y} The Spamhaus Project\n; Entries: {}\n",
+            self.entries.len()
+        );
+        for (prefix, sbl) in &self.entries {
+            match sbl {
+                Some(id) => out.push_str(&format!("{prefix} ; {id}\n")),
+                None => out.push_str(&format!("{prefix}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parse a snapshot file; the date is supplied by the archive layout
+    /// (FireHOL names files by date), not the header comment.
+    pub fn parse(date: Date, text: &str) -> Result<DropSnapshot, ParseError> {
+        let mut snapshot = DropSnapshot::new(date);
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with(';') || line.starts_with('#') {
+                continue;
+            }
+            let (prefix_s, sbl_s) = match line.split_once(';') {
+                Some((p, s)) => (p.trim(), Some(s.trim())),
+                None => (line, None),
+            };
+            let prefix: Ipv4Prefix = prefix_s.parse()?;
+            let sbl = match sbl_s {
+                Some(s) if !s.is_empty() => Some(s.parse::<SblId>()?),
+                _ => None,
+            };
+            snapshot.insert(prefix, sbl);
+        }
+        Ok(snapshot)
+    }
+}
+
+/// One listing episode of one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropEntry {
+    /// The listed prefix.
+    pub prefix: Ipv4Prefix,
+    /// SBL record reference, if the list carried one.
+    pub sbl: Option<SblId>,
+    /// First snapshot day the prefix appeared.
+    pub added: Date,
+    /// First snapshot day the prefix was gone again; `None` if still
+    /// listed in the final snapshot.
+    pub removed: Option<Date>,
+}
+
+impl DropEntry {
+    /// The listed period as a half-open range, using `horizon` (one past
+    /// the last modeled day) for still-listed entries.
+    pub fn listed_range(&self, horizon: Date) -> DateRange {
+        DateRange::new(self.added, self.removed.unwrap_or(horizon))
+    }
+
+    /// True if the entry was removed before the archive ended.
+    pub fn was_removed(&self) -> bool {
+        self.removed.is_some()
+    }
+}
+
+/// Listing episodes reconstructed by diffing chronological snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DropTimeline {
+    entries: Vec<DropEntry>,
+}
+
+impl DropTimeline {
+    /// Diff a chronological series of snapshots. A prefix present in
+    /// snapshot N but not N−1 was *added* on N's date; present in N−1 but
+    /// not N, *removed* on N's date. Relisting opens a new episode.
+    /// Panics if snapshots are out of order.
+    pub fn from_snapshots(snapshots: &[DropSnapshot]) -> DropTimeline {
+        let mut entries: Vec<DropEntry> = Vec::new();
+        let mut open: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
+        let mut prev_date: Option<Date> = None;
+        for snap in snapshots {
+            if let Some(prev) = prev_date {
+                assert!(prev < snap.date, "snapshots must be chronological");
+            }
+            prev_date = Some(snap.date);
+            // Additions and SBL back-fill.
+            for (&prefix, &sbl) in &snap.entries {
+                match open.get(&prefix) {
+                    Some(&idx) => {
+                        // Lists occasionally gain the SBL reference later.
+                        if entries[idx].sbl.is_none() {
+                            entries[idx].sbl = sbl;
+                        }
+                    }
+                    None => {
+                        open.insert(prefix, entries.len());
+                        entries.push(DropEntry {
+                            prefix,
+                            sbl,
+                            added: snap.date,
+                            removed: None,
+                        });
+                    }
+                }
+            }
+            // Removals.
+            let removed: Vec<Ipv4Prefix> = open
+                .keys()
+                .filter(|p| !snap.entries.contains_key(p))
+                .copied()
+                .collect();
+            for prefix in removed {
+                let idx = open.remove(&prefix).expect("came from open");
+                entries[idx].removed = Some(snap.date);
+            }
+        }
+        DropTimeline { entries }
+    }
+
+    /// All episodes, in add order (ties broken by prefix order).
+    pub fn entries(&self) -> &[DropEntry] {
+        &self.entries
+    }
+
+    /// Episodes for one prefix.
+    pub fn for_prefix(&self, prefix: &Ipv4Prefix) -> Vec<&DropEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.prefix == *prefix)
+            .collect()
+    }
+
+    /// Unique prefixes ever listed.
+    pub fn unique_prefixes(&self) -> Vec<Ipv4Prefix> {
+        let mut out: Vec<Ipv4Prefix> = self.entries.iter().map(|e| e.prefix).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// True if `prefix` was listed on `date`.
+    pub fn listed_on(&self, prefix: &Ipv4Prefix, date: Date) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.prefix == *prefix && e.added <= date && e.removed.is_none_or(|r| date < r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut s = DropSnapshot::new(d("2020-12-01"));
+        s.insert(p("132.255.0.0/22"), Some(SblId(502548)));
+        s.insert(p("5.188.0.0/17"), None);
+        let text = s.to_text();
+        assert!(text.starts_with("; Spamhaus DROP List 2020/12/01"));
+        assert!(text.contains("132.255.0.0/22 ; SBL502548"));
+        let parsed = DropSnapshot::parse(d("2020-12-01"), &text).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn snapshot_parse_rejects_garbage() {
+        assert!(DropSnapshot::parse(d("2020-01-01"), "not-a-prefix ; SBL1\n").is_err());
+        assert!(DropSnapshot::parse(d("2020-01-01"), "10.0.0.0/8 ; NOTSBL\n").is_err());
+    }
+
+    #[test]
+    fn snapshot_parse_tolerates_comments() {
+        let text = "; header\n# other\n\n10.0.0.0/8 ; SBL7\n";
+        let s = DropSnapshot::parse(d("2020-01-01"), text).unwrap();
+        assert_eq!(s.entries.len(), 1);
+    }
+
+    fn snap(date: &str, entries: &[(&str, u32)]) -> DropSnapshot {
+        let mut s = DropSnapshot::new(d(date));
+        for (prefix, id) in entries {
+            s.insert(p(prefix), Some(SblId(*id)));
+        }
+        s
+    }
+
+    #[test]
+    fn timeline_add_and_remove() {
+        let timeline = DropTimeline::from_snapshots(&[
+            snap("2020-01-01", &[("10.0.0.0/16", 1)]),
+            snap("2020-01-02", &[("10.0.0.0/16", 1), ("11.0.0.0/16", 2)]),
+            snap("2020-01-03", &[("11.0.0.0/16", 2)]),
+        ]);
+        let entries = timeline.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].prefix, p("10.0.0.0/16"));
+        assert_eq!(entries[0].added, d("2020-01-01"));
+        assert_eq!(entries[0].removed, Some(d("2020-01-03")));
+        assert!(entries[0].was_removed());
+        assert_eq!(entries[1].added, d("2020-01-02"));
+        assert_eq!(entries[1].removed, None);
+        assert!(!entries[1].was_removed());
+    }
+
+    #[test]
+    fn relisting_opens_new_episode() {
+        let timeline = DropTimeline::from_snapshots(&[
+            snap("2020-01-01", &[("10.0.0.0/16", 1)]),
+            snap("2020-02-01", &[]),
+            snap("2020-03-01", &[("10.0.0.0/16", 1)]),
+        ]);
+        let eps = timeline.for_prefix(&p("10.0.0.0/16"));
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0].removed, Some(d("2020-02-01")));
+        assert_eq!(eps[1].added, d("2020-03-01"));
+        assert_eq!(timeline.unique_prefixes().len(), 1);
+    }
+
+    #[test]
+    fn listed_on() {
+        let timeline = DropTimeline::from_snapshots(&[
+            snap("2020-01-01", &[("10.0.0.0/16", 1)]),
+            snap("2020-02-01", &[]),
+        ]);
+        let pfx = p("10.0.0.0/16");
+        assert!(timeline.listed_on(&pfx, d("2020-01-01")));
+        assert!(timeline.listed_on(&pfx, d("2020-01-15")));
+        assert!(!timeline.listed_on(&pfx, d("2020-02-01")));
+        assert!(!timeline.listed_on(&p("99.0.0.0/8"), d("2020-01-15")));
+    }
+
+    #[test]
+    fn listed_range_uses_horizon_for_open_entries() {
+        let timeline = DropTimeline::from_snapshots(&[snap("2020-01-01", &[("10.0.0.0/16", 1)])]);
+        let e = &timeline.entries()[0];
+        let r = e.listed_range(d("2022-03-31"));
+        assert_eq!(r.start(), d("2020-01-01"));
+        assert_eq!(r.end(), d("2022-03-31"));
+    }
+
+    #[test]
+    fn sbl_backfill() {
+        let mut s1 = DropSnapshot::new(d("2020-01-01"));
+        s1.insert(p("10.0.0.0/16"), None);
+        let mut s2 = DropSnapshot::new(d("2020-01-02"));
+        s2.insert(p("10.0.0.0/16"), Some(SblId(42)));
+        let timeline = DropTimeline::from_snapshots(&[s1, s2]);
+        assert_eq!(timeline.entries()[0].sbl, Some(SblId(42)));
+        assert_eq!(timeline.entries()[0].added, d("2020-01-01"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_snapshots_panic() {
+        DropTimeline::from_snapshots(&[snap("2020-02-01", &[]), snap("2020-01-01", &[])]);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let t = DropTimeline::from_snapshots(&[]);
+        assert!(t.entries().is_empty());
+        assert!(t.unique_prefixes().is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! NRTM-style dated journal of registry changes.
+//!
+//! Real IRR mirrors replicate via NRTM streams of `ADD`/`DEL` operations.
+//! Our archival format is the same idea with an explicit date on the
+//! operation line (the paper needs creation/removal *dates*, which the
+//! real pipeline recovers from snapshot diffs or NRTM serials):
+//!
+//! ```text
+//! ADD 2020-11-20
+//!
+//! route:          132.255.0.0/22
+//! origin:         AS263692
+//! source:         RADB
+//!
+//! DEL 2021-02-01
+//!
+//! route:          132.255.0.0/22
+//! origin:         AS263692
+//! source:         RADB
+//! ```
+
+use droplens_net::{Date, ParseError};
+
+use crate::RouteObject;
+
+/// The operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalOp {
+    /// Object created.
+    Add,
+    /// Object deleted.
+    Del,
+}
+
+/// One dated operation on one route object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Day the change took effect.
+    pub date: Date,
+    /// Add or delete.
+    pub op: JournalOp,
+    /// The object (full body on both ADD and DEL, as NRTM does).
+    pub object: RouteObject,
+}
+
+/// Serialize a journal.
+pub fn write_journal(entries: &[JournalEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        let op = match e.op {
+            JournalOp::Add => "ADD",
+            JournalOp::Del => "DEL",
+        };
+        out.push_str(&format!("{op} {}\n\n", e.date));
+        out.push_str(&e.object.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a journal produced by [`write_journal`]. `%`-comment lines are
+/// skipped. Entries must be chronologically ordered (the registry replay
+/// relies on it); out-of-order entries are an error.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, ParseError> {
+    let mut entries: Vec<JournalEntry> = Vec::new();
+    let mut pending: Option<(Date, JournalOp)> = None;
+    let mut body = String::new();
+
+    let flush = |pending: &mut Option<(Date, JournalOp)>,
+                 body: &mut String,
+                 entries: &mut Vec<JournalEntry>|
+     -> Result<(), ParseError> {
+        if let Some((date, op)) = pending.take() {
+            let object: RouteObject = body.parse()?;
+            if let Some(last) = entries.last() {
+                if last.date > date {
+                    return Err(ParseError::new(
+                        "Journal",
+                        &date.to_string(),
+                        "journal entries out of chronological order",
+                    ));
+                }
+            }
+            entries.push(JournalEntry { date, op, object });
+        }
+        body.clear();
+        Ok(())
+    };
+
+    for line in text.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        let is_op = trimmed.starts_with("ADD ") || trimmed.starts_with("DEL ");
+        if is_op {
+            flush(&mut pending, &mut body, &mut entries)?;
+            let (op_s, date_s) = trimmed.split_once(' ').expect("checked prefix");
+            let op = if op_s == "ADD" {
+                JournalOp::Add
+            } else {
+                JournalOp::Del
+            };
+            let date: Date = date_s.trim().parse()?;
+            pending = Some((date, op));
+        } else if pending.is_some() {
+            body.push_str(trimmed);
+            body.push('\n');
+        } else if !trimmed.is_empty() {
+            return Err(ParseError::new(
+                "Journal",
+                trimmed,
+                "content before first ADD/DEL header",
+            ));
+        }
+    }
+    flush(&mut pending, &mut body, &mut entries)?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplens_net::{Asn, Ipv4Prefix};
+
+    fn obj(prefix: &str, asn: u32) -> RouteObject {
+        RouteObject::new(prefix.parse::<Ipv4Prefix>().unwrap(), Asn(asn))
+            .with_maintainer("MAINT-TEST")
+    }
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let entries = vec![
+            JournalEntry {
+                date: d("2020-11-20"),
+                op: JournalOp::Add,
+                object: obj("132.255.0.0/22", 263692),
+            },
+            JournalEntry {
+                date: d("2021-02-01"),
+                op: JournalOp::Del,
+                object: obj("132.255.0.0/22", 263692),
+            },
+        ];
+        let text = write_journal(&entries);
+        assert_eq!(parse_journal(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_journal() {
+        assert!(parse_journal("").unwrap().is_empty());
+        assert!(parse_journal("% just a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn comments_between_entries() {
+        let mut text = String::from("% RADb NRTM-style journal\n");
+        text.push_str(&write_journal(&[JournalEntry {
+            date: d("2020-01-01"),
+            op: JournalOp::Add,
+            object: obj("10.0.0.0/8", 64500),
+        }]));
+        let parsed = parse_journal(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].op, JournalOp::Add);
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let entries = vec![
+            JournalEntry {
+                date: d("2021-01-01"),
+                op: JournalOp::Add,
+                object: obj("10.0.0.0/8", 1),
+            },
+            JournalEntry {
+                date: d("2020-01-01"),
+                op: JournalOp::Add,
+                object: obj("11.0.0.0/8", 2),
+            },
+        ];
+        let text = write_journal(&entries);
+        assert!(parse_journal(&text).is_err());
+    }
+
+    #[test]
+    fn garbage_before_header_rejected() {
+        assert!(parse_journal("route: 10.0.0.0/8\n").is_err());
+    }
+
+    #[test]
+    fn malformed_object_rejected() {
+        let text = "ADD 2020-01-01\n\nroute: not-a-prefix\norigin: AS1\n";
+        assert!(parse_journal(text).is_err());
+    }
+
+    #[test]
+    fn bad_date_rejected() {
+        let text = "ADD 2020-13-01\n\nroute: 10.0.0.0/8\norigin: AS1\n";
+        assert!(parse_journal(text).is_err());
+    }
+}

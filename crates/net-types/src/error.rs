@@ -1,0 +1,76 @@
+//! Parse-error type shared by the textual representations in this crate.
+
+use std::fmt;
+
+/// Error returned when parsing a textual network primitive fails.
+///
+/// The error records what was being parsed and the offending input, so that
+/// callers higher up the stack (archive parsers chewing through millions of
+/// lines) can produce actionable diagnostics without re-deriving context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: &'static str,
+    input: String,
+    detail: String,
+}
+
+impl ParseError {
+    /// Create a new parse error for `kind` (e.g. `"Ipv4Prefix"`) with the
+    /// raw `input` and a human-readable `detail` message.
+    pub fn new(kind: &'static str, input: &str, detail: impl Into<String>) -> Self {
+        ParseError {
+            kind,
+            input: input.to_owned(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The type that failed to parse (e.g. `"Asn"`).
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The raw input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The human-readable failure detail.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}: {:?} ({})",
+            self.kind, self.input, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_input_and_detail() {
+        let e = ParseError::new("Asn", "ASX", "not a number");
+        let s = e.to_string();
+        assert!(s.contains("Asn"), "{s}");
+        assert!(s.contains("ASX"), "{s}");
+        assert!(s.contains("not a number"), "{s}");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ParseError::new("Ipv4Prefix", "1.2.3.4/33", "prefix length > 32");
+        assert_eq!(e.kind(), "Ipv4Prefix");
+        assert_eq!(e.input(), "1.2.3.4/33");
+        assert_eq!(e.detail(), "prefix length > 32");
+    }
+}

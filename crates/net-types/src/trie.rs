@@ -1,0 +1,589 @@
+//! A binary Patricia trie keyed by IPv4 prefixes.
+//!
+//! This is the central index structure of the reproduction: the paper's
+//! correlation questions ("does this DROP prefix have a covering ROA?",
+//! "is there a route object for an exact match or more-specific?",
+//! "which allocation covers this address on date X?") are all exact /
+//! longest-match / subtree queries over prefix-keyed maps, and they run
+//! millions of times across daily archive snapshots. The trie performs
+//! them in O(prefix length) independent of population.
+
+use std::fmt;
+
+use crate::Ipv4Prefix;
+
+/// A node holds the (possibly value-less, i.e. purely structural) prefix
+/// at its position plus up to two children whose prefixes strictly extend
+/// its own.
+struct Node<V> {
+    prefix: Ipv4Prefix,
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn new(prefix: Ipv4Prefix, value: Option<V>) -> Box<Node<V>> {
+        Box::new(Node {
+            prefix,
+            value,
+            children: [None, None],
+        })
+    }
+
+    /// Which child slot of `self` the prefix `p` (which must be strictly
+    /// longer than `self.prefix` and share its bits) falls into.
+    fn slot(&self, p: &Ipv4Prefix) -> usize {
+        usize::from(p.bit(self.prefix.len()))
+    }
+}
+
+/// A map from [`Ipv4Prefix`] to `V` supporting exact, longest-match,
+/// covering-chain and subtree queries.
+///
+/// # Examples
+///
+/// ```
+/// use droplens_net::{Ipv4Prefix, PrefixTrie};
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("10.0.0.0/8".parse().unwrap(), "rir-allocation");
+/// trie.insert("10.5.0.0/16".parse().unwrap(), "customer");
+///
+/// let q: Ipv4Prefix = "10.5.9.0/24".parse().unwrap();
+/// let (best, v) = trie.longest_match(&q).unwrap();
+/// assert_eq!(best.to_string(), "10.5.0.0/16");
+/// assert_eq!(*v, "customer");
+/// ```
+pub struct PrefixTrie<V> {
+    root: Option<Box<Node<V>>>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Create an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie { root: None, len: 0 }
+    }
+
+    /// Number of prefixes stored (structural nodes are not counted).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        self.root = None;
+        self.len = 0;
+    }
+
+    /// Insert `value` at `prefix`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
+        let root = &mut self.root;
+        let replaced = Self::insert_at(root, prefix, value);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    fn insert_at(slot: &mut Option<Box<Node<V>>>, prefix: Ipv4Prefix, value: V) -> Option<V> {
+        let Some(node) = slot else {
+            *slot = Some(Node::new(prefix, Some(value)));
+            return None;
+        };
+
+        let common = node.prefix.common_prefix_len(&prefix);
+
+        if common == node.prefix.len() && common == prefix.len() {
+            // Same prefix: replace value in place.
+            return node.value.replace(value);
+        }
+
+        if common == node.prefix.len() {
+            // prefix strictly extends node.prefix: descend.
+            let idx = node.slot(&prefix);
+            return Self::insert_at(&mut node.children[idx], prefix, value);
+        }
+
+        if common == prefix.len() {
+            // node.prefix strictly extends prefix: new node becomes parent.
+            let old = slot.take().unwrap();
+            let mut new_parent = Node::new(prefix, Some(value));
+            let idx = new_parent.slot(&old.prefix);
+            new_parent.children[idx] = Some(old);
+            *slot = Some(new_parent);
+            return None;
+        }
+
+        // Diverge below both: create a structural branch at the common
+        // prefix with the two nodes as children.
+        let old = slot.take().unwrap();
+        let branch_prefix = prefix.truncate(common);
+        let mut branch = Node::new(branch_prefix, None);
+        let old_idx = branch.slot(&old.prefix);
+        let new_idx = branch.slot(&prefix);
+        debug_assert_ne!(old_idx, new_idx);
+        branch.children[old_idx] = Some(old);
+        branch.children[new_idx] = Some(Node::new(prefix, Some(value)));
+        *slot = Some(branch);
+        None
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
+        let mut cur = self.root.as_deref()?;
+        loop {
+            let common = cur.prefix.common_prefix_len(prefix);
+            if common < cur.prefix.len() {
+                return None; // diverged above this node
+            }
+            if cur.prefix.len() == prefix.len() {
+                return cur.value.as_ref();
+            }
+            // cur.prefix is a proper prefix of `prefix`
+            let idx = cur.slot(prefix);
+            cur = cur.children[idx].as_deref()?;
+        }
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut V> {
+        let mut cur = self.root.as_deref_mut()?;
+        loop {
+            let common = cur.prefix.common_prefix_len(prefix);
+            if common < cur.prefix.len() {
+                return None;
+            }
+            if cur.prefix.len() == prefix.len() {
+                return cur.value.as_mut();
+            }
+            let idx = usize::from(prefix.bit(cur.prefix.len()));
+            cur = cur.children[idx].as_deref_mut()?;
+        }
+    }
+
+    /// True if `prefix` is stored exactly.
+    pub fn contains(&self, prefix: &Ipv4Prefix) -> bool {
+        self.get(prefix).is_some()
+    }
+
+    /// Remove `prefix`, returning its value. Structural nodes left behind
+    /// are pruned so that memory usage tracks live entries.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<V> {
+        let removed = Self::remove_at(&mut self.root, prefix);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(slot: &mut Option<Box<Node<V>>>, prefix: &Ipv4Prefix) -> Option<V> {
+        let node = slot.as_deref_mut()?;
+        let common = node.prefix.common_prefix_len(prefix);
+        if common < node.prefix.len() {
+            return None;
+        }
+        let removed = if node.prefix.len() == prefix.len() {
+            node.value.take()
+        } else {
+            let idx = node.slot(prefix);
+            Self::remove_at(&mut node.children[idx], prefix)
+        };
+        if removed.is_some() {
+            Self::prune(slot);
+        }
+        removed
+    }
+
+    /// Collapse a node that no longer carries a value and has fewer than
+    /// two children.
+    fn prune(slot: &mut Option<Box<Node<V>>>) {
+        let Some(node) = slot.as_deref_mut() else {
+            return;
+        };
+        if node.value.is_some() {
+            return;
+        }
+        let child_count = node.children.iter().filter(|c| c.is_some()).count();
+        match child_count {
+            0 => *slot = None,
+            1 => {
+                let child = node
+                    .children
+                    .iter_mut()
+                    .find_map(|c| c.take())
+                    .expect("one child exists");
+                *slot = Some(child);
+            }
+            _ => {}
+        }
+    }
+
+    /// The most specific stored prefix covering `query`, with its value.
+    pub fn longest_match(&self, query: &Ipv4Prefix) -> Option<(Ipv4Prefix, &V)> {
+        let mut best = None;
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if !node.prefix.covers(query) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                best = Some((node.prefix, v));
+            }
+            if node.prefix.len() == query.len() {
+                break;
+            }
+            cur = node.children[node.slot(query)].as_deref();
+        }
+        best
+    }
+
+    /// Every stored prefix covering `query` (the "covering chain"), from
+    /// least specific to most specific.
+    pub fn matches<'a>(&'a self, query: &Ipv4Prefix) -> Vec<(Ipv4Prefix, &'a V)> {
+        let mut out = Vec::new();
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if !node.prefix.covers(query) {
+                break;
+            }
+            if let Some(v) = &node.value {
+                out.push((node.prefix, v));
+            }
+            if node.prefix.len() == query.len() {
+                break;
+            }
+            cur = node.children[node.slot(query)].as_deref();
+        }
+        out
+    }
+
+    /// Every stored prefix covered by `query` (i.e. equal or more
+    /// specific), in address order.
+    pub fn covered_by<'a>(&'a self, query: &Ipv4Prefix) -> Vec<(Ipv4Prefix, &'a V)> {
+        let mut out = Vec::new();
+        // Descend to the subtree rooted at or below `query`.
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if query.covers(&node.prefix) {
+                Self::collect_subtree(node, &mut out);
+                return out;
+            }
+            if !node.prefix.covers(query) {
+                return out; // disjoint
+            }
+            if node.prefix.len() == query.len() {
+                return out;
+            }
+            cur = node.children[node.slot(query)].as_deref();
+        }
+        out
+    }
+
+    fn collect_subtree<'a>(node: &'a Node<V>, out: &mut Vec<(Ipv4Prefix, &'a V)>) {
+        if let Some(v) = &node.value {
+            out.push((node.prefix, v));
+        }
+        for child in node.children.iter().flatten() {
+            Self::collect_subtree(child, out);
+        }
+    }
+
+    /// True if any stored prefix overlaps `query` (covers it or is covered
+    /// by it).
+    pub fn overlaps(&self, query: &Ipv4Prefix) -> bool {
+        self.longest_match(query).is_some() || !self.covered_by(query).is_empty()
+    }
+
+    /// Iterate all `(prefix, value)` pairs in address order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(root);
+        }
+        Iter { stack }
+    }
+
+    /// Iterate all stored prefixes in address order.
+    pub fn keys(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.iter().map(|(p, _)| p)
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for PrefixTrie<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.iter().map(|(p, v)| (p.to_string(), v)))
+            .finish()
+    }
+}
+
+impl<V> FromIterator<(Ipv4Prefix, V)> for PrefixTrie<V> {
+    fn from_iter<T: IntoIterator<Item = (Ipv4Prefix, V)>>(iter: T) -> Self {
+        let mut trie = PrefixTrie::new();
+        for (p, v) in iter {
+            trie.insert(p, v);
+        }
+        trie
+    }
+}
+
+/// In-order iterator over a [`PrefixTrie`]. Children are visited low
+/// branch first, which yields address order; a node's own entry is emitted
+/// before its subtree (shorter prefixes first at equal addresses).
+pub struct Iter<'a, V> {
+    stack: Vec<&'a Node<V>>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (Ipv4Prefix, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(node) = self.stack.pop() {
+            // Push high child first so the low child is visited first.
+            if let Some(hi) = node.children[1].as_deref() {
+                self.stack.push(hi);
+            }
+            if let Some(lo) = node.children[0].as_deref() {
+                self.stack.push(lo);
+            }
+            if let Some(v) = &node.value {
+                return Some((node.prefix, v));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_basic() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&p("10.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn exact_match_does_not_leak_to_neighbors() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.0.0.0/16"), "sixteen");
+        assert_eq!(t.get(&p("10.0.0.0/12")), None);
+        assert_eq!(t.get(&p("10.0.0.0/16")), Some(&"sixteen"));
+        assert_eq!(t.get(&p("11.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn longest_match_chain() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0);
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.5.0.0/16"), 16);
+        t.insert(p("10.5.9.0/24"), 24);
+
+        let q = p("10.5.9.128/25");
+        assert_eq!(t.longest_match(&q).unwrap().0, p("10.5.9.0/24"));
+        let chain: Vec<_> = t.matches(&q).into_iter().map(|(pfx, _)| pfx).collect();
+        assert_eq!(
+            chain,
+            vec![
+                p("0.0.0.0/0"),
+                p("10.0.0.0/8"),
+                p("10.5.0.0/16"),
+                p("10.5.9.0/24")
+            ]
+        );
+
+        // Query above all entries except default
+        assert_eq!(t.longest_match(&p("11.0.0.0/8")).unwrap().0, p("0.0.0.0/0"));
+    }
+
+    #[test]
+    fn longest_match_empty_and_miss() {
+        let t: PrefixTrie<i32> = PrefixTrie::new();
+        assert!(t.longest_match(&p("10.0.0.0/8")).is_none());
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        assert!(t.longest_match(&p("11.0.0.0/8")).is_none());
+        // A more-specific entry does not cover a less-specific query.
+        assert!(t.longest_match(&p("10.0.0.0/4")).is_none());
+    }
+
+    #[test]
+    fn covered_by_subtree() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.5.0.0/16"), ());
+        t.insert(p("10.5.9.0/24"), ());
+        t.insert(p("10.200.0.0/16"), ());
+        t.insert(p("11.0.0.0/8"), ());
+
+        let covered: Vec<_> = t
+            .covered_by(&p("10.0.0.0/8"))
+            .into_iter()
+            .map(|(pfx, _)| pfx)
+            .collect();
+        assert_eq!(
+            covered,
+            vec![
+                p("10.0.0.0/8"),
+                p("10.5.0.0/16"),
+                p("10.5.9.0/24"),
+                p("10.200.0.0/16")
+            ]
+        );
+
+        let covered: Vec<_> = t
+            .covered_by(&p("10.5.0.0/16"))
+            .into_iter()
+            .map(|(pfx, _)| pfx)
+            .collect();
+        assert_eq!(covered, vec![p("10.5.0.0/16"), p("10.5.9.0/24")]);
+
+        assert!(t.covered_by(&p("12.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn covered_by_query_below_structural_branch() {
+        let mut t = PrefixTrie::new();
+        // These two force a structural branch node at 10.0.0.0/15 or similar
+        t.insert(p("10.0.0.0/16"), ());
+        t.insert(p("10.1.0.0/16"), ());
+        let covered: Vec<_> = t
+            .covered_by(&p("10.0.0.0/8"))
+            .into_iter()
+            .map(|(pfx, _)| pfx)
+            .collect();
+        assert_eq!(covered, vec![p("10.0.0.0/16"), p("10.1.0.0/16")]);
+        // Querying the structural node's own prefix exactly
+        let covered: Vec<_> = t
+            .covered_by(&p("10.0.0.0/15"))
+            .into_iter()
+            .map(|(pfx, _)| pfx)
+            .collect();
+        assert_eq!(covered, vec![p("10.0.0.0/16"), p("10.1.0.0/16")]);
+    }
+
+    #[test]
+    fn overlaps() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.5.0.0/16"), ());
+        assert!(t.overlaps(&p("10.0.0.0/8"))); // query covers entry
+        assert!(t.overlaps(&p("10.5.9.0/24"))); // entry covers query
+        assert!(!t.overlaps(&p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn remove_prunes_structural_nodes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/16"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        // removal of one branch collapses the structural parent
+        assert_eq!(t.remove(&p("10.0.0.0/16")), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&2));
+        assert_eq!(
+            t.longest_match(&p("10.1.2.0/24")).unwrap().0,
+            p("10.1.0.0/16")
+        );
+    }
+
+    #[test]
+    fn remove_keeps_children_of_valued_node() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.0.0.0/16"), 16);
+        t.insert(p("10.1.0.0/16"), 161);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(8));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&p("10.0.0.0/16")), Some(&16));
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&161));
+    }
+
+    #[test]
+    fn iteration_is_address_ordered() {
+        let mut t = PrefixTrie::new();
+        let prefixes = [
+            "193.0.0.0/8",
+            "10.0.0.0/8",
+            "10.5.0.0/16",
+            "10.0.0.0/16",
+            "128.0.0.0/1",
+            "0.0.0.0/0",
+        ];
+        for s in prefixes {
+            t.insert(p(s), ());
+        }
+        let keys: Vec<_> = t.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), prefixes.len());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: PrefixTrie<i32> = [(p("10.0.0.0/8"), 1), (p("11.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        *t.get_mut(&p("10.0.0.0/8")).unwrap() += 10;
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&11));
+        assert!(t.get_mut(&p("11.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn default_route_handling() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        assert_eq!(t.longest_match(&p("1.2.3.4/32")).unwrap().1, &"default");
+        assert_eq!(t.get(&p("0.0.0.0/0")), Some(&"default"));
+        let all: Vec<_> = t.covered_by(&p("0.0.0.0/0")).into_iter().collect();
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn dense_slash32_population() {
+        let mut t = PrefixTrie::new();
+        for i in 0u32..256 {
+            t.insert(Ipv4Prefix::from_u32(0x0a00_0000 | i, 32), i);
+        }
+        assert_eq!(t.len(), 256);
+        for i in 0u32..256 {
+            let q = Ipv4Prefix::from_u32(0x0a00_0000 | i, 32);
+            assert_eq!(t.get(&q), Some(&i));
+        }
+        assert_eq!(t.covered_by(&p("10.0.0.0/24")).len(), 256);
+    }
+}

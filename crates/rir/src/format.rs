@@ -1,0 +1,215 @@
+//! Parser/writer for the RIR statistics exchange ("delegated-extended")
+//! format.
+//!
+//! ```text
+//! 2|apnic|20220330|2|19830613|20220330|+1000
+//! apnic|*|ipv4|*|2|summary
+//! apnic|AU|ipv4|1.0.0.0|256|20110811|allocated|A91872ED
+//! apnic|ZZ|ipv4|1.1.0.0|65536||available|
+//! ```
+//!
+//! Only `ipv4` rows are materialized (the paper is IPv4-only); `asn` and
+//! `ipv6` rows and summary lines are tolerated and skipped on parse, and
+//! a correct summary line is emitted on write.
+
+use std::net::Ipv4Addr;
+
+use droplens_net::{Date, ParseError};
+
+use crate::{AllocationStatus, DelegationRecord, Rir};
+
+/// A parsed stats file: the header date plus its IPv4 records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsFile {
+    /// Publishing registry (from the version line).
+    pub rir: Rir,
+    /// Snapshot date (from the version line).
+    pub date: Date,
+    /// IPv4 rows, in file order.
+    pub records: Vec<DelegationRecord>,
+}
+
+/// Serialize a stats file in delegated-extended format.
+pub fn write_stats_file(file: &StatsFile) -> String {
+    let mut out = String::new();
+    // Version line: version|registry|serial|records|startdate|enddate|UTCoffset
+    out.push_str(&format!(
+        "2|{}|{}|{}|19830613|{}|+0000\n",
+        file.rir.token(),
+        file.date.to_compact_string(),
+        file.records.len(),
+        file.date.to_compact_string(),
+    ));
+    out.push_str(&format!(
+        "{}|*|ipv4|*|{}|summary\n",
+        file.rir.token(),
+        file.records.len()
+    ));
+    for r in &file.records {
+        let date = r.date.map(|d| d.to_compact_string()).unwrap_or_default();
+        out.push_str(&format!(
+            "{}|{}|ipv4|{}|{}|{}|{}|{}\n",
+            r.rir.token(),
+            r.country,
+            r.start,
+            r.count,
+            date,
+            r.status,
+            r.opaque_id
+        ));
+    }
+    out
+}
+
+/// Parse a delegated(-extended) stats file.
+pub fn parse_stats_file(text: &str) -> Result<StatsFile, ParseError> {
+    let mut rir: Option<Rir> = None;
+    let mut date: Option<Date> = None;
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        // Version line: starts with the format version number.
+        if rir.is_none() && fields.len() >= 6 && fields[0].chars().all(|c| c.is_ascii_digit()) {
+            rir = Some(fields[1].parse()?);
+            date = Some(Date::parse_compact(fields[2])?);
+            continue;
+        }
+        if fields.len() >= 6 && fields[5] == "summary" {
+            continue;
+        }
+        if fields.len() < 7 {
+            return Err(ParseError::new("StatsFile", line, "too few fields"));
+        }
+        if fields[2] != "ipv4" {
+            continue; // asn / ipv6 rows
+        }
+        let row_rir: Rir = fields[0].parse()?;
+        let start: Ipv4Addr = fields[3]
+            .parse()
+            .map_err(|_| ParseError::new("StatsFile", line, "bad start address"))?;
+        let count: u64 = fields[4]
+            .parse()
+            .map_err(|_| ParseError::new("StatsFile", line, "bad address count"))?;
+        if count == 0 || u64::from(u32::from(start)) + count > (1u64 << 32) {
+            return Err(ParseError::new("StatsFile", line, "span out of range"));
+        }
+        let rec_date = if fields[5].is_empty() {
+            None
+        } else {
+            Some(Date::parse_compact(fields[5])?)
+        };
+        let status: AllocationStatus = fields[6].parse()?;
+        let opaque_id = fields.get(7).copied().unwrap_or_default().to_owned();
+        records.push(DelegationRecord {
+            rir: row_rir,
+            country: fields[1].to_owned(),
+            start,
+            count,
+            date: rec_date,
+            status,
+            opaque_id,
+        });
+    }
+    Ok(StatsFile {
+        rir: rir.ok_or_else(|| ParseError::new("StatsFile", "", "missing version line"))?,
+        date: date.expect("set with rir"),
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StatsFile {
+        StatsFile {
+            rir: Rir::Apnic,
+            date: Date::from_ymd(2022, 3, 30),
+            records: vec![
+                DelegationRecord::allocated(
+                    Rir::Apnic,
+                    "AU",
+                    "1.0.0.0".parse().unwrap(),
+                    256,
+                    Date::from_ymd(2011, 8, 11),
+                    "A91872ED",
+                ),
+                DelegationRecord::available(Rir::Apnic, "1.1.0.0".parse().unwrap(), 65536),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let f = sample();
+        let text = write_stats_file(&f);
+        assert_eq!(parse_stats_file(&text).unwrap(), f);
+    }
+
+    #[test]
+    fn output_shape_matches_exchange_format() {
+        let text = write_stats_file(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("2|apnic|20220330|2|"));
+        assert_eq!(lines[1], "apnic|*|ipv4|*|2|summary");
+        assert_eq!(
+            lines[2],
+            "apnic|AU|ipv4|1.0.0.0|256|20110811|allocated|A91872ED"
+        );
+        assert_eq!(lines[3], "apnic|ZZ|ipv4|1.1.0.0|65536||available|");
+    }
+
+    #[test]
+    fn skips_asn_and_ipv6_rows() {
+        let text = "\
+2|ripencc|20200101|3|19830613|20200101|+0000
+ripencc|*|ipv4|*|1|summary
+ripencc|NL|asn|3333|1|19930901|allocated|org1
+ripencc|NL|ipv6|2001:600::|32|19990826|allocated|org1
+ripencc|NL|ipv4|193.0.0.0|2048|19930901|allocated|org1
+";
+        let f = parse_stats_file(text).unwrap();
+        assert_eq!(f.rir, Rir::RipeNcc);
+        assert_eq!(f.records.len(), 1);
+        assert_eq!(f.records[0].count, 2048);
+    }
+
+    #[test]
+    fn rejects_missing_version_line() {
+        assert!(parse_stats_file("apnic|AU|ipv4|1.0.0.0|256|20110811|allocated|x\n").is_err());
+        assert!(parse_stats_file("").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let header = "2|apnic|20200101|1|19830613|20200101|+0000\n";
+        for bad in [
+            "apnic|AU|ipv4|1.0.0.0|256|20110811\n", // too few fields
+            "apnic|AU|ipv4|nonsense|256|20110811|allocated|x\n", // bad address
+            "apnic|AU|ipv4|1.0.0.0|0|20110811|allocated|x\n", // zero count
+            "apnic|AU|ipv4|255.255.255.0|512||available|\n", // overflow span
+            "apnic|AU|ipv4|1.0.0.0|256|20110811|bogus|x\n", // bad status
+            "apnic|AU|ipv4|1.0.0.0|256|2011081|allocated|x\n", // bad date
+        ] {
+            let text = format!("{header}{bad}");
+            assert!(parse_stats_file(&text).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn tolerates_comments_and_blanks() {
+        let text = "\
+# RIR stats
+2|arin|20200101|0|19830613|20200101|+0000
+
+arin|*|ipv4|*|0|summary
+";
+        let f = parse_stats_file(text).unwrap();
+        assert!(f.records.is_empty());
+        assert_eq!(f.rir, Rir::Arin);
+    }
+}

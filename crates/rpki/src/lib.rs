@@ -1,0 +1,29 @@
+//! RPKI substrate: ROAs, TALs, route origin validation, and the temporal
+//! ROA archive the paper's §4.2 / §6 analyses run over.
+//!
+//! * [`Roa`] — a Route Origin Authorization: `(prefix, maxLength, ASN)`
+//!   under a trust anchor ([`Tal`]). `AS0` ROAs assert "do not route"
+//!   (RFC 6483 §4 / RFC 7607).
+//! * [`validate`] — RFC 6811 route origin validation of a `(prefix,
+//!   origin)` pair against a set of ROAs, yielding
+//!   [`RovOutcome::Valid`] / [`Invalid`](RovOutcome::Invalid) /
+//!   [`NotFound`](RovOutcome::NotFound).
+//! * [`Tal`] — the five RIR trust anchors plus the special APNIC/LACNIC
+//!   AS0 TALs, which ship separately and are not configured in validators
+//!   by default (§2.3.1); validation can include or exclude them.
+//! * [`RoaArchive`] — dated ROA create/revoke records (the RIPE daily ROA
+//!   archive, in journal form) with "which ROAs covered P on day D",
+//!   signing-date, and ROA-ASN-history queries.
+//! * [`mod@format`] — the CSV journal format used by the synthetic archives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod archive;
+pub mod format;
+mod roa;
+mod tal;
+
+pub use archive::{RoaArchive, RoaRecord};
+pub use roa::{validate, Roa, RovOutcome};
+pub use tal::Tal;

@@ -1,0 +1,359 @@
+//! World-generation configuration, with paper-calibrated defaults.
+
+use droplens_net::Date;
+use droplens_rir::Rir;
+
+/// How many DROP prefixes of each flavor to generate. The defaults
+/// reproduce the paper's §3.1 population: 712 unique prefixes, 526 with
+/// SBL records, category mix per Figure 1.
+#[derive(Debug, Clone)]
+pub struct CategoryMix {
+    /// Hijacks via forged IRR route objects whose origin matches the
+    /// SBL-labeled hijacker ASN (§5: 57).
+    pub hj_forged_irr: usize,
+    /// Hijacks with a labeled ASN but no matching route object.
+    /// Includes the three RPKI-signed hijacks of §6.1. Together with the
+    /// forged-IRR group and the SS+HJ overlap these make the paper's 130
+    /// ASN-labeled hijacks (57 + 65 + 8).
+    pub hj_labeled_no_irr: usize,
+    /// AFRINIC-incident hijack prefixes: few, huge, excluded from most
+    /// analyses (§3.1: 45).
+    pub hj_afrinic_incident: usize,
+    /// Hijacks with no ASN annotation at all (179 − 130 − 45 = 4).
+    pub hj_unlabeled: usize,
+    /// Snowshoe-spam-only prefixes (small, numerous).
+    pub ss_exclusive: usize,
+    /// Snowshoe prefixes that also carry the hijack label and an ASN
+    /// annotation, like SBL502548 ("Snowshoe IP block on Stolen AS62927")
+    /// — §3.1's ~15 SS prefixes with a second classification, split 8/7.
+    pub ss_plus_hj: usize,
+    /// Snowshoe prefixes that also carry the known-spam-operation label.
+    pub ss_plus_ks: usize,
+    /// Known-spam-operation-only prefixes.
+    pub ks_exclusive: usize,
+    /// Malicious-hosting prefixes.
+    pub mh_exclusive: usize,
+    /// Unallocated prefixes (Figure 6: 40).
+    pub ua: usize,
+    /// Prefixes whose SBL record was gone by collection time (§3.1: 186).
+    pub nr: usize,
+}
+
+impl CategoryMix {
+    /// Total unique listed prefixes.
+    pub fn total(&self) -> usize {
+        self.hj_forged_irr
+            + self.hj_labeled_no_irr
+            + self.hj_afrinic_incident
+            + self.hj_unlabeled
+            + self.ss_exclusive
+            + self.ss_plus_hj
+            + self.ss_plus_ks
+            + self.ks_exclusive
+            + self.mh_exclusive
+            + self.ua
+            + self.nr
+    }
+
+    /// Prefixes with an SBL record.
+    pub fn with_record(&self) -> usize {
+        self.total() - self.nr
+    }
+}
+
+impl Default for CategoryMix {
+    fn default() -> CategoryMix {
+        CategoryMix {
+            hj_forged_irr: 57,
+            hj_labeled_no_irr: 65,
+            hj_afrinic_incident: 45,
+            hj_unlabeled: 4,
+            ss_exclusive: 210,
+            ss_plus_hj: 8,
+            ss_plus_ks: 7,
+            ks_exclusive: 40,
+            mh_exclusive: 50,
+            ua: 40,
+            nr: 186,
+        }
+    }
+}
+
+/// Every knob of the synthetic world. Field groups mirror the paper's
+/// data sections; see each field's comment for the quantity it calibrates.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// First day of the study window (paper: 2019-06-05).
+    pub study_start: Date,
+    /// Last day of the study window, inclusive (paper: 2022-03-30).
+    pub study_end: Date,
+    /// First day of BGP/IRR/RPKI pre-history visible in the archives
+    /// (routing context predating the study window, needed for "historic
+    /// origin" hijacks).
+    pub history_start: Date,
+
+    /// Full-table collector peers (RouteViews had 36 collectors; we model
+    /// one collector's worth of full-table peers).
+    pub peer_count: usize,
+    /// How many of those peers filter the DROP list (paper found 3).
+    pub filtering_peer_count: usize,
+
+    /// Background routed-and-allocated prefixes per RIR, in
+    /// [AFRINIC, APNIC, ARIN, LACNIC, RIPE] order. Defaults are the
+    /// paper's Table 1 denominators scaled by 1/20.
+    pub background_per_rir: [usize; 5],
+    /// Probability that an unsigned background prefix gets a ROA during
+    /// the study, per RIR (Table 1 "Never on DROP" column).
+    pub base_signing_rate: [f64; 5],
+
+    /// Allocated-but-unrouted, never-signed space per RIR in /12 blocks.
+    /// Together with the dark blocks these make Figure 5's 30.0 /8s of
+    /// allocated-unrouted-no-ROA space at study end, 60.8% under ARIN.
+    pub idle_blocks_per_rir: [usize; 5],
+    /// Routed blocks (/12s) that go dark — withdrawn at a random day in
+    /// the study and never signed. Reality behind Figure 5: ≈6 /8s of
+    /// routed space stopped being announced during the window, keeping
+    /// the unsigned-unrouted line flat while signers were signing.
+    pub dark_blocks_per_rir: [usize; 5],
+
+    /// Unrouted-but-signed holders: `(name, /12-block count, signing
+    /// date)`. Defaults encode Amazon (3.1 /8s), Prudential (1.0) and
+    /// Alibaba (0.64) plus a small-org tail, totalling ≈6.7 /8s.
+    pub unrouted_signers: Vec<(String, usize, Date)>,
+
+    /// DROP population mix.
+    pub mix: CategoryMix,
+
+    /// Probability a hijacked listing is withdrawn from BGP within 30
+    /// days. Set slightly above the paper's measured 70.7% because the
+    /// hijack population is diluted by the SS+HJ overlap and scripted
+    /// case-study prefixes, which rarely withdraw.
+    pub hj_withdraw_rate: f64,
+    /// Same for unallocated listings (paper measures 54.8%).
+    pub ua_withdraw_rate: f64,
+    /// Same for the remaining categories (low; mostly legitimate
+    /// allocations used maliciously).
+    pub other_withdraw_rate: f64,
+
+    /// Of the forged-IRR hijacks, how many create the IRR object more
+    /// than a year *after* first announcing (Figure 3's two outliers).
+    pub late_irr_outliers: usize,
+
+    /// ROA-signing probability after removal from DROP, per RIR
+    /// (Table 1 "Removed from DROP": 14.3/44.4/25.0/35.1/54.2%).
+    pub removed_signing_rate: [f64; 5],
+    /// ROA-signing probability while still listed, per RIR
+    /// (Table 1 "Present on DROP": 0/21.6/0.6/0/19.8%).
+    pub present_signing_rate: [f64; 5],
+    /// Of post-removal signings, the probability of signing with an ASN
+    /// *different* from the BGP origin at listing time. Drawn slightly
+    /// below the paper's measured 82.3% because entries whose route was
+    /// withdrawn before listing also measure as "different".
+    pub signed_with_different_asn_rate: f64,
+
+    /// Fraction of malicious-hosting address space deallocated by the RIR
+    /// after listing (§4.1: 17.4%).
+    pub mh_dealloc_rate: f64,
+    /// Probability a removed-from-DROP prefix is deallocated; drawn a
+    /// little above the paper's measured 8.8% so small-sample draws stay
+    /// near it.
+    pub removed_dealloc_rate: f64,
+
+    /// Regional distribution of removals from DROP, in RIR order
+    /// (Table 1 row sizes: 7/18/40/37/84 of 186).
+    pub removed_per_rir: [usize; 5],
+
+    /// Unallocated squats per RIR (Figure 6 clusters:
+    /// LACNIC 19, AFRINIC 12, APNIC 4, RIPE 3, ARIN 2).
+    pub ua_per_rir: [usize; 5],
+    /// Squats on unallocated space that never get DROP-listed but are
+    /// still announced at study end (these plus surviving UA listings are
+    /// what the APNIC/LACNIC AS0 TALs would filter; §6.2.2 found ≈30 per
+    /// peer).
+    pub unlisted_squats: usize,
+}
+
+impl WorldConfig {
+    /// Paper-scale world (populations calibrated to the published
+    /// numbers; background prefixes scaled 1/20).
+    pub fn paper() -> WorldConfig {
+        WorldConfig::default()
+    }
+
+    /// A small world for fast unit tests: every population scaled down
+    /// hard but every actor type still present.
+    pub fn small() -> WorldConfig {
+        WorldConfig {
+            peer_count: 8,
+            filtering_peer_count: 2,
+            background_per_rir: [10, 30, 40, 15, 40],
+            idle_blocks_per_rir: [4, 4, 20, 4, 4],
+            dark_blocks_per_rir: [1, 1, 4, 1, 1],
+            unrouted_signers: vec![
+                ("amazon".into(), 8, Date::from_ymd(2020, 10, 1)),
+                ("prudential".into(), 4, Date::from_ymd(2019, 9, 1)),
+            ],
+            mix: CategoryMix {
+                hj_forged_irr: 8,
+                hj_labeled_no_irr: 8,
+                hj_afrinic_incident: 4,
+                hj_unlabeled: 1,
+                ss_exclusive: 12,
+                ss_plus_hj: 2,
+                ss_plus_ks: 1,
+                ks_exclusive: 4,
+                mh_exclusive: 6,
+                ua: 8,
+                nr: 12,
+            },
+            late_irr_outliers: 1,
+            removed_per_rir: [1, 1, 3, 3, 4],
+            ua_per_rir: [2, 1, 1, 3, 1],
+            unlisted_squats: 4,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// The inclusive study window as a range.
+    pub fn study_days(&self) -> droplens_net::DateRange {
+        droplens_net::DateRange::inclusive(self.study_start, self.study_end)
+    }
+
+    /// Index of an RIR in the per-RIR arrays.
+    pub fn rir_index(rir: Rir) -> usize {
+        match rir {
+            Rir::Afrinic => 0,
+            Rir::Apnic => 1,
+            Rir::Arin => 2,
+            Rir::Lacnic => 3,
+            Rir::RipeNcc => 4,
+        }
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> WorldConfig {
+        WorldConfig {
+            study_start: Date::from_ymd(2019, 6, 5),
+            study_end: Date::from_ymd(2022, 3, 30),
+            history_start: Date::from_ymd(2017, 1, 1),
+            peer_count: 30,
+            filtering_peer_count: 3,
+            background_per_rir: [195, 2110, 3260, 755, 3410],
+            base_signing_rate: [0.118, 0.263, 0.085, 0.255, 0.330],
+            // Idle 24 /8s + dark 6 /8s = Figure 5's 30.0 /8s by study
+            // end (16 /12 blocks per /8); ARIN holds ≈61%.
+            idle_blocks_per_rir: [24, 30, 240, 32, 58],
+            dark_blocks_per_rir: [8, 12, 52, 12, 12],
+            unrouted_signers: vec![
+                // ≈3.1 /8s = 50 /12s, the Figure 5 "Amazon" event.
+                ("amazon".into(), 50, Date::from_ymd(2020, 10, 1)),
+                // Prudential's /8 was signed before the study began, so
+                // the percent-routed line starts near the paper's 97.1%.
+                ("prudential".into(), 16, Date::from_ymd(2019, 3, 1)),
+                ("alibaba".into(), 10, Date::from_ymd(2021, 2, 1)),
+                // Tail of smaller orgs to reach ≈6.7 /8s.
+                ("tail-a".into(), 12, Date::from_ymd(2019, 12, 1)),
+                ("tail-b".into(), 10, Date::from_ymd(2020, 6, 1)),
+                ("tail-c".into(), 9, Date::from_ymd(2021, 8, 1)),
+            ],
+            mix: CategoryMix::default(),
+            hj_withdraw_rate: 0.78,
+            ua_withdraw_rate: 0.58,
+            other_withdraw_rate: 0.03,
+            late_irr_outliers: 2,
+            removed_signing_rate: [0.143, 0.444, 0.250, 0.351, 0.542],
+            present_signing_rate: [0.0, 0.216, 0.006, 0.0, 0.198],
+            signed_with_different_asn_rate: 0.76,
+            mh_dealloc_rate: 0.174,
+            removed_dealloc_rate: 0.11,
+            removed_per_rir: [7, 18, 40, 37, 84],
+            ua_per_rir: [12, 4, 2, 19, 3],
+            unlisted_squats: 12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_matches_paper_population() {
+        let mix = CategoryMix::default();
+        assert_eq!(mix.total(), 712);
+        assert_eq!(mix.with_record(), 526);
+        // 179 hijack-labeled prefixes (§6.1), counting the SS+HJ overlap.
+        assert_eq!(
+            mix.hj_forged_irr
+                + mix.hj_labeled_no_irr
+                + mix.hj_afrinic_incident
+                + mix.hj_unlabeled
+                + mix.ss_plus_hj,
+            179
+        );
+        // 130 with a labeled malicious ASN (§5).
+        assert_eq!(
+            mix.hj_forged_irr + mix.hj_labeled_no_irr + mix.ss_plus_hj,
+            130
+        );
+    }
+
+    #[test]
+    fn default_dates_match_paper() {
+        let c = WorldConfig::default();
+        assert_eq!(c.study_start.to_string(), "2019-06-05");
+        assert_eq!(c.study_end.to_string(), "2022-03-30");
+        assert_eq!(c.study_days().len(), 1030);
+    }
+
+    #[test]
+    fn idle_plus_dark_total_thirty_slash8s() {
+        let c = WorldConfig::default();
+        let idle: usize = c.idle_blocks_per_rir.iter().sum();
+        let dark: usize = c.dark_blocks_per_rir.iter().sum();
+        // 16 /12 blocks per /8 equivalent: 30 /8s at study end.
+        assert_eq!(idle + dark, 480);
+        // ARIN share ≈ 60.8%.
+        let arin = (c.idle_blocks_per_rir[2] + c.dark_blocks_per_rir[2]) as f64;
+        let share = arin / (idle + dark) as f64;
+        assert!((share - 0.608).abs() < 0.02, "{share}");
+    }
+
+    #[test]
+    fn unrouted_signers_total_near_6_7_slash8s() {
+        let c = WorldConfig::default();
+        let blocks: usize = c.unrouted_signers.iter().map(|(_, n, _)| n).sum();
+        let slash8s = blocks as f64 / 16.0;
+        assert!((slash8s - 6.7).abs() < 0.3, "{slash8s}");
+    }
+
+    #[test]
+    fn removed_per_rir_totals_186() {
+        let c = WorldConfig::default();
+        assert_eq!(c.removed_per_rir.iter().sum::<usize>(), 186);
+        assert_eq!(c.mix.nr, 186);
+    }
+
+    #[test]
+    fn ua_per_rir_totals_40() {
+        let c = WorldConfig::default();
+        assert_eq!(c.ua_per_rir.iter().sum::<usize>(), 40);
+        assert_eq!(c.mix.ua, 40);
+    }
+
+    #[test]
+    fn small_config_is_consistent() {
+        let c = WorldConfig::small();
+        assert_eq!(c.ua_per_rir.iter().sum::<usize>(), c.mix.ua);
+        assert_eq!(c.removed_per_rir.iter().sum::<usize>(), c.mix.nr);
+        assert!(c.filtering_peer_count < c.peer_count);
+        assert!(c.mix.total() > 0);
+    }
+
+    #[test]
+    fn rir_index_order() {
+        assert_eq!(WorldConfig::rir_index(Rir::Afrinic), 0);
+        assert_eq!(WorldConfig::rir_index(Rir::RipeNcc), 4);
+    }
+}

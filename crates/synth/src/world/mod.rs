@@ -1,0 +1,124 @@
+//! World generation: the actor simulation and its emitted datasets.
+
+mod builder;
+
+use droplens_bgp::{format as bgpfmt, BgpUpdate, Peer};
+use droplens_drop::{DropSnapshot, SblDatabase};
+use droplens_irr::{journal as irrfmt, JournalEntry};
+use droplens_net::Date;
+use droplens_rir::format::{write_stats_file, StatsFile};
+use droplens_rpki::format::{write_events, RoaEvent};
+
+use crate::{GroundTruth, WorldConfig};
+
+/// A fully generated synthetic world: every dataset the paper's pipeline
+/// consumes, plus ground truth.
+pub struct World {
+    /// The configuration that produced it.
+    pub config: WorldConfig,
+    /// Collector peers.
+    pub peers: Vec<Peer>,
+    /// The complete BGP update stream, chronologically sorted.
+    pub bgp_updates: Vec<BgpUpdate>,
+    /// The IRR journal, chronologically sorted.
+    pub irr_journal: Vec<JournalEntry>,
+    /// The ROA event journal, chronologically sorted.
+    pub roa_events: Vec<RoaEvent>,
+    /// Dated RIR stats snapshots (one file per RIR per date).
+    pub rir_snapshots: Vec<(Date, Vec<StatsFile>)>,
+    /// Daily DROP snapshots over the study window.
+    pub drop_snapshots: Vec<DropSnapshot>,
+    /// SBL record bodies (NR prefixes are absent, as in reality).
+    pub sbl_db: SblDatabase,
+    /// What the generator actually did.
+    pub truth: GroundTruth,
+}
+
+impl World {
+    /// Generate a world from a seed and configuration. Identical inputs
+    /// produce identical worlds.
+    pub fn generate(seed: u64, config: &WorldConfig) -> World {
+        builder::Builder::new(seed, config.clone()).build()
+    }
+
+    /// The analyst's manual labels for SBL records that carry no
+    /// Appendix-A keyword (the paper's 7.3% bucket, inferred by a human
+    /// reading the record). Keyed by SBL id; derived from ground truth,
+    /// exactly as the paper's authors derived theirs by reading Spamhaus'
+    /// prose.
+    pub fn manual_labels(
+        &self,
+    ) -> std::collections::BTreeMap<droplens_drop::SblId, Vec<droplens_drop::Category>> {
+        use droplens_drop::{classify, Category};
+        let mut out = std::collections::BTreeMap::new();
+        for snap in &self.drop_snapshots {
+            for (prefix, sbl) in &snap.entries {
+                let Some(sbl) = sbl else { continue };
+                let Some(record) = self.sbl_db.get(*sbl) else {
+                    continue;
+                };
+                if classify(&record.text).keyword_hits > 0 {
+                    continue;
+                }
+                let Some(truth) = self.truth.for_prefix(prefix) else {
+                    continue;
+                };
+                let cats: Vec<Category> = truth
+                    .categories
+                    .iter()
+                    .map(|c| match c {
+                        crate::TrueCategory::Hijacked => Category::Hijacked,
+                        crate::TrueCategory::Snowshoe => Category::SnowshoeSpam,
+                        crate::TrueCategory::KnownSpamOp => Category::KnownSpamOperation,
+                        crate::TrueCategory::MaliciousHosting => Category::MaliciousHosting,
+                        crate::TrueCategory::Unallocated => Category::Unallocated,
+                    })
+                    .collect();
+                out.insert(*sbl, cats);
+            }
+        }
+        out
+    }
+
+    /// Serialize every dataset into its wire format.
+    pub fn to_text_archives(&self) -> TextArchives {
+        TextArchives {
+            bgp_updates: bgpfmt::write_updates(&self.bgp_updates, &self.peers),
+            irr_journal: irrfmt::write_journal(&self.irr_journal),
+            roa_events: write_events(&self.roa_events),
+            rir_snapshots: self
+                .rir_snapshots
+                .iter()
+                .map(|(date, files)| {
+                    (
+                        *date,
+                        files.iter().map(write_stats_file).collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+            drop_snapshots: self
+                .drop_snapshots
+                .iter()
+                .map(|s| (s.date, s.to_text()))
+                .collect(),
+            sbl_records: self.sbl_db.to_text(),
+        }
+    }
+}
+
+/// The datasets as archive text, exactly as a scraper would have fetched
+/// them.
+pub struct TextArchives {
+    /// `bgpdump -m`-style update lines.
+    pub bgp_updates: String,
+    /// NRTM-style IRR journal.
+    pub irr_journal: String,
+    /// ROA CSV journal.
+    pub roa_events: String,
+    /// Per-date delegated-extended files (one string per RIR).
+    pub rir_snapshots: Vec<(Date, Vec<String>)>,
+    /// Per-date DROP list files.
+    pub drop_snapshots: Vec<(Date, String)>,
+    /// SBL record blocks.
+    pub sbl_records: String,
+}

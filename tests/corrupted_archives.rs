@@ -1,0 +1,94 @@
+//! Robustness: corrupted archive bytes must fail loudly at parse time,
+//! never silently skew an analysis.
+
+use droplens_core::{Study, StudyConfig};
+use droplens_synth::{World, WorldConfig};
+
+fn base() -> (World, StudyConfig) {
+    let world = World::generate(17, &WorldConfig::small());
+    let config = StudyConfig::new(droplens_net::DateRange::inclusive(
+        world.config.study_start,
+        world.config.study_end,
+    ));
+    (world, config)
+}
+
+#[test]
+fn clean_archives_parse() {
+    let (world, config) = base();
+    let text = world.to_text_archives();
+    assert!(Study::from_text(config, world.peers.clone(), &text).is_ok());
+}
+
+#[test]
+fn corrupted_bgp_line_is_rejected() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    text.bgp_updates
+        .push_str("BGP4MP|2021-01-01|A|peer0|2000|not-a-prefix|1 2\n");
+    let err = match Study::from_text(config, world.peers.clone(), &text) {
+        Ok(_) => panic!("corrupted BGP line accepted"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("Ipv4Prefix"), "{err}");
+}
+
+#[test]
+fn truncated_roa_journal_is_rejected() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    // Chop the last line in half.
+    let cut = text.roa_events.len() - 15;
+    text.roa_events.truncate(cut);
+    assert!(Study::from_text(config, world.peers.clone(), &text).is_err());
+}
+
+#[test]
+fn out_of_order_irr_journal_is_rejected() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    // Append an entry dated before everything else.
+    text.irr_journal
+        .push_str("ADD 1999-01-01\n\nroute: 10.0.0.0/8\norigin: AS1\nsource: RADB\n");
+    assert!(Study::from_text(config, world.peers.clone(), &text).is_err());
+}
+
+#[test]
+fn garbage_stats_file_is_rejected() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    if let Some((_, files)) = text.rir_snapshots.first_mut() {
+        files[0] = "total garbage\n".to_owned();
+    }
+    assert!(Study::from_text(config, world.peers.clone(), &text).is_err());
+}
+
+#[test]
+fn corrupted_drop_snapshot_is_rejected() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    if let Some((_, body)) = text.drop_snapshots.last_mut() {
+        body.push_str("999.1.2.3/8 ; SBL1\n");
+    }
+    assert!(Study::from_text(config, world.peers.clone(), &text).is_err());
+}
+
+#[test]
+fn corrupted_sbl_block_is_rejected() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    text.sbl_records.push_str("\nNOT-AN-SBL-ID\nsome body\n");
+    assert!(Study::from_text(config, world.peers.clone(), &text).is_err());
+}
+
+#[test]
+fn comments_and_blank_lines_are_tolerated_everywhere() {
+    // The flip side: benign archive noise must NOT be rejected.
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    text.bgp_updates.insert_str(0, "# collector restarted\n\n");
+    text.roa_events.push_str("# end of journal\n");
+    text.irr_journal.insert_str(0, "% RADb mirror\n");
+    let study = Study::from_text(config, world.peers.clone(), &text).expect("noise tolerated");
+    assert_eq!(study.entries.len(), world.truth.listed.len());
+}

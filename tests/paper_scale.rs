@@ -1,0 +1,27 @@
+//! Paper-scale regression: generate the full-size world and assert the
+//! automated scorecard — every numeric claim of EXPERIMENTS.md — stays
+//! in band.
+//!
+//! This is the slowest test in the workspace (it is the whole paper);
+//! everything else runs on small worlds.
+
+use droplens_core::{paper, Study};
+use droplens_synth::{World, WorldConfig};
+
+#[test]
+fn scorecard_is_fully_in_band_at_paper_scale() {
+    let world = World::generate(42, &WorldConfig::paper());
+    let study = Study::from_world(&world);
+    let targets = paper::scorecard(&study);
+    let misses: Vec<&paper::Target> = targets.iter().filter(|t| !t.in_band()).collect();
+    assert!(
+        misses.is_empty(),
+        "targets out of band:\n{}",
+        misses
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(targets.len() >= 39);
+}
