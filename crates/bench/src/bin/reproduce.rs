@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper at full scale.
 //!
 //! ```text
-//! cargo run --release -p droplens-bench --bin reproduce [seed]
+//! cargo run --release -p droplens-bench --bin reproduce [seed] [--metrics-json PATH]
 //! ```
 //!
 //! Generates the paper-scale synthetic world (≈712 DROP listings, ≈12k
@@ -9,89 +9,183 @@
 //! the five-source study, and prints each experiment in the order the
 //! paper presents them. EXPERIMENTS.md records this output against the
 //! published numbers.
+//!
+//! Every stage runs under a `droplens-obs` span; `--metrics-json PATH`
+//! writes the resulting run report (per-stage wall clock, per-parser
+//! record counters) as stable JSON — the file committed as
+//! `BENCH_<date>.json`.
 
-use std::time::Instant;
+use std::fmt::Display;
+use std::path::PathBuf;
 
-use droplens_core::{experiments, Study};
+use droplens_core::{experiments, Study, StudyConfig};
+use droplens_net::DateRange;
+use droplens_obs::Registry;
 use droplens_synth::{World, WorldConfig};
 
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed must be a u64"))
-        .unwrap_or(42);
+    let mut seed = 42u64;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-json" {
+            let path = args.next().expect("--metrics-json wants a path");
+            metrics_json = Some(PathBuf::from(path));
+        } else {
+            seed = arg.parse().expect("seed must be a u64");
+        }
+    }
 
-    let t0 = Instant::now();
+    let obs = droplens_obs::global();
+    let run_span = obs.span("reproduce");
+
+    let gen_span = obs.span("generate");
     let config = WorldConfig::paper();
     let world = World::generate(seed, &config);
+    let generated_in = gen_span.finish();
     eprintln!(
         "world generated in {:?}: {} BGP updates, {} ROA events, {} IRR entries, {} listings",
-        t0.elapsed(),
+        generated_in,
         world.bgp_updates.len(),
         world.roa_events.len(),
         world.irr_journal.len(),
         world.truth.listed.len(),
     );
 
-    let t1 = Instant::now();
-    let study = Study::from_world(&world);
-    eprintln!("study built in {:?}\n", t1.elapsed());
+    // Round-trip through the wire formats so the run report counts every
+    // parsed record — the same path a deployment against real feeds uses.
+    // (`Study::from_text` and `Study::from_world` produce identical
+    // studies; the round trip is covered by core's tests.)
+    let study_span = obs.span("study");
+    let text = {
+        let _span = obs.span("serialize");
+        world.to_text_archives()
+    };
+    let mut study_config = StudyConfig::new(DateRange::inclusive(
+        world.config.study_start,
+        world.config.study_end,
+    ));
+    study_config.manual_labels = world.manual_labels();
+    let study = Study::from_text(study_config, world.peers.clone(), &text)
+        .expect("synthetic archives parse");
+    eprintln!("study built in {:?}\n", study_span.finish());
 
     println!("=== droplens reproduction (seed {seed}) ===\n");
 
-    section("Study overview");
-    println!("{}", experiments::summary::compute(&study));
-
-    section("Figure 1 — classification of DROP entries");
-    println!("{}", experiments::fig1::compute(&study));
-
-    section("Figure 2 — effects of blocklisting on visibility");
-    println!("{}", experiments::fig2::compute(&study));
-
-    section("Table 1 — RPKI signing rates");
-    println!("{}", experiments::table1::compute(&study));
-
-    section("Section 5 — effectiveness of the IRR");
-    println!("{}", experiments::sec5::compute(&study));
-
-    section("Figure 3 — forged-IRR lead times");
-    println!("{}", experiments::fig3::compute(&study));
-
-    section("Figure 4 / Section 6.1 — RPKI-signed hijacks");
-    println!("{}", experiments::fig4::compute(&study));
-
-    section("Figure 5 — routing status of ROAs");
-    println!("{}", experiments::fig5::compute(&study));
-
-    section("Figure 6 — unallocated space on DROP vs AS0 policies");
-    println!("{}", experiments::fig6::compute(&study));
-
-    section("Figure 7 — RIR free pools");
-    println!("{}", experiments::fig7::compute(&study));
-
-    section("Table 2 / Appendix A — SBL categorization");
-    println!("{}", experiments::table2::compute(&study));
-
-    section("Section 4.1 — deallocation after listing");
-    println!("{}", experiments::sec4::compute(&study));
-
-    section("Section 6.2 — AS0 at operator and RIR level");
-    println!("{}", experiments::sec6::compute(&study));
-
-    section("Extension — maxLength sub-prefix hijack surface");
-    println!("{}", experiments::ext_maxlen::compute(&study));
-
-    section("Extension — counterfactual ROV deployment");
-    println!("{}", experiments::ext_rov::compute(&study));
-
-    section("Extension — attacker-AS dossiers");
-    println!("{}", experiments::ext_profiles::compute(&study));
+    experiment(obs, "summary", "Study overview", || {
+        experiments::summary::compute(&study)
+    });
+    experiment(
+        obs,
+        "fig1",
+        "Figure 1 — classification of DROP entries",
+        || experiments::fig1::compute(&study),
+    );
+    experiment(
+        obs,
+        "fig2",
+        "Figure 2 — effects of blocklisting on visibility",
+        || experiments::fig2::compute(&study),
+    );
+    experiment(obs, "table1", "Table 1 — RPKI signing rates", || {
+        experiments::table1::compute(&study)
+    });
+    experiment(
+        obs,
+        "sec5",
+        "Section 5 — effectiveness of the IRR",
+        || experiments::sec5::compute(&study),
+    );
+    experiment(obs, "fig3", "Figure 3 — forged-IRR lead times", || {
+        experiments::fig3::compute(&study)
+    });
+    experiment(
+        obs,
+        "fig4",
+        "Figure 4 / Section 6.1 — RPKI-signed hijacks",
+        || experiments::fig4::compute(&study),
+    );
+    experiment(obs, "fig5", "Figure 5 — routing status of ROAs", || {
+        experiments::fig5::compute(&study)
+    });
+    experiment(
+        obs,
+        "fig6",
+        "Figure 6 — unallocated space on DROP vs AS0 policies",
+        || experiments::fig6::compute(&study),
+    );
+    experiment(obs, "fig7", "Figure 7 — RIR free pools", || {
+        experiments::fig7::compute(&study)
+    });
+    experiment(
+        obs,
+        "table2",
+        "Table 2 / Appendix A — SBL categorization",
+        || experiments::table2::compute(&study),
+    );
+    experiment(
+        obs,
+        "sec4",
+        "Section 4.1 — deallocation after listing",
+        || experiments::sec4::compute(&study),
+    );
+    experiment(
+        obs,
+        "sec6",
+        "Section 6.2 — AS0 at operator and RIR level",
+        || experiments::sec6::compute(&study),
+    );
+    experiment(
+        obs,
+        "ext_maxlen",
+        "Extension — maxLength sub-prefix hijack surface",
+        || experiments::ext_maxlen::compute(&study),
+    );
+    experiment(
+        obs,
+        "ext_rov",
+        "Extension — counterfactual ROV deployment",
+        || experiments::ext_rov::compute(&study),
+    );
+    experiment(
+        obs,
+        "ext_profiles",
+        "Extension — attacker-AS dossiers",
+        || experiments::ext_profiles::compute(&study),
+    );
 
     section("Scorecard — paper vs measured");
-    let targets = droplens_core::paper::scorecard(&study);
-    println!("{}", droplens_core::paper::render(&targets));
+    {
+        let _span = obs.span("experiments/scorecard");
+        let targets = droplens_core::paper::scorecard(&study);
+        println!("{}", droplens_core::paper::render(&targets));
+    }
 
-    eprintln!("total: {:?}", t0.elapsed());
+    eprintln!("total: {:?}", run_span.finish());
+
+    if let Some(path) = metrics_json {
+        let mut report = obs.report();
+        report.meta.insert("bin".to_owned(), "reproduce".to_owned());
+        report.meta.insert("seed".to_owned(), seed.to_string());
+        report.meta.insert("scale".to_owned(), "paper".to_owned());
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => eprintln!("metrics written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write metrics to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Print one experiment section, timing the compute under
+/// `reproduce/experiments/<name>`.
+fn experiment<T: Display>(obs: &Registry, name: &str, title: &str, compute: impl FnOnce() -> T) {
+    section(title);
+    let span = obs.span(&format!("experiments/{name}"));
+    let result = compute();
+    span.finish();
+    println!("{result}");
 }
 
 fn section(title: &str) {

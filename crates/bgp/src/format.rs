@@ -133,13 +133,26 @@ pub fn write_table_dump(archive: &crate::BgpArchive, date: Date) -> String {
 /// Parse a whole TABLE_DUMP2 file into per-peer tables. Blank and `#`
 /// lines are skipped.
 pub fn parse_table_dump(text: &str) -> Result<Vec<(PeerId, RibEntry)>, ParseError> {
+    let obs = droplens_obs::global();
+    let parsed = obs.counter("bgp.rib.parsed");
+    let skipped = obs.counter("bgp.rib.skipped");
+    let malformed = obs.counter("bgp.rib.malformed");
     let mut out = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
+            skipped.inc();
             continue;
         }
-        let (_, peer, _, entry) = parse_table_dump_line(line)?;
+        let (_, peer, _, entry) = match parse_table_dump_line(line) {
+            Ok(rec) => rec,
+            Err(e) => {
+                malformed.inc();
+                obs.error_sample("bgp.rib", e.to_string());
+                return Err(e);
+            }
+        };
+        parsed.inc();
         out.push((peer, entry));
     }
     Ok(out)
@@ -159,13 +172,28 @@ pub fn write_updates(updates: &[BgpUpdate], peers: &[Peer]) -> String {
 /// `#` comment lines are skipped; any malformed line aborts with an error
 /// identifying the line.
 pub fn parse_updates(text: &str) -> Result<Vec<BgpUpdate>, ParseError> {
+    let obs = droplens_obs::global();
+    let parsed = obs.counter("bgp.updates.parsed");
+    let skipped = obs.counter("bgp.updates.skipped");
+    let malformed = obs.counter("bgp.updates.malformed");
     let mut out = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
+            skipped.inc();
             continue;
         }
-        out.push(parse_update_line(line)?);
+        match parse_update_line(line) {
+            Ok(u) => {
+                parsed.inc();
+                out.push(u);
+            }
+            Err(e) => {
+                malformed.inc();
+                obs.error_sample("bgp.updates", e.to_string());
+                return Err(e);
+            }
+        }
     }
     Ok(out)
 }

@@ -60,6 +60,10 @@ USAGE:
     droplens validate --roas FILE --date YYYY-MM-DD [--all-tals] PREFIX ASN
     droplens help
 
+GLOBAL FLAGS:
+    --metrics           print the instrumentation summary to stderr
+    --metrics=PATH      write the run report as JSON to PATH
+
 EXPERIMENTS:
     all (default), summary, fig1..fig7, table1, table2, sec4, sec5, sec6,
     ext_maxlen, ext_profiles, ext_rov

@@ -6,9 +6,44 @@ use std::process::ExitCode;
 use droplens_cli::{commands, CliError, USAGE};
 use droplens_net::{Asn, Date, Ipv4Prefix};
 
+/// The global `--metrics[=PATH]` flag: where the run report should go.
+enum MetricsSink {
+    /// Human summary on stderr.
+    Stderr,
+    /// JSON run report at the given path.
+    Json(PathBuf),
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut metrics: Option<MetricsSink> = None;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--metrics" {
+                metrics = Some(MetricsSink::Stderr);
+                false
+            } else if let Some(path) = a.strip_prefix("--metrics=") {
+                metrics = Some(MetricsSink::Json(PathBuf::from(path)));
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    let result = run(&args);
+    if let Some(sink) = metrics {
+        let mut report = droplens_obs::global().report();
+        report.meta.insert("command".to_owned(), args.join(" "));
+        match sink {
+            MetricsSink::Stderr => eprint!("{}", report.to_text()),
+            MetricsSink::Json(path) => {
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!("droplens: cannot write metrics to {}: {e}", path.display());
+                }
+            }
+        }
+    }
+    match result {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

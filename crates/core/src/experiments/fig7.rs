@@ -80,8 +80,7 @@ pub fn compute(study: &Study) -> Fig7 {
             // undelegated (later allocations eat into the covered set).
             let mut covered = AddressSpace::ZERO;
             for p in as0_space.iter() {
-                if study.rir.rir_managing(&p, end) == Some(rir)
-                    && !study.rir.is_allocated(&p, end)
+                if study.rir.rir_managing(&p, end) == Some(rir) && !study.rir.is_allocated(&p, end)
                 {
                     covered += AddressSpace::of_prefix(&p);
                 }

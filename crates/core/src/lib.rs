@@ -31,7 +31,11 @@
 
 pub mod experiments;
 pub mod paper;
-pub mod report;
 mod study;
+
+// The table/series renderers moved into droplens-obs (the run-report
+// renderer shares them); the long-standing `droplens_core::report` path
+// keeps working via this re-export.
+pub use droplens_obs::report;
 
 pub use study::{Study, StudyConfig, StudyEntry};

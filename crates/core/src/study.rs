@@ -123,6 +123,7 @@ impl Study {
         ));
         config.manual_labels = world.manual_labels();
 
+        let index_span = droplens_obs::global().span("index");
         let bgp = BgpArchive::from_updates(world.peers.clone(), &world.bgp_updates);
         let irr = IrrRegistry::from_journal(&world.irr_journal);
         let roa = RoaArchive::from_events(&world.roa_events);
@@ -131,6 +132,7 @@ impl Study {
             rir.add_snapshot(*date, files);
         }
         let drop = DropTimeline::from_snapshots(&world.drop_snapshots);
+        index_span.finish();
         Self::assemble(
             config,
             world.peers.clone(),
@@ -150,21 +152,33 @@ impl Study {
         peers: Vec<Peer>,
         text: &TextArchives,
     ) -> Result<Study, ParseError> {
+        let obs = droplens_obs::global();
+        let load_span = obs.span("load");
         let updates = bgpfmt::parse_updates(&text.bgp_updates)?;
-        let bgp = BgpArchive::from_updates(peers.clone(), &updates);
-        let irr = IrrRegistry::from_journal(&journal::parse_journal(&text.irr_journal)?);
-        let roa = RoaArchive::from_events(&parse_events(&text.roa_events)?);
-        let mut rir = RirStatsArchive::new();
+        let irr_journal = journal::parse_journal(&text.irr_journal)?;
+        let roa_events = parse_events(&text.roa_events)?;
+        let mut rir_files = Vec::with_capacity(text.rir_snapshots.len());
         for (date, files) in &text.rir_snapshots {
             let parsed: Result<Vec<_>, _> = files.iter().map(|f| parse_stats_file(f)).collect();
-            rir.add_snapshot(*date, &parsed?);
+            rir_files.push((*date, parsed?));
         }
         let mut snapshots = Vec::with_capacity(text.drop_snapshots.len());
         for (date, body) in &text.drop_snapshots {
             snapshots.push(DropSnapshot::parse(*date, body)?);
         }
-        let drop = DropTimeline::from_snapshots(&snapshots);
         let sbl = SblDatabase::parse(&text.sbl_records)?;
+        load_span.finish();
+
+        let index_span = obs.span("index");
+        let bgp = BgpArchive::from_updates(peers.clone(), &updates);
+        let irr = IrrRegistry::from_journal(&irr_journal);
+        let roa = RoaArchive::from_events(&roa_events);
+        let mut rir = RirStatsArchive::new();
+        for (date, files) in &rir_files {
+            rir.add_snapshot(*date, files);
+        }
+        let drop = DropTimeline::from_snapshots(&snapshots);
+        index_span.finish();
         Ok(Self::assemble(config, peers, bgp, irr, roa, rir, drop, sbl))
     }
 
@@ -179,12 +193,18 @@ impl Study {
         drop: DropTimeline,
         sbl: SblDatabase,
     ) -> Study {
+        let obs = droplens_obs::global();
+        let annotate_span = obs.span("annotate");
         let mut entries: Vec<StudyEntry> = drop
             .entries()
             .iter()
             .map(|e| annotate(e, &sbl, &rir, &config))
             .collect();
+        annotate_span.finish();
+        let correlate_span = obs.span("correlate");
         mark_afrinic_incidents(&mut entries);
+        correlate_span.finish();
+        obs.counter("study.entries").add(entries.len() as u64);
         Study {
             config,
             peers,

@@ -62,22 +62,39 @@ impl DropSnapshot {
     /// Parse a snapshot file; the date is supplied by the archive layout
     /// (FireHOL names files by date), not the header comment.
     pub fn parse(date: Date, text: &str) -> Result<DropSnapshot, ParseError> {
+        let obs = droplens_obs::global();
+        let parsed = obs.counter("drop.list.parsed");
+        let skipped = obs.counter("drop.list.skipped");
+        let malformed = obs.counter("drop.list.malformed");
         let mut snapshot = DropSnapshot::new(date);
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with(';') || line.starts_with('#') {
+                skipped.inc();
                 continue;
             }
             let (prefix_s, sbl_s) = match line.split_once(';') {
                 Some((p, s)) => (p.trim(), Some(s.trim())),
                 None => (line, None),
             };
-            let prefix: Ipv4Prefix = prefix_s.parse()?;
-            let sbl = match sbl_s {
-                Some(s) if !s.is_empty() => Some(s.parse::<SblId>()?),
-                _ => None,
-            };
-            snapshot.insert(prefix, sbl);
+            let entry = prefix_s.parse::<Ipv4Prefix>().and_then(|prefix| {
+                let sbl = match sbl_s {
+                    Some(s) if !s.is_empty() => Some(s.parse::<SblId>()?),
+                    _ => None,
+                };
+                Ok((prefix, sbl))
+            });
+            match entry {
+                Ok((prefix, sbl)) => {
+                    parsed.inc();
+                    snapshot.insert(prefix, sbl);
+                }
+                Err(e) => {
+                    malformed.inc();
+                    obs.error_sample("drop.list", e.to_string());
+                    return Err(e);
+                }
+            }
         }
         Ok(snapshot)
     }

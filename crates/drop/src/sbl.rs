@@ -202,19 +202,29 @@ impl SblDatabase {
 
     /// Parse the block format written by [`SblDatabase::to_text`].
     pub fn parse(text: &str) -> Result<SblDatabase, ParseError> {
+        let obs = droplens_obs::global();
+        let parsed = obs.counter("drop.sbl.parsed");
         let mut db = SblDatabase::new();
         let mut current: Option<(SblId, String)> = None;
         for line in text.lines() {
             let trimmed = line.trim_end();
             if trimmed.is_empty() {
                 if let Some((id, body)) = current.take() {
+                    parsed.inc();
                     db.insert(SblRecord::new(id, body.trim_end()));
                 }
                 continue;
             }
             match &mut current {
                 None => {
-                    let id: SblId = trimmed.trim().parse()?;
+                    let id: SblId = match trimmed.trim().parse() {
+                        Ok(id) => id,
+                        Err(e) => {
+                            obs.counter("drop.sbl.malformed").inc();
+                            obs.error_sample("drop.sbl", e.to_string());
+                            return Err(e);
+                        }
+                    };
                     current = Some((id, String::new()));
                 }
                 Some((_, body)) => {
@@ -224,6 +234,7 @@ impl SblDatabase {
             }
         }
         if let Some((id, body)) = current.take() {
+            parsed.inc();
             db.insert(SblRecord::new(id, body.trim_end()));
         }
         Ok(db)

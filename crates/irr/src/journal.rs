@@ -62,6 +62,22 @@ pub fn write_journal(entries: &[JournalEntry]) -> String {
 /// skipped. Entries must be chronologically ordered (the registry replay
 /// relies on it); out-of-order entries are an error.
 pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, ParseError> {
+    let obs = droplens_obs::global();
+    let result = parse_journal_impl(text, &obs.counter("irr.journal.skipped"));
+    match &result {
+        Ok(entries) => obs.counter("irr.journal.parsed").add(entries.len() as u64),
+        Err(e) => {
+            obs.counter("irr.journal.malformed").inc();
+            obs.error_sample("irr.journal", e.to_string());
+        }
+    }
+    result
+}
+
+fn parse_journal_impl(
+    text: &str,
+    skipped: &droplens_obs::Counter,
+) -> Result<Vec<JournalEntry>, ParseError> {
     let mut entries: Vec<JournalEntry> = Vec::new();
     let mut pending: Option<(Date, JournalOp)> = None;
     let mut body = String::new();
@@ -90,6 +106,7 @@ pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, ParseError> {
     for line in text.lines() {
         let trimmed = line.trim_end();
         if trimmed.starts_with('%') {
+            skipped.inc();
             continue;
         }
         let is_op = trimmed.starts_with("ADD ") || trimmed.starts_with("DEL ");

@@ -1,0 +1,127 @@
+//! Minimal hand-rolled JSON writing, matching the repo's no-external-
+//! dependency idiom.
+//!
+//! Only what run reports need: objects with string keys, string/number
+//! values, nested objects, and string arrays. Keys are emitted in the
+//! order fields are added — reports add them from `BTreeMap`s, so the
+//! output is byte-stable for a given set of metrics.
+
+use std::fmt::Write as _;
+
+/// Escape `s` as the body of a JSON string literal (no quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An in-progress JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+        &mut self.buf
+    }
+
+    /// Add an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn field_i64(&mut self, k: &str, v: i64) -> &mut Self {
+        let _ = write!(self.key(k), "{v}");
+        self
+    }
+
+    /// Add a string field.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        let _ = write!(self.key(k), "\"{}\"", escape(v));
+        self
+    }
+
+    /// Add a nested object field.
+    pub fn field_object(&mut self, k: &str, v: JsonObject) -> &mut Self {
+        let rendered = v.finish();
+        self.key(k).push_str(&rendered);
+        self
+    }
+
+    /// Add a string-array field.
+    pub fn field_str_array(&mut self, k: &str, items: &[String]) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "\"{}\"", escape(item));
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Render the object.
+    pub fn finish(self) -> String {
+        if self.buf.is_empty() {
+            "{}".to_owned()
+        } else {
+            let mut buf = self.buf;
+            buf.push('}');
+            buf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn objects_nest() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("n", 3);
+        let mut outer = JsonObject::new();
+        outer
+            .field_str("name", "x")
+            .field_i64("delta", -2)
+            .field_object("inner", inner)
+            .field_str_array("tags", &["a".into(), "b\"c".into()]);
+        assert_eq!(
+            outer.finish(),
+            r#"{"name":"x","delta":-2,"inner":{"n":3},"tags":["a","b\"c"]}"#
+        );
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,38 @@
+//! droplens-obs: pipeline-wide instrumentation for droplens.
+//!
+//! A zero-heavy-dependency observability layer: counters, gauges, and
+//! log-bucket histograms ([`metrics`]), RAII span timers with nested
+//! paths ([`Span`]), a thread-safe [`Registry`] collecting them, and two
+//! renderers — a human text summary and a stable hand-rolled JSON
+//! document ([`RunReport`]) suitable for machine-readable run reports.
+//!
+//! The pipeline's built-in instrumentation records into the process-wide
+//! [`global`] registry; libraries that want isolation can carry their own
+//! [`Registry`] (cloning is one `Arc`).
+//!
+//! ```
+//! let reg = droplens_obs::Registry::new();
+//! let parsed = reg.counter("bgp.records.parsed");
+//! {
+//!     let _span = reg.span("parse");
+//!     parsed.add(3);
+//! }
+//! let report = reg.report();
+//! assert_eq!(report.counters["bgp.records.parsed"], 3);
+//! assert_eq!(report.spans["parse"].count, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod report;
+pub mod run_report;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
+pub use registry::{global, ErrorLog, Registry, SpanStat, ERROR_SAMPLES_KEPT};
+pub use run_report::RunReport;
+pub use span::Span;

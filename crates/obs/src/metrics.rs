@@ -1,0 +1,267 @@
+//! Metric primitives: counters, gauges, and log-bucket histograms.
+//!
+//! Every handle is a cheap `Arc`-backed clone over atomics, so the hot
+//! path (a parser loop bumping a counter per record) never takes a lock:
+//! the registry's map is only consulted when a handle is first looked
+//! up. Keep handles outside loops.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (registry-attached ones come from
+    /// [`crate::Registry::counter`]).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, pool sizes).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A free-standing gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: zero, 62 powers of two, and overflow.
+pub const BUCKETS: usize = 64;
+
+/// A histogram over `u64` samples with fixed log-spaced (power-of-two)
+/// buckets.
+///
+/// Bucket 0 holds exact zeros, bucket `i` (1..=62) holds samples in
+/// `[2^(i-1), 2^i)`, and bucket 63 is the overflow bucket for samples
+/// at or above `2^62`. Quantiles are estimated by linear interpolation
+/// inside the bucket containing the rank, clamped to the observed
+/// min/max, so they are exact at the distribution's ends and within a
+/// factor-of-two bucket elsewhere.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Lower/upper value bounds of bucket `i` (upper is exclusive).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        _ if i < BUCKETS - 1 => (1 << (i - 1), 1 << i),
+        _ => (1 << (BUCKETS - 2), u64::MAX),
+    }
+}
+
+impl Histogram {
+    /// A free-standing histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        inner.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        match self.count() {
+            0 => None,
+            _ => Some(self.0.min.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        match self.count() {
+            0 => None,
+            _ => Some(self.0.max.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample the quantile falls on.
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        // The extreme ranks are tracked exactly; only interior ranks need
+        // the bucket estimate.
+        if rank >= count {
+            return self.max();
+        }
+        if rank == 1 {
+            return self.min();
+        }
+        let mut before: u64 = 0;
+        for i in 0..BUCKETS {
+            let here = self.0.buckets[i].load(Ordering::Relaxed);
+            if here == 0 {
+                continue;
+            }
+            if before + here >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Interpolate the rank's midpoint position inside the
+                // bucket (rank k of n sits at (k - 0.5)/n, so a bucket's
+                // only sample estimates to its middle, not its edge).
+                let into = ((rank - before) as f64 - 0.5) / here as f64;
+                let est = lo as f64 + into * (hi.saturating_sub(lo)) as f64;
+                let est = est as u64;
+                // Clamp to observed extremes: exact at the ends.
+                return Some(est.clamp(
+                    self.0.min.load(Ordering::Relaxed),
+                    self.0.max.load(Ordering::Relaxed),
+                ));
+            }
+            before += here;
+        }
+        self.max()
+    }
+
+    /// Summarize into a plain-data snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p90: self.quantile(0.90).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// Plain-data snapshot of a histogram (what reports serialize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_bounds(1), (1, 2));
+        assert_eq!(bucket_bounds(2), (2, 4));
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.value(), 7);
+    }
+}

@@ -1,0 +1,229 @@
+//! The metric registry: named handles plus snapshotting.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::run_report::RunReport;
+use crate::span::Span;
+
+/// How many error samples each source retains (the first N seen).
+pub const ERROR_SAMPLES_KEPT: usize = 5;
+
+/// Accumulated timing of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans on this path.
+    pub count: u64,
+    /// Total wall-clock across them, nanoseconds.
+    pub total_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean wall-clock per span, nanoseconds.
+    pub fn mean_ns(&self) -> u64 {
+        match self.count {
+            0 => 0,
+            n => self.total_ns / n,
+        }
+    }
+}
+
+/// Error tally for one source: total seen plus the first few samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErrorLog {
+    /// Total errors recorded.
+    pub seen: u64,
+    /// The first [`ERROR_SAMPLES_KEPT`] error messages.
+    pub samples: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    errors: Mutex<BTreeMap<String, ErrorLog>>,
+}
+
+/// A thread-safe collection of named metrics.
+///
+/// Cloning is cheap (one `Arc`); all clones observe the same metrics.
+/// Lookups lock a `Mutex`-guarded map, but the returned handles mutate
+/// lock-free atomics, so the intended pattern is *resolve once, update
+/// often*. A sharded backend can later replace the maps without touching
+/// this API: handles would simply resolve against a shard.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("counter map poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("gauge map poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram map poisoned");
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Start an RAII span timer named `name`.
+    ///
+    /// The span's registry path nests under any span currently open on
+    /// this thread (`parent/child`); the duration is recorded when the
+    /// returned guard drops (or on [`Span::finish`]).
+    pub fn span(&self, name: &str) -> Span {
+        Span::enter(self.clone(), name)
+    }
+
+    /// Record a completed span (used by [`Span`]; callers can also feed
+    /// externally measured durations).
+    pub fn record_span(&self, path: &str, duration: std::time::Duration) {
+        let mut map = self.inner.spans.lock().expect("span map poisoned");
+        let stat = map.entry(path.to_owned()).or_default();
+        stat.count += 1;
+        stat.total_ns = stat
+            .total_ns
+            .saturating_add(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one error for `source`, retaining the first
+    /// [`ERROR_SAMPLES_KEPT`] sample messages.
+    pub fn error_sample(&self, source: &str, message: impl Into<String>) {
+        let mut map = self.inner.errors.lock().expect("error map poisoned");
+        let log = map.entry(source.to_owned()).or_default();
+        log.seen += 1;
+        if log.samples.len() < ERROR_SAMPLES_KEPT {
+            log.samples.push(message.into());
+        }
+    }
+
+    /// Snapshot every metric into a plain-data report.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            meta: BTreeMap::new(),
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .expect("counter map poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .expect("gauge map poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .expect("histogram map poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+            spans: self.inner.spans.lock().expect("span map poisoned").clone(),
+            errors: self
+                .inner
+                .errors
+                .lock()
+                .expect("error map poisoned")
+                .clone(),
+        }
+    }
+
+    /// Discard every metric (new handles required afterwards: handles
+    /// resolved before the reset keep feeding their detached atomics).
+    pub fn reset(&self) {
+        self.inner
+            .counters
+            .lock()
+            .expect("counter map poisoned")
+            .clear();
+        self.inner
+            .gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .clear();
+        self.inner
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .clear();
+        self.inner.spans.lock().expect("span map poisoned").clear();
+        self.inner
+            .errors
+            .lock()
+            .expect("error map poisoned")
+            .clear();
+    }
+}
+
+/// The process-wide registry the pipeline's built-in instrumentation
+/// records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let r = Registry::new();
+        r.counter("x").inc();
+        r.counter("x").add(2);
+        assert_eq!(r.counter("x").value(), 3);
+        let snap = r.report();
+        assert_eq!(snap.counters["x"], 3);
+    }
+
+    #[test]
+    fn error_samples_capped() {
+        let r = Registry::new();
+        for i in 0..10 {
+            r.error_sample("src", format!("e{i}"));
+        }
+        let snap = r.report();
+        assert_eq!(snap.errors["src"].seen, 10);
+        assert_eq!(snap.errors["src"].samples.len(), ERROR_SAMPLES_KEPT);
+        assert_eq!(snap.errors["src"].samples[0], "e0");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.record_span("s", std::time::Duration::from_millis(1));
+        r.reset();
+        let snap = r.report();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! The run report: a plain-data snapshot of a registry, renderable as a
+//! human text summary or a stable machine-readable JSON document.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::JsonObject;
+use crate::metrics::HistogramSummary;
+use crate::registry::{ErrorLog, SpanStat};
+use crate::report::TextTable;
+
+/// Everything a registry knew at snapshot time.
+///
+/// Produced by [`crate::Registry::report`]; `meta` is caller-populated
+/// (seed, scale, command line) and travels into both renderings.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Free-form run context (seed, scale, ...), caller-populated.
+    pub meta: BTreeMap<String, String>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span timings by nested path.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Error tallies by source.
+    pub errors: BTreeMap<String, ErrorLog>,
+}
+
+/// Render nanoseconds the way `Duration`'s `Debug` does (`1.23ms`).
+fn ns(n: u64) -> String {
+    format!("{:?}", Duration::from_nanos(n))
+}
+
+impl RunReport {
+    /// True when nothing was recorded (meta is ignored).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.errors.is_empty()
+    }
+
+    /// Human-readable multi-section summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if !self.meta.is_empty() {
+            let mut t = TextTable::new(vec!["meta", "value"]);
+            for (k, v) in &self.meta {
+                t.row(vec![k.as_str(), v.as_str()]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.spans.is_empty() {
+            let mut t = TextTable::new(vec!["span", "count", "total", "mean"]);
+            for (path, s) in &self.spans {
+                t.row(vec![
+                    path.clone(),
+                    s.count.to_string(),
+                    ns(s.total_ns),
+                    ns(s.mean_ns()),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.counters.is_empty() {
+            let mut t = TextTable::new(vec!["counter", "value"]);
+            for (k, v) in &self.counters {
+                t.row(vec![k.clone(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.gauges.is_empty() {
+            let mut t = TextTable::new(vec!["gauge", "value"]);
+            for (k, v) in &self.gauges {
+                t.row(vec![k.clone(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.histograms.is_empty() {
+            let mut t = TextTable::new(vec![
+                "histogram",
+                "count",
+                "min",
+                "p50",
+                "p90",
+                "p99",
+                "max",
+            ]);
+            for (k, h) in &self.histograms {
+                t.row(vec![
+                    k.clone(),
+                    h.count.to_string(),
+                    h.min.to_string(),
+                    h.p50.to_string(),
+                    h.p90.to_string(),
+                    h.p99.to_string(),
+                    h.max.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if !self.errors.is_empty() {
+            let mut t = TextTable::new(vec!["errors", "seen", "first samples"]);
+            for (k, e) in &self.errors {
+                t.row(vec![k.clone(), e.seen.to_string(), e.samples.join(" | ")]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Stable machine-readable JSON (schema `droplens-obs/1`).
+    ///
+    /// Key order is deterministic (maps are sorted by name, field order
+    /// is fixed), so identical runs produce byte-identical documents —
+    /// suitable for committing as `BENCH_<date>.json`.
+    pub fn to_json(&self) -> String {
+        let mut root = JsonObject::new();
+        root.field_str("schema", "droplens-obs/1");
+
+        let mut meta = JsonObject::new();
+        for (k, v) in &self.meta {
+            meta.field_str(k, v);
+        }
+        root.field_object("meta", meta);
+
+        let mut counters = JsonObject::new();
+        for (k, v) in &self.counters {
+            counters.field_u64(k, *v);
+        }
+        root.field_object("counters", counters);
+
+        let mut gauges = JsonObject::new();
+        for (k, v) in &self.gauges {
+            gauges.field_i64(k, *v);
+        }
+        root.field_object("gauges", gauges);
+
+        let mut histograms = JsonObject::new();
+        for (k, h) in &self.histograms {
+            let mut o = JsonObject::new();
+            o.field_u64("count", h.count)
+                .field_u64("sum", h.sum)
+                .field_u64("min", h.min)
+                .field_u64("max", h.max)
+                .field_u64("p50", h.p50)
+                .field_u64("p90", h.p90)
+                .field_u64("p99", h.p99);
+            histograms.field_object(k, o);
+        }
+        root.field_object("histograms", histograms);
+
+        let mut spans = JsonObject::new();
+        for (k, s) in &self.spans {
+            let mut o = JsonObject::new();
+            o.field_u64("count", s.count)
+                .field_u64("total_ns", s.total_ns)
+                .field_u64("mean_ns", s.mean_ns());
+            spans.field_object(k, o);
+        }
+        root.field_object("spans", spans);
+
+        let mut errors = JsonObject::new();
+        for (k, e) in &self.errors {
+            let mut o = JsonObject::new();
+            o.field_u64("seen", e.seen)
+                .field_str_array("samples", &e.samples);
+            errors.field_object(k, o);
+        }
+        root.field_object("errors", errors);
+
+        let mut out = root.finish();
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_renders() {
+        let r = RunReport::default();
+        assert!(r.is_empty());
+        assert_eq!(r.to_text(), "(no metrics recorded)\n");
+        assert!(r.to_json().starts_with("{\"schema\":\"droplens-obs/1\""));
+    }
+}

@@ -1,0 +1,121 @@
+//! RAII span timers with per-thread nesting.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::registry::Registry;
+
+thread_local! {
+    /// Segments of the spans currently open on this thread, outermost
+    /// first. Shared across registries: nesting reflects the dynamic
+    /// call structure, not registry identity.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span: measures wall-clock from creation until drop (or
+/// [`Span::finish`]) and records it under its nested path.
+///
+/// Spans opened while another span is open on the same thread nest:
+/// a span `load` opened inside `study` records as `study/load`. Spans
+/// are thread-bound — drop them on the thread that opened them.
+#[derive(Debug)]
+pub struct Span {
+    registry: Registry,
+    path: String,
+    depth: usize,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    pub(crate) fn enter(registry: Registry, name: &str) -> Span {
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let depth = stack.len();
+            stack.push(name.to_owned());
+            (stack.join("/"), depth)
+        });
+        Span {
+            registry,
+            path,
+            depth,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// The full nested path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Wall-clock since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Close the span now and return its duration.
+    pub fn finish(mut self) -> Duration {
+        self.record();
+        self.start.elapsed()
+    }
+
+    fn record(&mut self) {
+        if self.recorded {
+            return;
+        }
+        self.recorded = true;
+        self.registry.record_span(&self.path, self.start.elapsed());
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // LIFO in well-formed use; truncating self-heals if an outer
+            // span is dropped before an inner one.
+            stack.truncate(self.depth);
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_builds_paths() {
+        let r = Registry::new();
+        {
+            let _outer = r.span("outer");
+            {
+                let inner = r.span("inner");
+                assert_eq!(inner.path(), "outer/inner");
+            }
+            let sibling = r.span("sibling");
+            assert_eq!(sibling.path(), "outer/sibling");
+        }
+        let after = r.span("after");
+        assert_eq!(after.path(), "after");
+        drop(after);
+
+        let snap = r.report();
+        let paths: Vec<&str> = snap.spans.keys().map(String::as_str).collect();
+        assert_eq!(
+            paths,
+            vec!["after", "outer", "outer/inner", "outer/sibling"]
+        );
+        assert_eq!(snap.spans["outer"].count, 1);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let r = Registry::new();
+        let s = r.span("once");
+        let d = s.finish();
+        assert!(d >= Duration::ZERO);
+        assert_eq!(r.report().spans["once"].count, 1);
+    }
+}

@@ -63,12 +63,31 @@ pub fn write_stats_file(file: &StatsFile) -> String {
 
 /// Parse a delegated(-extended) stats file.
 pub fn parse_stats_file(text: &str) -> Result<StatsFile, ParseError> {
+    let obs = droplens_obs::global();
+    let result = parse_stats_file_impl(text, &obs.counter("rir.stats.skipped"));
+    match &result {
+        Ok(file) => obs
+            .counter("rir.stats.parsed")
+            .add(file.records.len() as u64),
+        Err(e) => {
+            obs.counter("rir.stats.malformed").inc();
+            obs.error_sample("rir.stats", e.to_string());
+        }
+    }
+    result
+}
+
+fn parse_stats_file_impl(
+    text: &str,
+    skipped: &droplens_obs::Counter,
+) -> Result<StatsFile, ParseError> {
     let mut rir: Option<Rir> = None;
     let mut date: Option<Date> = None;
     let mut records = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
+            skipped.inc();
             continue;
         }
         let fields: Vec<&str> = line.split('|').collect();
@@ -79,12 +98,14 @@ pub fn parse_stats_file(text: &str) -> Result<StatsFile, ParseError> {
             continue;
         }
         if fields.len() >= 6 && fields[5] == "summary" {
+            skipped.inc();
             continue;
         }
         if fields.len() < 7 {
             return Err(ParseError::new("StatsFile", line, "too few fields"));
         }
         if fields[2] != "ipv4" {
+            skipped.inc();
             continue; // asn / ipv6 rows
         }
         let row_rir: Rir = fields[0].parse()?;

@@ -60,10 +60,27 @@ pub fn write_events(events: &[RoaEvent]) -> String {
 /// Parse a CSV journal. The header is optional; blank and `#` lines are
 /// skipped; events must be chronological.
 pub fn parse_events(text: &str) -> Result<Vec<RoaEvent>, ParseError> {
+    let obs = droplens_obs::global();
+    let result = parse_events_impl(text, &obs.counter("rpki.events.skipped"));
+    match &result {
+        Ok(events) => obs.counter("rpki.events.parsed").add(events.len() as u64),
+        Err(e) => {
+            obs.counter("rpki.events.malformed").inc();
+            obs.error_sample("rpki.events", e.to_string());
+        }
+    }
+    result
+}
+
+fn parse_events_impl(
+    text: &str,
+    skipped: &droplens_obs::Counter,
+) -> Result<Vec<RoaEvent>, ParseError> {
     let mut out: Vec<RoaEvent> = Vec::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line == HEADER {
+            skipped.inc();
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();

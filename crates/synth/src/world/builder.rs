@@ -96,27 +96,35 @@ impl Builder {
     }
 
     pub(crate) fn build(mut self) -> World {
-        let peers = self.gen_peers();
+        // Each phase records its wall-clock under the enclosing
+        // `synth.generate` span.
+        macro_rules! phase {
+            ($name:literal, $e:expr) => {{
+                let _span = droplens_obs::global().span($name);
+                $e
+            }};
+        }
+        let peers = phase!("peers", self.gen_peers());
         // Scripted stories and every explicitly-sized population allocate
         // first; the fillers then absorb whatever delegated space remains
         // (down to each pool's Figure 7 starting level), and the in-study
         // drip + squats draw on the leftover pool.
-        self.gen_case_study();
-        self.gen_operator_as0();
-        self.gen_attacker_roa_hijacks();
-        self.gen_background();
-        self.gen_idle_holders();
-        self.gen_unrouted_signers();
-        self.gen_forged_irr_hijacks();
-        self.gen_plain_hijacks();
-        self.gen_afrinic_incidents();
-        self.gen_spam_hosting();
-        self.gen_nr_population();
-        self.gen_fillers();
-        self.gen_in_study_allocations();
-        self.gen_unallocated_squats();
-        self.gen_rir_as0_tals();
-        self.assemble(peers)
+        phase!("case_study", self.gen_case_study());
+        phase!("operator_as0", self.gen_operator_as0());
+        phase!("attacker_roa_hijacks", self.gen_attacker_roa_hijacks());
+        phase!("background", self.gen_background());
+        phase!("idle_holders", self.gen_idle_holders());
+        phase!("unrouted_signers", self.gen_unrouted_signers());
+        phase!("forged_irr_hijacks", self.gen_forged_irr_hijacks());
+        phase!("plain_hijacks", self.gen_plain_hijacks());
+        phase!("afrinic_incidents", self.gen_afrinic_incidents());
+        phase!("spam_hosting", self.gen_spam_hosting());
+        phase!("nr_population", self.gen_nr_population());
+        phase!("fillers", self.gen_fillers());
+        phase!("in_study_allocations", self.gen_in_study_allocations());
+        phase!("unallocated_squats", self.gen_unallocated_squats());
+        phase!("rir_as0_tals", self.gen_rir_as0_tals());
+        phase!("assemble", self.assemble(peers))
     }
 
     // ----- small helpers ---------------------------------------------------
@@ -795,8 +803,11 @@ impl Builder {
             self.originate(block, origin, transits, bgp_start, end);
 
             // 43% of route objects disappear within the month after
-            // listing; some more later; the rest linger.
-            if self.rng.gen_bool(0.55) {
+            // listing; some more later; the rest linger. (The month-after
+            // draw sits above the paper's 43% because the §5 denominator
+            // also counts listings whose only object is an owner legacy
+            // record, which never gets cleaned up.)
+            if self.rng.gen_bool(0.75) {
                 let dd = listed + self.rng.gen_range(3..30);
                 self.irr_del(dd, forged);
             } else if self.rng.gen_bool(0.4) {

@@ -38,7 +38,20 @@ impl World {
     /// Generate a world from a seed and configuration. Identical inputs
     /// produce identical worlds.
     pub fn generate(seed: u64, config: &WorldConfig) -> World {
-        builder::Builder::new(seed, config.clone()).build()
+        let obs = droplens_obs::global();
+        let world = {
+            let _span = obs.span("synth.generate");
+            builder::Builder::new(seed, config.clone()).build()
+        };
+        obs.counter("synth.bgp_updates")
+            .add(world.bgp_updates.len() as u64);
+        obs.counter("synth.irr_entries")
+            .add(world.irr_journal.len() as u64);
+        obs.counter("synth.roa_events")
+            .add(world.roa_events.len() as u64);
+        obs.counter("synth.drop_listings")
+            .add(world.truth.listed.len() as u64);
+        world
     }
 
     /// The analyst's manual labels for SBL records that carry no

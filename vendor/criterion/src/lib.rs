@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `criterion` to this vendored subset (see `[patch.crates-io]`
+//! in the workspace manifest). It keeps the repo's `cargo bench` targets
+//! compiling and producing useful plain-text timings: each benchmark
+//! routine is warmed up once, then timed over enough iterations to fill
+//! a small measurement budget, and the mean time per iteration is
+//! printed. There is no statistical analysis, HTML report, or history.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark, reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes, in decimal multiples (API parity).
+    BytesDecimal(u64),
+}
+
+/// How `iter_batched` amortizes setup; ignored by this subset.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher<'a> {
+    budget: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called repeatedly until the measurement budget is
+    /// spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass, also sizes the first measurement batch.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let start = Instant::now();
+        while spent < self.budget && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+            spent = start.elapsed();
+        }
+        let mean = if iters > 0 {
+            spent / iters as u32
+        } else {
+            once
+        };
+        *self.result = Some(Sample { mean, iters });
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup excluded from
+    /// the measurement as closely as a single-pass harness allows).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < self.budget && iters < 1_000_000 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        let mean = if iters > 0 {
+            spent / iters as u32
+        } else {
+            Duration::ZERO
+        };
+        *self.result = Some(Sample { mean, iters });
+    }
+}
+
+fn run_one(prefix: &str, id: &str, budget: Duration, throughput: Option<Throughput>) -> RunOne {
+    RunOne {
+        name: if prefix.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{prefix}/{id}")
+        },
+        budget,
+        throughput,
+    }
+}
+
+struct RunOne {
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl RunOne {
+    fn execute<F: FnMut(&mut Bencher)>(self, mut f: F) {
+        let mut result = None;
+        let mut b = Bencher {
+            budget: self.budget,
+            result: &mut result,
+        };
+        f(&mut b);
+        match result {
+            Some(s) => {
+                let mut line = format!(
+                    "{:<50} time: {:>12?}  ({} iters)",
+                    self.name, s.mean, s.iters
+                );
+                if let Some(t) = self.throughput {
+                    let per_sec = |n: u64| n as f64 / s.mean.as_secs_f64();
+                    match t {
+                        Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                            line.push_str(&format!(
+                                "  thrpt: {:.1} MiB/s",
+                                per_sec(n) / (1024.0 * 1024.0)
+                            ));
+                        }
+                        Throughput::Elements(n) => {
+                            line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(n)));
+                        }
+                    }
+                }
+                println!("{line}");
+            }
+            None => println!("{:<50} (no measurement)", self.name),
+        }
+    }
+}
+
+/// The benchmark manager: entry point of every bench target.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure from CLI args (accepted and ignored; filters and
+    /// criterion flags have no effect in this subset).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one("", id, self.budget, None).execute(f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            budget: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    budget: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the nominal sample count (folded into the time budget here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement time; this subset caps it at one second to
+    /// keep `cargo bench` quick.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.budget = t.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&self.name, id, self.budget, self.throughput).execute(f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
