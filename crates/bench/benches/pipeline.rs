@@ -1,0 +1,63 @@
+//! Pipeline throughput: the end-to-end parallel study build
+//! (`Study::from_text`) and the daily-visibility queries (`routed_at`)
+//! the experiments hammer.
+//!
+//! Run with `cargo bench -p droplens-bench --bench pipeline`.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use droplens_core::{Study, StudyConfig};
+use droplens_net::DateRange;
+use droplens_synth::{World, WorldConfig};
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(42, &WorldConfig::small()))
+}
+
+fn study() -> &'static Study {
+    static STUDY: OnceLock<Study> = OnceLock::new();
+    STUDY.get_or_init(|| Study::from_world(world()))
+}
+
+/// The full text round trip: serialize once outside the loop, then time
+/// parse + index + annotate — the deployment path against real feeds.
+fn bench_from_text(c: &mut Criterion) {
+    let w = world();
+    let text = w.to_text_archives();
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    g.bench_function("bench_study_from_text", |b| {
+        b.iter(|| {
+            let mut config = StudyConfig::new(DateRange::inclusive(
+                w.config.study_start,
+                w.config.study_end,
+            ));
+            config.manual_labels = w.manual_labels();
+            Study::from_text(config, w.peers.clone(), &text).expect("synthetic archives parse")
+        })
+    });
+    g.finish();
+}
+
+/// `routed_at` over every observed prefix at study end — the query
+/// pattern of fig5's monthly sampling and the scorecard, served by the
+/// per-prefix daily-visibility index.
+fn bench_routed_at(c: &mut Criterion) {
+    let s = study();
+    let end = s.config.window.last().expect("non-empty window");
+    let prefixes: Vec<_> = s.bgp.prefixes().collect();
+    let mut g = c.benchmark_group("pipeline");
+    g.measurement_time(Duration::from_secs(5));
+
+    g.bench_function("bench_routed_at_full_table", |b| {
+        b.iter(|| prefixes.iter().filter(|&p| s.routed_at(p, end)).count())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_from_text, bench_routed_at);
+criterion_main!(benches);

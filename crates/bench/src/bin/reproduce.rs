@@ -18,9 +18,8 @@
 use std::fmt::Display;
 use std::path::PathBuf;
 
-use droplens_core::{experiments, Study, StudyConfig};
+use droplens_core::{paper, Study, StudyConfig};
 use droplens_net::DateRange;
-use droplens_obs::Registry;
 use droplens_synth::{World, WorldConfig};
 
 fn main() {
@@ -72,93 +71,50 @@ fn main() {
 
     println!("=== droplens reproduction (seed {seed}) ===\n");
 
-    experiment(obs, "summary", "Study overview", || {
-        experiments::summary::compute(&study)
-    });
-    experiment(
-        obs,
-        "fig1",
-        "Figure 1 — classification of DROP entries",
-        || experiments::fig1::compute(&study),
-    );
-    experiment(
-        obs,
-        "fig2",
+    // Compute every experiment exactly once, fanning out across workers
+    // (each records its own `reproduce/experiments/<name>` span), then
+    // print from this thread in the paper's presentation order.
+    let results =
+        paper::ExperimentResults::compute_with_spans(&study, Some("reproduce/experiments"));
+
+    present("Study overview", &results.summary);
+    present("Figure 1 — classification of DROP entries", &results.fig1);
+    present(
         "Figure 2 — effects of blocklisting on visibility",
-        || experiments::fig2::compute(&study),
+        &results.fig2,
     );
-    experiment(obs, "table1", "Table 1 — RPKI signing rates", || {
-        experiments::table1::compute(&study)
-    });
-    experiment(
-        obs,
-        "sec5",
-        "Section 5 — effectiveness of the IRR",
-        || experiments::sec5::compute(&study),
-    );
-    experiment(obs, "fig3", "Figure 3 — forged-IRR lead times", || {
-        experiments::fig3::compute(&study)
-    });
-    experiment(
-        obs,
-        "fig4",
+    present("Table 1 — RPKI signing rates", &results.table1);
+    present("Section 5 — effectiveness of the IRR", &results.sec5);
+    present("Figure 3 — forged-IRR lead times", &results.fig3);
+    present(
         "Figure 4 / Section 6.1 — RPKI-signed hijacks",
-        || experiments::fig4::compute(&study),
+        &results.fig4,
     );
-    experiment(obs, "fig5", "Figure 5 — routing status of ROAs", || {
-        experiments::fig5::compute(&study)
-    });
-    experiment(
-        obs,
-        "fig6",
+    present("Figure 5 — routing status of ROAs", &results.fig5);
+    present(
         "Figure 6 — unallocated space on DROP vs AS0 policies",
-        || experiments::fig6::compute(&study),
+        &results.fig6,
     );
-    experiment(obs, "fig7", "Figure 7 — RIR free pools", || {
-        experiments::fig7::compute(&study)
-    });
-    experiment(
-        obs,
-        "table2",
-        "Table 2 / Appendix A — SBL categorization",
-        || experiments::table2::compute(&study),
-    );
-    experiment(
-        obs,
-        "sec4",
-        "Section 4.1 — deallocation after listing",
-        || experiments::sec4::compute(&study),
-    );
-    experiment(
-        obs,
-        "sec6",
-        "Section 6.2 — AS0 at operator and RIR level",
-        || experiments::sec6::compute(&study),
-    );
-    experiment(
-        obs,
-        "ext_maxlen",
+    present("Figure 7 — RIR free pools", &results.fig7);
+    present("Table 2 / Appendix A — SBL categorization", &results.table2);
+    present("Section 4.1 — deallocation after listing", &results.sec4);
+    present("Section 6.2 — AS0 at operator and RIR level", &results.sec6);
+    present(
         "Extension — maxLength sub-prefix hijack surface",
-        || experiments::ext_maxlen::compute(&study),
+        &results.ext_maxlen,
     );
-    experiment(
-        obs,
-        "ext_rov",
+    present(
         "Extension — counterfactual ROV deployment",
-        || experiments::ext_rov::compute(&study),
+        &results.ext_rov,
     );
-    experiment(
-        obs,
-        "ext_profiles",
-        "Extension — attacker-AS dossiers",
-        || experiments::ext_profiles::compute(&study),
-    );
+    present("Extension — attacker-AS dossiers", &results.ext_profiles);
 
     section("Scorecard — paper vs measured");
     {
+        // Evaluates the precomputed results — the suite is not recomputed.
         let _span = obs.span("experiments/scorecard");
-        let targets = droplens_core::paper::scorecard(&study);
-        println!("{}", droplens_core::paper::render(&targets));
+        let targets = paper::scorecard_with(&study, &results);
+        println!("{}", paper::render(&targets));
     }
 
     eprintln!("total: {:?}", run_span.finish());
@@ -178,13 +134,9 @@ fn main() {
     }
 }
 
-/// Print one experiment section, timing the compute under
-/// `reproduce/experiments/<name>`.
-fn experiment<T: Display>(obs: &Registry, name: &str, title: &str, compute: impl FnOnce() -> T) {
+/// Print one precomputed experiment section.
+fn present<T: Display>(title: &str, result: &T) {
     section(title);
-    let span = obs.span(&format!("experiments/{name}"));
-    let result = compute();
-    span.finish();
     println!("{result}");
 }
 

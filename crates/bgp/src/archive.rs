@@ -34,10 +34,53 @@ impl Interval {
 }
 
 /// Per-prefix observation record: intervals for every peer that ever
-/// carried the prefix.
+/// carried the prefix, plus the cross-peer union of those intervals
+/// (the daily-visibility index), precomputed once at index time.
 #[derive(Debug, Default)]
 struct PrefixRecord {
     by_peer: BTreeMap<PeerId, Vec<Interval>>,
+    /// Disjoint, sorted `[start, end)` spans during which *any* peer
+    /// carried the prefix (`end == None` = through end of archive).
+    /// "Was this prefix visible on day X" becomes one binary search
+    /// instead of a scan over every peer lane.
+    merged: Vec<(Date, Option<Date>)>,
+}
+
+impl PrefixRecord {
+    /// Rebuild [`Self::merged`] from the peer lanes.
+    fn build_visibility(&mut self) {
+        let mut spans: Vec<(Date, Option<Date>)> = self
+            .by_peer
+            .values()
+            .flatten()
+            .map(|iv| (iv.start, iv.end))
+            .collect();
+        spans.sort_by_key(|&(s, _)| s);
+        let mut merged: Vec<(Date, Option<Date>)> = Vec::with_capacity(spans.len().min(8));
+        for (s, e) in spans {
+            if let Some(last) = merged.last_mut() {
+                // `s == end` merges too: [a, e) ∪ [e, b) is contiguous.
+                if last.1.is_none_or(|end| s <= end) {
+                    last.1 = match (last.1, e) {
+                        (None, _) | (_, None) => None,
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                    };
+                    continue;
+                }
+            }
+            merged.push((s, e));
+        }
+        self.merged = merged;
+    }
+
+    /// True if any peer carried the prefix on `date` (visibility-index
+    /// lookup; requires [`Self::build_visibility`] to have run).
+    fn observed_on(&self, date: Date) -> bool {
+        let idx = self.merged.partition_point(|&(s, _)| s <= date);
+        self.merged[..idx]
+            .last()
+            .is_some_and(|&(_, e)| e.is_none_or(|end| date < end))
+    }
 }
 
 /// An index over a complete collector update stream.
@@ -64,10 +107,7 @@ impl BgpArchive {
         for u in updates {
             first_date = Some(first_date.map_or(u.date, |d: Date| d.min(u.date)));
             last_date = Some(last_date.map_or(u.date, |d: Date| d.max(u.date)));
-            if records.get(&u.prefix).is_none() {
-                records.insert(u.prefix, PrefixRecord::default());
-            }
-            let record = records.get_mut(&u.prefix).expect("just inserted");
+            let record = records.get_or_insert_with(u.prefix, PrefixRecord::default);
             let lane = record.by_peer.entry(u.peer).or_default();
             match &u.event {
                 BgpEvent::Announce(path) => {
@@ -90,6 +130,10 @@ impl BgpArchive {
                 }
             }
         }
+        // Finalize the daily-visibility index: records are independent, so
+        // the union-merge pass fans out across workers.
+        let mut values: Vec<&mut PrefixRecord> = records.values_mut().collect();
+        droplens_par::par_for_each_mut(&mut values, |r| r.build_visibility());
         BgpArchive {
             peers,
             records,
@@ -161,15 +205,25 @@ impl BgpArchive {
         self.peers_observing(prefix, date) as f64 / self.peers.len() as f64
     }
 
-    /// True if any peer observed `prefix` on `date`.
+    /// True if any peer observed `prefix` on `date` (one binary search on
+    /// the precomputed visibility index).
     pub fn observed_any(&self, prefix: &Ipv4Prefix, date: Date) -> bool {
-        let Some(record) = self.records.get(prefix) else {
-            return false;
-        };
-        record
-            .by_peer
-            .keys()
-            .any(|&peer| self.observed_by(prefix, peer, date))
+        self.records
+            .get(prefix)
+            .is_some_and(|record| record.observed_on(date))
+    }
+
+    /// True if `prefix` or any more-specific archived prefix was observed
+    /// on `date` — "was this address space routed". Walks the covering
+    /// subtree lazily (no intermediate `Vec`), short-circuiting on the
+    /// first visible span.
+    pub fn routed_at(&self, prefix: &Ipv4Prefix, date: Date) -> bool {
+        if self.observed_any(prefix, date) {
+            return true;
+        }
+        self.records
+            .covered_by_iter(prefix)
+            .any(|(_, record)| record.observed_on(date))
     }
 
     /// True if the prefix appears anywhere in the archive.
@@ -584,6 +638,69 @@ mod tests {
         );
         let values: Vec<f64> = series.iter().map(|(_, v)| *v).collect();
         assert_eq!(values, vec![0.0, 0.5, 1.0, 1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn visibility_index_matches_peer_scan() {
+        let pfx = p("10.0.0.0/8");
+        // Overlapping, touching, and gapped intervals across two peers,
+        // plus one open-ended interval.
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), pfx, path("1 2")),
+            BgpUpdate::withdraw(d("2020-01-10"), PeerId(0), pfx),
+            BgpUpdate::announce(d("2020-01-10"), PeerId(1), pfx, path("9 2")),
+            BgpUpdate::withdraw(d("2020-01-20"), PeerId(1), pfx),
+            BgpUpdate::announce(d("2020-02-01"), PeerId(0), pfx, path("1 2")),
+            BgpUpdate::announce(d("2020-02-05"), PeerId(1), pfx, path("9 2")),
+            BgpUpdate::withdraw(d("2020-02-10"), PeerId(0), pfx),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        let record = a.records.get(&pfx).unwrap();
+        // [01-01, 01-20) (merged across the touching boundary), then
+        // [02-01, None) (peer 1 still announcing).
+        assert_eq!(
+            record.merged,
+            vec![
+                (d("2020-01-01"), Some(d("2020-01-20"))),
+                (d("2020-02-01"), None)
+            ]
+        );
+        for day in [
+            "2019-12-31",
+            "2020-01-01",
+            "2020-01-09",
+            "2020-01-10",
+            "2020-01-19",
+            "2020-01-20",
+            "2020-01-25",
+            "2020-02-01",
+            "2020-02-10",
+            "2021-06-01",
+        ] {
+            let date = d(day);
+            let scan = record
+                .by_peer
+                .keys()
+                .any(|&peer| a.observed_by(&pfx, peer, date));
+            assert_eq!(a.observed_any(&pfx, date), scan, "day {day}");
+        }
+    }
+
+    #[test]
+    fn routed_at_covers_more_specifics() {
+        let updates = vec![
+            BgpUpdate::announce(d("2020-01-01"), PeerId(0), p("10.5.0.0/16"), path("1 2")),
+            BgpUpdate::withdraw(d("2020-02-01"), PeerId(0), p("10.5.0.0/16")),
+        ];
+        let a = BgpArchive::from_updates(two_peers(), &updates);
+        // The /8 was never announced itself, but its /16 more-specific was.
+        assert!(a.routed_at(&p("10.0.0.0/8"), d("2020-01-15")));
+        assert!(!a.routed_at(&p("10.0.0.0/8"), d("2020-02-01")));
+        // Exact prefix works through the fast path.
+        assert!(a.routed_at(&p("10.5.0.0/16"), d("2020-01-15")));
+        // A more-specific query is NOT routed by its covering /16.
+        assert!(!a.routed_at(&p("10.5.9.0/24"), d("2020-01-15")));
+        assert!(!a.routed_at(&p("11.0.0.0/8"), d("2020-01-15")));
     }
 
     #[test]

@@ -14,18 +14,36 @@
 //! token, peer ASN, prefix, and (for announcements and dump entries) the
 //! AS path.
 
+use std::fmt::Write as _;
+
 use droplens_net::{Asn, Date, ParseError};
 
 use crate::{AsPath, BgpEvent, BgpUpdate, Peer, PeerId, RibEntry};
 
-/// Serialize one update as an archive line.
-pub fn write_update_line(update: &BgpUpdate, peers: &[Peer]) -> String {
+/// Split a line into up to `N` fields without heap allocation, returning
+/// the filled array and the total field count (which may exceed `N`; the
+/// overflow fields are dropped — our formats never index past `N`).
+fn split_fields<const N: usize>(line: &str, sep: char) -> ([&str; N], usize) {
+    let mut fields = [""; N];
+    let mut n = 0;
+    for f in line.split(sep) {
+        if n < N {
+            fields[n] = f;
+        }
+        n += 1;
+    }
+    (fields, n)
+}
+
+/// Append one update as an archive line (no trailing newline).
+fn push_update_line(out: &mut String, update: &BgpUpdate, peers: &[Peer]) {
     let peer_asn = peers
         .get(update.peer.index())
         .map(|p| p.asn)
         .unwrap_or(Asn(0));
-    match &update.event {
-        BgpEvent::Announce(path) => format!(
+    let _ = match &update.event {
+        BgpEvent::Announce(path) => write!(
+            out,
             "BGP4MP|{}|A|{}|{}|{}|{}",
             update.date,
             update.peer,
@@ -33,14 +51,22 @@ pub fn write_update_line(update: &BgpUpdate, peers: &[Peer]) -> String {
             update.prefix,
             path
         ),
-        BgpEvent::Withdraw => format!(
+        BgpEvent::Withdraw => write!(
+            out,
             "BGP4MP|{}|W|{}|{}|{}",
             update.date,
             update.peer,
             peer_asn.value(),
             update.prefix
         ),
-    }
+    };
+}
+
+/// Serialize one update as an archive line.
+pub fn write_update_line(update: &BgpUpdate, peers: &[Peer]) -> String {
+    let mut out = String::new();
+    push_update_line(&mut out, update, peers);
+    out
 }
 
 /// Serialize a table-dump (RIB snapshot) entry as an archive line.
@@ -57,8 +83,8 @@ pub fn write_table_dump_line(date: Date, peer: &Peer, entry: &RibEntry) -> Strin
 
 /// Parse one `BGP4MP` update line.
 pub fn parse_update_line(line: &str) -> Result<BgpUpdate, ParseError> {
-    let fields: Vec<&str> = line.split('|').collect();
-    if fields.len() < 6 {
+    let (fields, n) = split_fields::<8>(line, '|');
+    if n < 6 {
         return Err(ParseError::new("BgpUpdate", line, "too few fields"));
     }
     if fields[0] != "BGP4MP" {
@@ -73,10 +99,14 @@ pub fn parse_update_line(line: &str) -> Result<BgpUpdate, ParseError> {
     let prefix = fields[5].parse()?;
     match fields[2] {
         "A" => {
-            let path_field = fields
-                .get(6)
-                .ok_or_else(|| ParseError::new("BgpUpdate", line, "announcement missing path"))?;
-            let path: AsPath = path_field.parse()?;
+            if n < 7 {
+                return Err(ParseError::new(
+                    "BgpUpdate",
+                    line,
+                    "announcement missing path",
+                ));
+            }
+            let path: AsPath = fields[6].parse()?;
             Ok(BgpUpdate::announce(date, peer, prefix, path))
         }
         "W" => Ok(BgpUpdate::withdraw(date, peer, prefix)),
@@ -90,8 +120,8 @@ pub fn parse_update_line(line: &str) -> Result<BgpUpdate, ParseError> {
 
 /// Parse one `TABLE_DUMP2` line into `(date, peer, peer_asn, entry)`.
 pub fn parse_table_dump_line(line: &str) -> Result<(Date, PeerId, Asn, RibEntry), ParseError> {
-    let fields: Vec<&str> = line.split('|').collect();
-    if fields.len() < 7 {
+    let (fields, n) = split_fields::<8>(line, '|');
+    if n < 7 {
         return Err(ParseError::new("TableDump", line, "too few fields"));
     }
     if fields[0] != "TABLE_DUMP2" || fields[2] != "B" {
@@ -160,9 +190,11 @@ pub fn parse_table_dump(text: &str) -> Result<Vec<(PeerId, RibEntry)>, ParseErro
 
 /// Serialize an entire update stream, one line each, ordered as given.
 pub fn write_updates(updates: &[BgpUpdate], peers: &[Peer]) -> String {
-    let mut out = String::new();
+    // One pre-sized buffer; lines stream in via `write!` (~64 bytes each)
+    // instead of allocating a String per update.
+    let mut out = String::with_capacity(updates.len() * 64);
     for u in updates {
-        out.push_str(&write_update_line(u, peers));
+        push_update_line(&mut out, u, peers);
         out.push('\n');
     }
     out

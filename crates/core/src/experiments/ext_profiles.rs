@@ -188,7 +188,6 @@ mod tests {
         let study = testutil::study();
         let labeled: BTreeSet<Asn> = study
             .without_incidents()
-            .iter()
             .filter_map(|e| e.asns.first().copied())
             .collect();
         let profiled: BTreeSet<Asn> = e.profiles.iter().map(|p| p.asn).collect();
@@ -216,7 +215,6 @@ mod tests {
         let study = testutil::study();
         let labeled = study
             .without_incidents()
-            .iter()
             .filter(|e| !e.asns.is_empty())
             .count();
         assert_eq!(total, labeled);

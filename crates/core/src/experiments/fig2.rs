@@ -75,7 +75,6 @@ pub fn compute(study: &Study) -> Fig2 {
 
     let listings: Vec<(Ipv4Prefix, DateRange)> = study
         .without_incidents()
-        .iter()
         .map(|e| (e.prefix(), e.entry.listed_range(study.horizon())))
         .collect();
     let peers = peer_observations(&study.bgp, &listings);
@@ -110,7 +109,7 @@ pub fn withdrawn_within(
 /// at one peer arguably should not count as still-routed).
 pub fn threshold_sensitivity(study: &Study, thresholds: &[usize]) -> Vec<(usize, f64)> {
     let lookback = study.config.withdrawal_lookback;
-    let entries = study.without_incidents();
+    let entries: Vec<_> = study.without_incidents().collect();
     thresholds
         .iter()
         .map(|&threshold| {

@@ -75,7 +75,6 @@ pub fn compute(study: &Study) -> Fig4 {
     let tals = &Tal::PRODUCTION;
     let hijacks: Vec<_> = study
         .without_incidents()
-        .into_iter()
         .filter(|e| e.has(Category::Hijacked))
         .collect();
 

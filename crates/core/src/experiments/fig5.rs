@@ -106,7 +106,7 @@ pub fn compute(study: &Study) -> Fig5 {
         top_holders.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         let mut by_rir: BTreeMap<Rir, AddressSpace> = BTreeMap::new();
-        for (prefix, rir, _) in study.rir.delegated_prefixes_at(end) {
+        for (prefix, rir, _) in study.rir.delegated_prefixes(end) {
             if study.routed_at(&prefix, end)
                 || study.roa.is_signed_at(&prefix, end, &Tal::PRODUCTION)
             {
@@ -173,7 +173,7 @@ fn sample(study: &Study, date: Date) -> Fig5Point {
     // Allocated + unrouted + unsigned. Delegated prefixes are disjoint by
     // construction of the stats files.
     let mut allocated_unrouted_unsigned = AddressSpace::ZERO;
-    for (prefix, _, _) in study.rir.delegated_prefixes_at(date) {
+    for (prefix, _, _) in study.rir.delegated_prefixes(date) {
         if study.routed_at(&prefix, date) {
             continue;
         }

@@ -103,31 +103,42 @@ pub fn compute(study: &Study) -> Sec6 {
     // route is rejected when the AS0 TAL set alone covers it (any AS0 ROA
     // makes it Invalid) — the production TALs never rescue squatted pool
     // space.
+    // Whether a prefix is rejected is peer-independent (origins and ROV
+    // validation aggregate over all peers), so decide it once per prefix
+    // and only then ask which peers carry the route — instead of redoing
+    // the validation inside the peer loop.
     let as0_tals = [Tal::ApnicAs0, Tal::LacnicAs0];
-    let mut per_peer = Vec::new();
-    for peer in study.peers.iter() {
-        let mut filterable = 0;
-        for prefix in study.bgp.prefixes() {
-            if !study.bgp.observed_by(&prefix, peer.id, end) {
-                continue;
-            }
-            let origins = study.bgp.origins_at(&prefix, end);
-            let rejected = origins.iter().any(|&origin| {
-                study.roa.validate_at(&prefix, origin, end, &as0_tals) == RovOutcome::Invalid
-                    && study
-                        .roa
-                        .validate_at(&prefix, origin, end, &Tal::PRODUCTION)
-                        != RovOutcome::Valid
-            });
-            if rejected {
-                filterable += 1;
+    let mut filterable: std::collections::BTreeMap<PeerId, usize> =
+        study.peers.iter().map(|p| (p.id, 0)).collect();
+    for prefix in study.bgp.prefixes() {
+        if !study.bgp.observed_any(&prefix, end) {
+            continue;
+        }
+        let origins = study.bgp.origins_at(&prefix, end);
+        let rejected = origins.iter().any(|&origin| {
+            study.roa.validate_at(&prefix, origin, end, &as0_tals) == RovOutcome::Invalid
+                && study
+                    .roa
+                    .validate_at(&prefix, origin, end, &Tal::PRODUCTION)
+                    != RovOutcome::Valid
+        });
+        if !rejected {
+            continue;
+        }
+        for peer in study.peers.iter() {
+            if study.bgp.observed_by(&prefix, peer.id, end) {
+                *filterable.get_mut(&peer.id).expect("initialized above") += 1;
             }
         }
-        per_peer.push(PeerAs0Count {
-            peer: peer.id,
-            filterable,
-        });
     }
+    let per_peer = study
+        .peers
+        .iter()
+        .map(|p| PeerAs0Count {
+            peer: p.id,
+            filterable: filterable[&p.id],
+        })
+        .collect();
 
     Sec6 {
         operator_as0,

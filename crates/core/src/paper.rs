@@ -55,21 +55,161 @@ impl Target {
     }
 }
 
-/// Evaluate every target against the study.
-pub fn scorecard(study: &Study) -> Vec<Target> {
-    let fig1 = experiments::fig1::compute(study);
-    let fig2 = experiments::fig2::compute(study);
-    let t1 = experiments::table1::compute(study);
-    let s5 = experiments::sec5::compute(study);
-    let fig3 = experiments::fig3::compute(study);
-    let fig4 = experiments::fig4::compute(study);
-    let fig5 = experiments::fig5::compute(study);
-    let fig6 = experiments::fig6::compute(study);
-    let t2 = experiments::table2::compute(study);
-    let s4 = experiments::sec4::compute(study);
-    let s6 = experiments::sec6::compute(study);
+/// Every experiment's typed result, computed once and shared between the
+/// presentation pass (`reproduce` prints each in paper order) and the
+/// scorecard — the suite is never computed twice per run.
+pub struct ExperimentResults {
+    /// Study overview.
+    pub summary: experiments::summary::Summary,
+    /// Figure 1 — classification of DROP entries.
+    pub fig1: experiments::fig1::Fig1,
+    /// Figure 2 — effects of blocklisting on visibility.
+    pub fig2: experiments::fig2::Fig2,
+    /// Table 1 — RPKI signing rates.
+    pub table1: experiments::table1::Table1,
+    /// Section 5 — effectiveness of the IRR.
+    pub sec5: experiments::sec5::Sec5,
+    /// Figure 3 — forged-IRR lead times.
+    pub fig3: experiments::fig3::Fig3,
+    /// Figure 4 / §6.1 — RPKI-signed hijacks.
+    pub fig4: experiments::fig4::Fig4,
+    /// Figure 5 — routing status of ROAs.
+    pub fig5: experiments::fig5::Fig5,
+    /// Figure 6 — unallocated space on DROP vs AS0 policies.
+    pub fig6: experiments::fig6::Fig6,
+    /// Figure 7 — RIR free pools.
+    pub fig7: experiments::fig7::Fig7,
+    /// Table 2 / Appendix A — SBL categorization.
+    pub table2: experiments::table2::Table2,
+    /// Section 4.1 — deallocation after listing.
+    pub sec4: experiments::sec4::Sec4,
+    /// Section 6.2 — AS0 at operator and RIR level.
+    pub sec6: experiments::sec6::Sec6,
+    /// Extension — maxLength sub-prefix hijack surface.
+    pub ext_maxlen: experiments::ext_maxlen::ExtMaxLen,
+    /// Extension — counterfactual ROV deployment.
+    pub ext_rov: experiments::ext_rov::ExtRov,
+    /// Extension — attacker-AS dossiers.
+    pub ext_profiles: experiments::ext_profiles::ExtProfiles,
+}
 
-    let hijack_labeled = study.with_category(Category::Hijacked).len();
+/// Run one experiment, optionally recording its wall clock as an obs span
+/// at `<span_prefix>/<name>`. Spans are recorded with explicit full paths
+/// because the experiments may run on worker threads, where the span
+/// stack's automatic nesting would lose the caller's prefix.
+fn timed<T>(span_prefix: Option<&str>, name: &str, f: impl FnOnce() -> T) -> T {
+    match span_prefix {
+        None => f(),
+        Some(prefix) => {
+            let t0 = std::time::Instant::now();
+            let v = f();
+            droplens_obs::global().record_span(&format!("{prefix}/{name}"), t0.elapsed());
+            v
+        }
+    }
+}
+
+impl ExperimentResults {
+    /// Compute all sixteen experiments, fanning out across workers.
+    /// Results land in named fields, so the output is identical at any
+    /// `DROPLENS_THREADS`.
+    pub fn compute(study: &Study) -> ExperimentResults {
+        Self::compute_with_spans(study, None)
+    }
+
+    /// [`Self::compute`], recording each experiment's wall clock under
+    /// `<span_prefix>/<name>` (e.g. `reproduce/experiments/fig5`).
+    pub fn compute_with_spans(study: &Study, span_prefix: Option<&str>) -> ExperimentResults {
+        let p = span_prefix;
+        let (
+            (summary, fig1, fig2, table1),
+            (sec5, fig3, fig4, fig5),
+            (fig6, fig7, table2, sec4),
+            (sec6, ext_maxlen, ext_rov, ext_profiles),
+        ) = droplens_par::join4(
+            || {
+                droplens_par::join4(
+                    || timed(p, "summary", || experiments::summary::compute(study)),
+                    || timed(p, "fig1", || experiments::fig1::compute(study)),
+                    || timed(p, "fig2", || experiments::fig2::compute(study)),
+                    || timed(p, "table1", || experiments::table1::compute(study)),
+                )
+            },
+            || {
+                droplens_par::join4(
+                    || timed(p, "sec5", || experiments::sec5::compute(study)),
+                    || timed(p, "fig3", || experiments::fig3::compute(study)),
+                    || timed(p, "fig4", || experiments::fig4::compute(study)),
+                    || timed(p, "fig5", || experiments::fig5::compute(study)),
+                )
+            },
+            || {
+                droplens_par::join4(
+                    || timed(p, "fig6", || experiments::fig6::compute(study)),
+                    || timed(p, "fig7", || experiments::fig7::compute(study)),
+                    || timed(p, "table2", || experiments::table2::compute(study)),
+                    || timed(p, "sec4", || experiments::sec4::compute(study)),
+                )
+            },
+            || {
+                droplens_par::join4(
+                    || timed(p, "sec6", || experiments::sec6::compute(study)),
+                    || timed(p, "ext_maxlen", || experiments::ext_maxlen::compute(study)),
+                    || timed(p, "ext_rov", || experiments::ext_rov::compute(study)),
+                    || {
+                        timed(p, "ext_profiles", || {
+                            experiments::ext_profiles::compute(study)
+                        })
+                    },
+                )
+            },
+        );
+        ExperimentResults {
+            summary,
+            fig1,
+            fig2,
+            table1,
+            sec5,
+            fig3,
+            fig4,
+            fig5,
+            fig6,
+            fig7,
+            table2,
+            sec4,
+            sec6,
+            ext_maxlen,
+            ext_rov,
+            ext_profiles,
+        }
+    }
+}
+
+/// Evaluate every target against the study, computing the experiment
+/// suite first. Callers that already hold an [`ExperimentResults`]
+/// (like `reproduce`) should use [`scorecard_with`] instead.
+pub fn scorecard(study: &Study) -> Vec<Target> {
+    scorecard_with(study, &ExperimentResults::compute(study))
+}
+
+/// Evaluate every target against precomputed experiment results.
+pub fn scorecard_with(study: &Study, results: &ExperimentResults) -> Vec<Target> {
+    let ExperimentResults {
+        fig1,
+        fig2,
+        table1: t1,
+        sec5: s5,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        table2: t2,
+        sec4: s4,
+        sec6: s6,
+        ..
+    } = results;
+
+    let hijack_labeled = study.with_category(Category::Hijacked).count();
     let asn_labeled = study
         .entries
         .iter()

@@ -41,7 +41,7 @@ impl StudyConfig {
 /// One DROP listing episode, annotated with everything the correlations
 /// need: classification, labeled ASNs, allocation status, and the
 /// AFRINIC-incident flag.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StudyEntry {
     /// The raw listing episode.
     pub entry: DropEntry,
@@ -124,14 +124,22 @@ impl Study {
         config.manual_labels = world.manual_labels();
 
         let index_span = droplens_obs::global().span("index");
-        let bgp = BgpArchive::from_updates(world.peers.clone(), &world.bgp_updates);
-        let irr = IrrRegistry::from_journal(&world.irr_journal);
-        let roa = RoaArchive::from_events(&world.roa_events);
-        let mut rir = RirStatsArchive::new();
-        for (date, files) in &world.rir_snapshots {
-            rir.add_snapshot(*date, files);
-        }
-        let drop = DropTimeline::from_snapshots(&world.drop_snapshots);
+        // The five indices are built from disjoint inputs, so they fan out
+        // across workers; results land in fixed tuple positions, keeping
+        // the study identical at any `DROPLENS_THREADS`.
+        let (bgp, irr, roa, rir, drop) = droplens_par::join5(
+            || BgpArchive::from_updates(world.peers.clone(), &world.bgp_updates),
+            || IrrRegistry::from_journal(&world.irr_journal),
+            || RoaArchive::from_events(&world.roa_events),
+            || {
+                let mut rir = RirStatsArchive::new();
+                for (date, files) in &world.rir_snapshots {
+                    rir.add_snapshot(*date, files);
+                }
+                rir
+            },
+            || DropTimeline::from_snapshots(&world.drop_snapshots),
+        );
         index_span.finish();
         Self::assemble(
             config,
@@ -154,30 +162,49 @@ impl Study {
     ) -> Result<Study, ParseError> {
         let obs = droplens_obs::global();
         let load_span = obs.span("load");
-        let updates = bgpfmt::parse_updates(&text.bgp_updates)?;
-        let irr_journal = journal::parse_journal(&text.irr_journal)?;
-        let roa_events = parse_events(&text.roa_events)?;
-        let mut rir_files = Vec::with_capacity(text.rir_snapshots.len());
-        for (date, files) in &text.rir_snapshots {
-            let parsed: Result<Vec<_>, _> = files.iter().map(|f| parse_stats_file(f)).collect();
-            rir_files.push((*date, parsed?));
-        }
-        let mut snapshots = Vec::with_capacity(text.drop_snapshots.len());
-        for (date, body) in &text.drop_snapshots {
-            snapshots.push(DropSnapshot::parse(*date, body)?);
-        }
-        let sbl = SblDatabase::parse(&text.sbl_records)?;
+        // The five wire formats parse independently (each closure owns one
+        // source and its counters commute), so the load stage fans out.
+        let (updates, irr_journal, roa_events, rir_files, drop_and_sbl) = droplens_par::join5(
+            || bgpfmt::parse_updates(&text.bgp_updates),
+            || journal::parse_journal(&text.irr_journal),
+            || parse_events(&text.roa_events),
+            || {
+                droplens_par::par_map(&text.rir_snapshots, |(date, files)| {
+                    let parsed: Result<Vec<_>, ParseError> =
+                        files.iter().map(|f| parse_stats_file(f)).collect();
+                    parsed.map(|p| (*date, p))
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>, ParseError>>()
+            },
+            || {
+                let snapshots = droplens_par::par_map(&text.drop_snapshots, |(date, body)| {
+                    DropSnapshot::parse(*date, body)
+                })
+                .into_iter()
+                .collect::<Result<Vec<_>, ParseError>>()?;
+                Ok::<_, ParseError>((snapshots, SblDatabase::parse(&text.sbl_records)?))
+            },
+        );
+        let (updates, irr_journal, roa_events, rir_files) =
+            (updates?, irr_journal?, roa_events?, rir_files?);
+        let (snapshots, sbl) = drop_and_sbl?;
         load_span.finish();
 
         let index_span = obs.span("index");
-        let bgp = BgpArchive::from_updates(peers.clone(), &updates);
-        let irr = IrrRegistry::from_journal(&irr_journal);
-        let roa = RoaArchive::from_events(&roa_events);
-        let mut rir = RirStatsArchive::new();
-        for (date, files) in &rir_files {
-            rir.add_snapshot(*date, files);
-        }
-        let drop = DropTimeline::from_snapshots(&snapshots);
+        let (bgp, irr, roa, rir, drop) = droplens_par::join5(
+            || BgpArchive::from_updates(peers.clone(), &updates),
+            || IrrRegistry::from_journal(&irr_journal),
+            || RoaArchive::from_events(&roa_events),
+            || {
+                let mut rir = RirStatsArchive::new();
+                for (date, files) in &rir_files {
+                    rir.add_snapshot(*date, files);
+                }
+                rir
+            },
+            || DropTimeline::from_snapshots(&snapshots),
+        );
         index_span.finish();
         Ok(Self::assemble(config, peers, bgp, irr, roa, rir, drop, sbl))
     }
@@ -195,11 +222,9 @@ impl Study {
     ) -> Study {
         let obs = droplens_obs::global();
         let annotate_span = obs.span("annotate");
-        let mut entries: Vec<StudyEntry> = drop
-            .entries()
-            .iter()
-            .map(|e| annotate(e, &sbl, &rir, &config))
-            .collect();
+        // Entries annotate independently; `par_map` preserves listing order.
+        let mut entries: Vec<StudyEntry> =
+            droplens_par::par_map(drop.entries(), |e| annotate(e, &sbl, &rir, &config));
         annotate_span.finish();
         let correlate_span = obs.span("correlate");
         mark_afrinic_incidents(&mut entries);
@@ -218,18 +243,15 @@ impl Study {
         }
     }
 
-    /// Entries carrying `cat`.
-    pub fn with_category(&self, cat: Category) -> Vec<&StudyEntry> {
-        self.entries.iter().filter(|e| e.has(cat)).collect()
+    /// Entries carrying `cat`, lazily (no intermediate `Vec`).
+    pub fn with_category(&self, cat: Category) -> impl Iterator<Item = &StudyEntry> {
+        self.entries.iter().filter(move |e| e.has(cat))
     }
 
     /// Entries excluding the AFRINIC incidents (the paper's default
-    /// analysis population).
-    pub fn without_incidents(&self) -> Vec<&StudyEntry> {
-        self.entries
-            .iter()
-            .filter(|e| !e.afrinic_incident)
-            .collect()
+    /// analysis population), lazily.
+    pub fn without_incidents(&self) -> impl Iterator<Item = &StudyEntry> {
+        self.entries.iter().filter(|e| !e.afrinic_incident)
     }
 
     /// Total address space across listed prefixes (each address counted
@@ -246,15 +268,10 @@ impl Study {
 
     /// True when `prefix` (or anything it covers / is covered by) was
     /// announced on `date` — the "routed" predicate used by the Figure 5
-    /// accounting.
+    /// accounting. Delegates to the archive's precomputed visibility
+    /// index (one binary search per covering-subtree node, no allocation).
     pub fn routed_at(&self, prefix: &Ipv4Prefix, date: Date) -> bool {
-        if self.bgp.observed_any(prefix, date) {
-            return true;
-        }
-        self.bgp
-            .prefixes_covered_by(prefix)
-            .iter()
-            .any(|p| self.bgp.observed_any(p, date))
+        self.bgp.routed_at(prefix, date)
     }
 }
 
@@ -347,7 +364,7 @@ mod tests {
     #[test]
     fn nr_entries_have_no_record_category() {
         let s = study();
-        let nr = s.with_category(Category::NoSblRecord);
+        let nr: Vec<_> = s.with_category(Category::NoSblRecord).collect();
         assert_eq!(nr.len(), WorldConfig::small().mix.nr);
         for e in nr {
             assert_eq!(e.keyword_hits, 0);
@@ -413,7 +430,7 @@ mod tests {
             .map(|t| t.prefix)
             .collect();
         assert_eq!(flagged, truth);
-        assert_eq!(s.without_incidents().len(), s.entries.len() - truth.len());
+        assert_eq!(s.without_incidents().count(), s.entries.len() - truth.len());
     }
 
     #[test]

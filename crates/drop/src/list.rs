@@ -45,15 +45,24 @@ impl DropSnapshot {
 
     /// Serialize in the Spamhaus file shape.
     pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
         let (y, m, d) = self.date.ymd();
-        let mut out = format!(
+        // One pre-sized buffer; entries stream in via `write!` (~30 bytes
+        // each) instead of allocating a String per line.
+        let mut out = String::with_capacity(96 + self.entries.len() * 30);
+        let _ = write!(
+            out,
             "; Spamhaus DROP List {y}/{m:02}/{d:02} - (c) {y} The Spamhaus Project\n; Entries: {}\n",
             self.entries.len()
         );
         for (prefix, sbl) in &self.entries {
             match sbl {
-                Some(id) => out.push_str(&format!("{prefix} ; {id}\n")),
-                None => out.push_str(&format!("{prefix}\n")),
+                Some(id) => {
+                    let _ = writeln!(out, "{prefix} ; {id}");
+                }
+                None => {
+                    let _ = writeln!(out, "{prefix}");
+                }
             }
         }
         out

@@ -45,14 +45,14 @@ pub struct JournalEntry {
 
 /// Serialize a journal.
 pub fn write_journal(entries: &[JournalEntry]) -> String {
+    use std::fmt::Write as _;
     let mut out = String::new();
     for e in entries {
         let op = match e.op {
             JournalOp::Add => "ADD",
             JournalOp::Del => "DEL",
         };
-        out.push_str(&format!("{op} {}\n\n", e.date));
-        out.push_str(&e.object.to_string());
+        let _ = write!(out, "{op} {}\n\n{}", e.date, e.object);
         out.push('\n');
     }
     out

@@ -144,8 +144,13 @@ impl Date {
 
     /// Render in compact `YYYYMMDD` form (RIR stats file convention).
     pub fn to_compact_string(self) -> String {
-        let (y, m, d) = self.ymd();
-        format!("{y:04}{m:02}{d:02}")
+        self.compact().to_string()
+    }
+
+    /// Display adapter for the compact `YYYYMMDD` form — lets writers
+    /// stream dates into an existing buffer without allocating.
+    pub fn compact(self) -> CompactDate {
+        CompactDate(self)
     }
 
     /// Parse compact `YYYYMMDD` form.
@@ -165,6 +170,17 @@ impl fmt::Display for Date {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (y, m, d) = self.ymd();
         write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// See [`Date::compact`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompactDate(Date);
+
+impl fmt::Display for CompactDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.0.ymd();
+        write!(f, "{y:04}{m:02}{d:02}")
     }
 }
 

@@ -36,7 +36,7 @@ mod space;
 mod trie;
 
 pub use asn::Asn;
-pub use date::{Date, DateRange, Month};
+pub use date::{CompactDate, Date, DateRange, Month};
 pub use error::ParseError;
 pub use prefix::Ipv4Prefix;
 pub use set::PrefixSet;

@@ -141,6 +141,103 @@ impl<V> PrefixTrie<V> {
         None
     }
 
+    /// Exact-match lookup, inserting `default()` when `prefix` is absent.
+    /// One trie walk replaces the `get` → `insert` → `get_mut` triple that
+    /// per-record ingest loops would otherwise pay.
+    pub fn get_or_insert_with(
+        &mut self,
+        prefix: Ipv4Prefix,
+        default: impl FnOnce() -> V,
+    ) -> &mut V {
+        let mut inserted = false;
+        let v = Self::get_or_insert_at(&mut self.root, prefix, default, &mut inserted);
+        if inserted {
+            self.len += 1;
+        }
+        v
+    }
+
+    fn get_or_insert_at<'a>(
+        slot: &'a mut Option<Box<Node<V>>>,
+        prefix: Ipv4Prefix,
+        default: impl FnOnce() -> V,
+        inserted: &mut bool,
+    ) -> &'a mut V {
+        // Decide first, act on a fresh re-borrow per arm: returning the
+        // value reference out of an early arm while a later arm reassigns
+        // `*slot` trips the borrow checker otherwise.
+        enum Step {
+            Empty,
+            Here,
+            Descend(usize),
+            NewParent,
+            Branch(u8),
+        }
+        let step = match slot.as_deref() {
+            None => Step::Empty,
+            Some(node) => {
+                let common = node.prefix.common_prefix_len(&prefix);
+                if common == node.prefix.len() && common == prefix.len() {
+                    Step::Here
+                } else if common == node.prefix.len() {
+                    Step::Descend(node.slot(&prefix))
+                } else if common == prefix.len() {
+                    Step::NewParent
+                } else {
+                    Step::Branch(common)
+                }
+            }
+        };
+        match step {
+            Step::Empty => {
+                *inserted = true;
+                *slot = Some(Node::new(prefix, Some(default())));
+                slot.as_deref_mut().unwrap().value.as_mut().unwrap()
+            }
+            Step::Here => {
+                let node = slot.as_deref_mut().unwrap();
+                if node.value.is_none() {
+                    *inserted = true;
+                    node.value = Some(default());
+                }
+                node.value.as_mut().unwrap()
+            }
+            Step::Descend(idx) => {
+                let node = slot.as_deref_mut().unwrap();
+                Self::get_or_insert_at(&mut node.children[idx], prefix, default, inserted)
+            }
+            Step::NewParent => {
+                // node.prefix strictly extends prefix: new node becomes parent.
+                *inserted = true;
+                let old = slot.take().unwrap();
+                let mut new_parent = Node::new(prefix, Some(default()));
+                let idx = new_parent.slot(&old.prefix);
+                new_parent.children[idx] = Some(old);
+                *slot = Some(new_parent);
+                slot.as_deref_mut().unwrap().value.as_mut().unwrap()
+            }
+            Step::Branch(common) => {
+                // Diverge below both: structural branch at the common prefix.
+                *inserted = true;
+                let old = slot.take().unwrap();
+                let branch_prefix = prefix.truncate(common);
+                let mut branch = Node::new(branch_prefix, None);
+                let old_idx = branch.slot(&old.prefix);
+                let new_idx = branch.slot(&prefix);
+                debug_assert_ne!(old_idx, new_idx);
+                branch.children[old_idx] = Some(old);
+                branch.children[new_idx] = Some(Node::new(prefix, Some(default())));
+                *slot = Some(branch);
+                slot.as_deref_mut().unwrap().children[new_idx]
+                    .as_deref_mut()
+                    .unwrap()
+                    .value
+                    .as_mut()
+                    .unwrap()
+            }
+        }
+    }
+
     /// Exact-match lookup.
     pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
         let mut cur = self.root.as_deref()?;
@@ -301,6 +398,25 @@ impl<V> PrefixTrie<V> {
         }
     }
 
+    /// Iterator form of [`covered_by`](Self::covered_by): walks the
+    /// subtree lazily without allocating the result `Vec`, so hot callers
+    /// (per-query visibility checks) can short-circuit on the first hit.
+    pub fn covered_by_iter<'a>(&'a self, query: &Ipv4Prefix) -> Iter<'a, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            if query.covers(&node.prefix) {
+                stack.push(node);
+                break;
+            }
+            if !node.prefix.covers(query) || node.prefix.len() == query.len() {
+                break; // disjoint, or query sits exactly on a leaf-less node
+            }
+            cur = node.children[node.slot(query)].as_deref();
+        }
+        Iter { stack }
+    }
+
     /// True if any stored prefix overlaps `query` (covers it or is covered
     /// by it).
     pub fn overlaps(&self, query: &Ipv4Prefix) -> bool {
@@ -319,6 +435,20 @@ impl<V> PrefixTrie<V> {
     /// Iterate all stored prefixes in address order.
     pub fn keys(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
         self.iter().map(|(p, _)| p)
+    }
+
+    /// Iterate all `(prefix, &mut value)` pairs in address order.
+    pub fn iter_mut(&mut self) -> IterMut<'_, V> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref_mut() {
+            stack.push(root);
+        }
+        IterMut { stack }
+    }
+
+    /// Iterate all values mutably, in address order of their prefixes.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.iter_mut().map(|(_, v)| v)
     }
 }
 
@@ -361,6 +491,33 @@ impl<'a, V> Iterator for Iter<'a, V> {
             }
             if let Some(v) = &node.value {
                 return Some((node.prefix, v));
+            }
+        }
+        None
+    }
+}
+
+/// Mutable in-order iterator over a [`PrefixTrie`]; same visit order as
+/// [`Iter`].
+pub struct IterMut<'a, V> {
+    stack: Vec<&'a mut Node<V>>,
+}
+
+impl<'a, V> Iterator for IterMut<'a, V> {
+    type Item = (Ipv4Prefix, &'a mut V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(node) = self.stack.pop() {
+            let prefix = node.prefix;
+            let [lo, hi] = &mut node.children;
+            if let Some(hi) = hi.as_deref_mut() {
+                self.stack.push(hi);
+            }
+            if let Some(lo) = lo.as_deref_mut() {
+                self.stack.push(lo);
+            }
+            if let Some(v) = node.value.as_mut() {
+                return Some((prefix, v));
             }
         }
         None
@@ -552,6 +709,79 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_or_insert_with_matches_insert_semantics() {
+        let mut t = PrefixTrie::new();
+        // Fresh root
+        assert_eq!(*t.get_or_insert_with(p("10.0.0.0/16"), || 1), 1);
+        // Existing entry is returned untouched
+        *t.get_or_insert_with(p("10.0.0.0/16"), || 99) += 10;
+        assert_eq!(t.get(&p("10.0.0.0/16")), Some(&11));
+        assert_eq!(t.len(), 1);
+        // Sibling forcing a structural branch
+        assert_eq!(*t.get_or_insert_with(p("10.1.0.0/16"), || 2), 2);
+        // New parent above an existing node
+        assert_eq!(*t.get_or_insert_with(p("10.0.0.0/8"), || 8), 8);
+        // Descend past a valued node
+        assert_eq!(*t.get_or_insert_with(p("10.0.5.0/24"), || 24), 24);
+        assert_eq!(t.len(), 4);
+        // Revive a structural node (the branch created for the two /16s)
+        let branch = p("10.0.0.0/15");
+        assert_eq!(*t.get_or_insert_with(branch, || 15), 15);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(&branch), Some(&15));
+        let keys: Vec<_> = t.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn covered_by_iter_matches_covered_by() {
+        let mut t = PrefixTrie::new();
+        for s in [
+            "10.0.0.0/8",
+            "10.5.0.0/16",
+            "10.5.9.0/24",
+            "10.200.0.0/16",
+            "11.0.0.0/8",
+            "10.0.0.0/16",
+            "10.1.0.0/16",
+        ] {
+            t.insert(p(s), ());
+        }
+        for q in [
+            "10.0.0.0/8",
+            "10.5.0.0/16",
+            "10.0.0.0/15",
+            "12.0.0.0/8",
+            "0.0.0.0/0",
+        ] {
+            let vec_form: Vec<_> = t.covered_by(&p(q)).into_iter().map(|(x, _)| x).collect();
+            let iter_form: Vec<_> = t.covered_by_iter(&p(q)).map(|(x, _)| x).collect();
+            assert_eq!(vec_form, iter_form, "query {q}");
+        }
+        let empty: PrefixTrie<()> = PrefixTrie::new();
+        assert_eq!(empty.covered_by_iter(&p("10.0.0.0/8")).count(), 0);
+    }
+
+    #[test]
+    fn iter_mut_visits_all_in_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/16"), 0);
+        t.insert(p("10.1.0.0/16"), 0);
+        t.insert(p("9.0.0.0/8"), 0);
+        for (i, (_, v)) in t.iter_mut().enumerate() {
+            *v = i as i32 + 1;
+        }
+        let vals: Vec<_> = t.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+        let keys: Vec<_> = t.keys().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Property tests: ordering and panic propagation hold for every input
+//! shape and worker count, not just the unit-test samples.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// `par_map` is extensionally equal to sequential `map` at every
+    /// worker count — the determinism guarantee the pipeline rests on.
+    #[test]
+    fn par_map_matches_sequential_map(
+        items in prop::collection::vec(any::<i64>(), 0..300),
+        workers in 1usize..17,
+    ) {
+        let f = |x: &i64| x.wrapping_mul(31).wrapping_add(7);
+        let par = droplens_par::par_map_with(workers, &items, f);
+        let seq: Vec<i64> = items.iter().map(f).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Same for the in-place variant: every element transformed exactly
+    /// once, in place.
+    #[test]
+    fn par_for_each_mut_matches_sequential(
+        items in prop::collection::vec(any::<u32>(), 0..300),
+        workers in 1usize..17,
+    ) {
+        let mut par = items.clone();
+        droplens_par::par_for_each_mut_with(workers, &mut par, |x| *x = x.rotate_left(3));
+        let seq: Vec<u32> = items.iter().map(|x| x.rotate_left(3)).collect();
+        prop_assert_eq!(par, seq);
+    }
+
+    /// A panic in any one task reaches the caller, wherever it lands in
+    /// the input and however the chunks split.
+    #[test]
+    fn par_map_propagates_a_panic_anywhere(
+        len in 1usize..200,
+        workers in 1usize..17,
+        seed in any::<usize>(),
+    ) {
+        let bomb = seed % len;
+        let items: Vec<usize> = (0..len).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            droplens_par::par_map_with(workers, &items, |&x| {
+                if x == bomb {
+                    panic!("bomb at {x}");
+                }
+                x
+            })
+        }));
+        prop_assert!(result.is_err());
+    }
+}

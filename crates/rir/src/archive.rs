@@ -23,19 +23,31 @@ pub struct StatusAt {
     pub matched: Ipv4Prefix,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct IndexEntry {
     rir: Rir,
     status: AllocationStatus,
     allocated_on: Option<Date>,
-    opaque_id: String,
+    /// Index into [`RirStatsArchive::orgs`].
+    org: u32,
 }
 
 struct Snapshot {
     date: Date,
-    index: PrefixTrie<IndexEntry>,
+    /// One entry per stats row; the trie stores indices into this vec so
+    /// a row delegated as several CIDR blocks shares one entry (no
+    /// per-prefix `String` clones at index time).
+    entries: Vec<IndexEntry>,
+    index: PrefixTrie<u32>,
     free_pool: BTreeMap<Rir, AddressSpace>,
     delegated: BTreeMap<Rir, AddressSpace>,
+}
+
+impl Snapshot {
+    fn entry_matching(&self, prefix: &Ipv4Prefix) -> Option<(Ipv4Prefix, IndexEntry)> {
+        let (matched, &id) = self.index.longest_match(prefix)?;
+        Some((matched, self.entries[id as usize]))
+    }
 }
 
 /// A time series of delegated-stats snapshots (typically one per day or
@@ -46,6 +58,11 @@ struct Snapshot {
 #[derive(Default)]
 pub struct RirStatsArchive {
     snapshots: Vec<Snapshot>,
+    /// Interned org handles: consecutive daily snapshots repeat the same
+    /// handles ~700k times across a paper-scale run, so entries store an
+    /// index into this pool instead of cloning a `String` per row.
+    orgs: Vec<String>,
+    org_ids: BTreeMap<String, u32>,
 }
 
 impl RirStatsArchive {
@@ -64,17 +81,12 @@ impl RirStatsArchive {
                 "snapshots must be added in chronological order"
             );
         }
+        let mut entries = Vec::new();
         let mut index = PrefixTrie::new();
         let mut free_pool: BTreeMap<Rir, AddressSpace> = BTreeMap::new();
         let mut delegated: BTreeMap<Rir, AddressSpace> = BTreeMap::new();
         for file in files {
             for record in &file.records {
-                let entry = IndexEntry {
-                    rir: record.rir,
-                    status: record.status,
-                    allocated_on: record.date,
-                    opaque_id: record.opaque_id.clone(),
-                };
                 let space = AddressSpace::from_addresses(record.count);
                 if record.status == AllocationStatus::Available {
                     *free_pool.entry(record.rir).or_default() += space;
@@ -82,13 +94,30 @@ impl RirStatsArchive {
                 if record.status.is_delegated() {
                     *delegated.entry(record.rir).or_default() += space;
                 }
+                let org = match self.org_ids.get(record.opaque_id.as_str()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = self.orgs.len() as u32;
+                        self.orgs.push(record.opaque_id.clone());
+                        self.org_ids.insert(record.opaque_id.clone(), id);
+                        id
+                    }
+                };
+                let id = entries.len() as u32;
+                entries.push(IndexEntry {
+                    rir: record.rir,
+                    status: record.status,
+                    allocated_on: record.date,
+                    org,
+                });
                 for prefix in record.prefixes() {
-                    index.insert(prefix, entry.clone());
+                    index.insert(prefix, id);
                 }
             }
         }
         self.snapshots.push(Snapshot {
             date,
+            entries,
             index,
             free_pool,
             delegated,
@@ -112,12 +141,12 @@ impl RirStatsArchive {
     /// outside the modeled world, or pre-archive dates).
     pub fn status_of(&self, prefix: &Ipv4Prefix, date: Date) -> Option<StatusAt> {
         let snapshot = self.snapshot_at(date)?;
-        let (matched, entry) = snapshot.index.longest_match(prefix)?;
+        let (matched, entry) = snapshot.entry_matching(prefix)?;
         Some(StatusAt {
             rir: entry.rir,
             status: entry.status,
             allocated_on: entry.allocated_on,
-            opaque_id: entry.opaque_id.clone(),
+            opaque_id: self.orgs[entry.org as usize].clone(),
             matched,
         })
     }
@@ -150,8 +179,7 @@ impl RirStatsArchive {
             .iter()
             .filter(|s| s.date > after && s.date <= until)
             .find(|s| {
-                s.index
-                    .longest_match(prefix)
+                s.entry_matching(prefix)
                     .is_none_or(|(_, e)| !e.status.is_delegated())
             })
             .map(|s| s.date)
@@ -171,17 +199,29 @@ impl RirStatsArchive {
             .unwrap_or(AddressSpace::ZERO)
     }
 
-    /// Every delegated CIDR prefix in force on `date`, with its registry —
-    /// the Figure 5 "allocated but unrouted" accounting walk.
+    /// Every delegated CIDR prefix in force on `date`, with its registry
+    /// and org handle, lazily — the Figure 5 "allocated but unrouted"
+    /// accounting walk, without a `Vec` of cloned `String`s per sample.
+    pub fn delegated_prefixes(
+        &self,
+        date: Date,
+    ) -> impl Iterator<Item = (Ipv4Prefix, Rir, &str)> + '_ {
+        self.snapshot_at(date)
+            .into_iter()
+            .flat_map(move |snapshot| {
+                snapshot.index.iter().filter_map(move |(p, &id)| {
+                    let e = &snapshot.entries[id as usize];
+                    e.status
+                        .is_delegated()
+                        .then(|| (p, e.rir, self.orgs[e.org as usize].as_str()))
+                })
+            })
+    }
+
+    /// [`Self::delegated_prefixes`], materialized with owned org handles.
     pub fn delegated_prefixes_at(&self, date: Date) -> Vec<(Ipv4Prefix, Rir, String)> {
-        let Some(snapshot) = self.snapshot_at(date) else {
-            return Vec::new();
-        };
-        snapshot
-            .index
-            .iter()
-            .filter(|(_, e)| e.status.is_delegated())
-            .map(|(p, e)| (p, e.rir, e.opaque_id.clone()))
+        self.delegated_prefixes(date)
+            .map(|(p, r, o)| (p, r, o.to_owned()))
             .collect()
     }
 }

@@ -12,6 +12,7 @@
 //! `ipv6` rows and summary lines are tolerated and skipped on parse, and
 //! a correct summary line is emitted on write.
 
+use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
 use droplens_net::{Date, ParseError};
@@ -31,32 +32,37 @@ pub struct StatsFile {
 
 /// Serialize a stats file in delegated-extended format.
 pub fn write_stats_file(file: &StatsFile) -> String {
-    let mut out = String::new();
+    // One pre-sized buffer; rows stream in via `write!` (~56 bytes each)
+    // instead of allocating a String per record.
+    let mut out = String::with_capacity(64 + file.records.len() * 56);
     // Version line: version|registry|serial|records|startdate|enddate|UTCoffset
-    out.push_str(&format!(
-        "2|{}|{}|{}|19830613|{}|+0000\n",
+    let _ = writeln!(
+        out,
+        "2|{}|{}|{}|19830613|{}|+0000",
         file.rir.token(),
-        file.date.to_compact_string(),
+        file.date.compact(),
         file.records.len(),
-        file.date.to_compact_string(),
-    ));
-    out.push_str(&format!(
-        "{}|*|ipv4|*|{}|summary\n",
+        file.date.compact(),
+    );
+    let _ = writeln!(
+        out,
+        "{}|*|ipv4|*|{}|summary",
         file.rir.token(),
         file.records.len()
-    ));
+    );
     for r in &file.records {
-        let date = r.date.map(|d| d.to_compact_string()).unwrap_or_default();
-        out.push_str(&format!(
-            "{}|{}|ipv4|{}|{}|{}|{}|{}\n",
+        let _ = write!(
+            out,
+            "{}|{}|ipv4|{}|{}|",
             r.rir.token(),
             r.country,
             r.start,
             r.count,
-            date,
-            r.status,
-            r.opaque_id
-        ));
+        );
+        if let Some(d) = r.date {
+            let _ = write!(out, "{}", d.compact());
+        }
+        let _ = writeln!(out, "|{}|{}", r.status, r.opaque_id);
     }
     out
 }
@@ -90,18 +96,27 @@ fn parse_stats_file_impl(
             skipped.inc();
             continue;
         }
-        let fields: Vec<&str> = line.split('|').collect();
+        // Split without heap allocation: delegated-extended rows have at
+        // most 8 fields; overflow fields are dropped (never indexed).
+        let mut fields = [""; 8];
+        let mut n = 0;
+        for f in line.split('|') {
+            if n < fields.len() {
+                fields[n] = f;
+            }
+            n += 1;
+        }
         // Version line: starts with the format version number.
-        if rir.is_none() && fields.len() >= 6 && fields[0].chars().all(|c| c.is_ascii_digit()) {
+        if rir.is_none() && n >= 6 && fields[0].chars().all(|c| c.is_ascii_digit()) {
             rir = Some(fields[1].parse()?);
             date = Some(Date::parse_compact(fields[2])?);
             continue;
         }
-        if fields.len() >= 6 && fields[5] == "summary" {
+        if n >= 6 && fields[5] == "summary" {
             skipped.inc();
             continue;
         }
-        if fields.len() < 7 {
+        if n < 7 {
             return Err(ParseError::new("StatsFile", line, "too few fields"));
         }
         if fields[2] != "ipv4" {
@@ -124,7 +139,7 @@ fn parse_stats_file_impl(
             Some(Date::parse_compact(fields[5])?)
         };
         let status: AllocationStatus = fields[6].parse()?;
-        let opaque_id = fields.get(7).copied().unwrap_or_default().to_owned();
+        let opaque_id = if n > 7 { fields[7] } else { "" }.to_owned();
         records.push(DelegationRecord {
             rir: row_rir,
             country: fields[1].to_owned(),

@@ -41,18 +41,26 @@ pub const HEADER: &str = "date,op,tal,asn,prefix,maxLength";
 
 /// Serialize events (with header).
 pub fn write_events(events: &[RoaEvent]) -> String {
-    let mut out = String::from(HEADER);
+    use std::fmt::Write as _;
+    // One pre-sized buffer; lines stream in via `write!` (~44 bytes each)
+    // instead of allocating a String per event.
+    let mut out = String::with_capacity(HEADER.len() + 1 + events.len() * 44);
+    out.push_str(HEADER);
     out.push('\n');
     for e in events {
         let op = match e.op {
             RoaOp::Add => "ADD",
             RoaOp::Del => "DEL",
         };
-        let ml = e.roa.max_length.map(|m| m.to_string()).unwrap_or_default();
-        out.push_str(&format!(
-            "{},{},{},{},{},{}\n",
-            e.date, op, e.roa.tal, e.roa.asn, e.roa.prefix, ml
-        ));
+        let _ = write!(
+            out,
+            "{},{},{},{},{},",
+            e.date, op, e.roa.tal, e.roa.asn, e.roa.prefix
+        );
+        if let Some(ml) = e.roa.max_length {
+            let _ = write!(out, "{ml}");
+        }
+        out.push('\n');
     }
     out
 }
@@ -83,8 +91,16 @@ fn parse_events_impl(
             skipped.inc();
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 6 {
+        // Split without heap allocation: exactly 6 comma fields per event.
+        let mut fields = [""; 6];
+        let mut n = 0;
+        for f in line.split(',') {
+            if n < fields.len() {
+                fields[n] = f;
+            }
+            n += 1;
+        }
+        if n != 6 {
             return Err(ParseError::new("RoaEvent", line, "expected 6 fields"));
         }
         let date: Date = fields[0].parse()?;

@@ -95,26 +95,36 @@ impl World {
 
     /// Serialize every dataset into its wire format.
     pub fn to_text_archives(&self) -> TextArchives {
-        TextArchives {
-            bgp_updates: bgpfmt::write_updates(&self.bgp_updates, &self.peers),
-            irr_journal: irrfmt::write_journal(&self.irr_journal),
-            roa_events: write_events(&self.roa_events),
-            rir_snapshots: self
-                .rir_snapshots
-                .iter()
-                .map(|(date, files)| {
+        // The six archives serialize independently; fan out, collect into
+        // fixed tuple positions (identical output at any worker count).
+        let (bgp_updates, irr_journal, roa_events, rir_snapshots, drop_and_sbl) =
+            droplens_par::join5(
+                || bgpfmt::write_updates(&self.bgp_updates, &self.peers),
+                || irrfmt::write_journal(&self.irr_journal),
+                || write_events(&self.roa_events),
+                || {
+                    droplens_par::par_map(&self.rir_snapshots, |(date, files)| {
+                        (
+                            *date,
+                            files.iter().map(write_stats_file).collect::<Vec<_>>(),
+                        )
+                    })
+                },
+                || {
                     (
-                        *date,
-                        files.iter().map(write_stats_file).collect::<Vec<_>>(),
+                        droplens_par::par_map(&self.drop_snapshots, |s| (s.date, s.to_text())),
+                        self.sbl_db.to_text(),
                     )
-                })
-                .collect(),
-            drop_snapshots: self
-                .drop_snapshots
-                .iter()
-                .map(|s| (s.date, s.to_text()))
-                .collect(),
-            sbl_records: self.sbl_db.to_text(),
+                },
+            );
+        let (drop_snapshots, sbl_records) = drop_and_sbl;
+        TextArchives {
+            bgp_updates,
+            irr_journal,
+            roa_events,
+            rir_snapshots,
+            drop_snapshots,
+            sbl_records,
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Reproducibility: a seed fully determines the world, its serialized
-//! archives, and every experiment's rendered output.
+//! archives, and every experiment's rendered output — at any worker
+//! count.
 
-use droplens_core::{experiments, Study};
+use droplens_core::{experiments, paper, Study, StudyConfig};
+use droplens_net::DateRange;
 use droplens_synth::{World, WorldConfig};
 
 #[test]
@@ -44,6 +46,38 @@ fn same_seed_same_archive_bytes() {
         all
     };
     assert_eq!(bytes(123), bytes(123));
+}
+
+/// The parallel pipeline's core guarantee: `DROPLENS_THREADS` changes
+/// wall-clock, never output. The whole text round trip — serialize,
+/// parse, index, annotate, every experiment, the scorecard — produces
+/// identical results at one worker and at eight.
+#[test]
+fn thread_count_does_not_change_the_study() {
+    let snapshot = |threads: &str| {
+        std::env::set_var("DROPLENS_THREADS", threads);
+        let world = World::generate(7, &WorldConfig::small());
+        let text = world.to_text_archives();
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.manual_labels = world.manual_labels();
+        let study = Study::from_text(config, world.peers.clone(), &text).expect("archives parse");
+        let results = paper::ExperimentResults::compute(&study);
+        let rendered = format!(
+            "{}{}{}{}{}",
+            results.summary, results.fig1, results.fig2, results.fig5, results.sec6
+        );
+        let scorecard = paper::render(&paper::scorecard_with(&study, &results));
+        (study.entries.clone(), rendered, scorecard)
+    };
+    let one = snapshot("1");
+    let eight = snapshot("8");
+    std::env::remove_var("DROPLENS_THREADS");
+    assert_eq!(one.0, eight.0, "entries must not depend on worker count");
+    assert_eq!(one.1, eight.1, "rendered experiments must match");
+    assert_eq!(one.2, eight.2, "scorecard must match");
 }
 
 #[test]

@@ -129,10 +129,16 @@ fn category_population_survives_the_whole_pipeline() {
     let study = Study::from_text(sconfig, world.peers.clone(), &text).expect("parses");
 
     assert_eq!(study.entries.len(), cfg.mix.total());
-    assert_eq!(study.with_category(Category::NoSblRecord).len(), cfg.mix.nr);
-    assert_eq!(study.with_category(Category::Unallocated).len(), cfg.mix.ua);
     assert_eq!(
-        study.with_category(Category::Hijacked).len(),
+        study.with_category(Category::NoSblRecord).count(),
+        cfg.mix.nr
+    );
+    assert_eq!(
+        study.with_category(Category::Unallocated).count(),
+        cfg.mix.ua
+    );
+    assert_eq!(
+        study.with_category(Category::Hijacked).count(),
         cfg.mix.hj_forged_irr
             + cfg.mix.hj_labeled_no_irr
             + cfg.mix.hj_afrinic_incident
