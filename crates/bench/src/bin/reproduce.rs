@@ -1,7 +1,9 @@
 //! Regenerate every table and figure of the paper at full scale.
 //!
 //! ```text
-//! cargo run --release -p droplens-bench --bin reproduce [seed] [--metrics-json PATH]
+//! cargo run --release -p droplens-bench --bin reproduce [seed]
+//!     [--metrics-json PATH]
+//!     [--chaos SEED] [--ingest strict|permissive] [--quarantine PATH]
 //! ```
 //!
 //! Generates the paper-scale synthetic world (≈712 DROP listings, ≈12k
@@ -14,24 +16,49 @@
 //! writes the resulting run report (per-stage wall clock, per-parser
 //! record counters) as stable JSON — the file committed as
 //! `BENCH_<date>.json`.
+//!
+//! `--chaos SEED` corrupts the serialized archives with a seeded
+//! `droplens-faults` injector (0.5% of lines, all classes) before the
+//! pipeline re-parses them — pair it with `--ingest permissive`. CI's
+//! chaos-smoke job runs this at 1 and 8 workers and byte-compares the
+//! stdout. `--quarantine PATH` writes the per-source ingest ledger.
 
 use std::fmt::Display;
 use std::path::PathBuf;
 
 use droplens_core::{paper, Study, StudyConfig};
-use droplens_net::DateRange;
+use droplens_net::{DateRange, IngestPolicy};
 use droplens_synth::{World, WorldConfig};
 
 fn main() {
     let mut seed = 42u64;
     let mut metrics_json: Option<PathBuf> = None;
+    let mut chaos: Option<u64> = None;
+    let mut policy = IngestPolicy::Strict;
+    let mut quarantine: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--metrics-json" {
-            let path = args.next().expect("--metrics-json wants a path");
-            metrics_json = Some(PathBuf::from(path));
-        } else {
-            seed = arg.parse().expect("seed must be a u64");
+        match arg.as_str() {
+            "--metrics-json" => {
+                let path = args.next().expect("--metrics-json wants a path");
+                metrics_json = Some(PathBuf::from(path));
+            }
+            "--chaos" => {
+                let s = args.next().expect("--chaos wants a seed");
+                chaos = Some(s.parse().expect("chaos seed must be a u64"));
+            }
+            "--ingest" => {
+                policy = match args.next().as_deref() {
+                    Some("strict") => IngestPolicy::Strict,
+                    Some("permissive") => IngestPolicy::permissive(),
+                    other => panic!("--ingest wants strict|permissive, got {other:?}"),
+                };
+            }
+            "--quarantine" => {
+                let path = args.next().expect("--quarantine wants a path");
+                quarantine = Some(PathBuf::from(path));
+            }
+            _ => seed = arg.parse().expect("seed must be a u64"),
         }
     }
 
@@ -56,17 +83,41 @@ fn main() {
     // (`Study::from_text` and `Study::from_world` produce identical
     // studies; the round trip is covered by core's tests.)
     let study_span = obs.span("study");
-    let text = {
+    let mut text = {
         let _span = obs.span("serialize");
         world.to_text_archives()
     };
+    if let Some(chaos_seed) = chaos {
+        let log = droplens_faults::Corruptor::new(chaos_seed)
+            .with_rate(0.005)
+            .corrupt_archives(&mut text);
+        eprintln!(
+            "chaos: injected {} corruption events (seed {chaos_seed}, rate 0.5%)",
+            log.total()
+        );
+    }
     let mut study_config = StudyConfig::new(DateRange::inclusive(
         world.config.study_start,
         world.config.study_end,
     ));
+    study_config.ingest = policy;
     study_config.manual_labels = world.manual_labels();
-    let study = Study::from_text(study_config, world.peers.clone(), &text)
-        .expect("synthetic archives parse");
+    let study = match Study::from_text(study_config, world.peers.clone(), &text) {
+        Ok(study) => study,
+        Err(e) => {
+            eprintln!("ingestion failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &quarantine {
+        match std::fs::write(path, study.ingest.to_json()) {
+            Ok(()) => eprintln!("quarantine ledger written to {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write quarantine ledger to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!("study built in {:?}\n", study_span.finish());
 
     println!("=== droplens reproduction (seed {seed}) ===\n");

@@ -7,6 +7,8 @@
 //! lookups are binary searches, so the whole-study correlations stay fast
 //! even with hundreds of peers and thousands of prefixes.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::{BTreeMap, BTreeSet};
 
 use droplens_net::{Asn, Date, Ipv4Prefix, PrefixTrie};
@@ -140,6 +142,58 @@ impl BgpArchive {
             first_date,
             last_date,
         }
+    }
+
+    /// Close "zombie" lanes left behind by quarantined withdrawals.
+    ///
+    /// Permissive ingestion can quarantine a mangled withdraw record;
+    /// the damaged lane then stays open to the end of the archive even
+    /// though every other peer closed long ago — the BGP *zombie route*
+    /// phenomenon (routes lingering at isolated collectors after the
+    /// origin withdrew). When a prefix's lanes show exactly one open
+    /// interval, at least two closed sibling lanes, and every sibling
+    /// outlived that interval's announcement, sibling consensus wins:
+    /// the open interval is closed at the latest sibling withdrawal
+    /// date. Returns the number of intervals closed.
+    ///
+    /// A clean archive *can* contain this shape legitimately (one peer
+    /// genuinely routing longer than the rest), so callers gate the
+    /// sweep on quarantine evidence — [`crate::format`] reported update
+    /// records as damaged — rather than running it unconditionally.
+    pub fn repair_zombie_routes(&mut self) -> usize {
+        let mut repaired = 0;
+        let mut values: Vec<&mut PrefixRecord> = self.records.values_mut().collect();
+        for record in values.iter_mut() {
+            let mut open_peers: Vec<PeerId> = Vec::new();
+            let mut latest_close: Option<Date> = None;
+            let mut closed_lanes = 0usize;
+            for (&peer, lane) in &record.by_peer {
+                match lane.last().and_then(|iv| iv.end) {
+                    None if lane.last().is_some() => open_peers.push(peer),
+                    None => {}
+                    Some(end) => {
+                        closed_lanes += 1;
+                        latest_close = Some(latest_close.map_or(end, |d: Date| d.max(end)));
+                    }
+                }
+            }
+            let (&[peer], Some(close_at)) = (open_peers.as_slice(), latest_close) else {
+                continue;
+            };
+            if closed_lanes < 2 {
+                continue;
+            }
+            if let Some(iv) = record.by_peer.get_mut(&peer).and_then(|l| l.last_mut()) {
+                // A lane announced *after* every sibling closed is a
+                // genuine late re-announcement, not a zombie.
+                if iv.start <= close_at {
+                    iv.end = Some(close_at);
+                    record.build_visibility();
+                    repaired += 1;
+                }
+            }
+        }
+        repaired
     }
 
     /// The collector's peers.

@@ -14,9 +14,11 @@
 //! token, peer ASN, prefix, and (for announcements and dump entries) the
 //! AS path.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::fmt::Write as _;
 
-use droplens_net::{Asn, Date, ParseError};
+use droplens_net::{Asn, Date, ParseError, Quarantine};
 
 use crate::{AsPath, BgpEvent, BgpUpdate, Peer, PeerId, RibEntry};
 
@@ -163,26 +165,41 @@ pub fn write_table_dump(archive: &crate::BgpArchive, date: Date) -> String {
 /// Parse a whole TABLE_DUMP2 file into per-peer tables. Blank and `#`
 /// lines are skipped.
 pub fn parse_table_dump(text: &str) -> Result<Vec<(PeerId, RibEntry)>, ParseError> {
+    parse_table_dump_with(text, &mut Quarantine::strict("bgp/table-dump.txt"))
+}
+
+/// Parse a TABLE_DUMP2 file under the ingestion policy carried by
+/// `quarantine`: strict rejects abort; permissive rejects are quarantined
+/// and parsing continues on the next line.
+pub fn parse_table_dump_with(
+    text: &str,
+    quarantine: &mut Quarantine,
+) -> Result<Vec<(PeerId, RibEntry)>, ParseError> {
     let obs = droplens_obs::global();
     let parsed = obs.counter("bgp.rib.parsed");
     let skipped = obs.counter("bgp.rib.skipped");
     let malformed = obs.counter("bgp.rib.malformed");
     let mut out = Vec::new();
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             skipped.inc();
+            quarantine.record_skip();
             continue;
         }
+        let lineno = idx as u32 + 1;
         let (_, peer, _, entry) = match parse_table_dump_line(line) {
             Ok(rec) => rec,
             Err(e) => {
                 malformed.inc();
+                let e = e.with_location(quarantine.source(), lineno);
                 obs.error_sample("bgp.rib", e.to_string());
-                return Err(e);
+                quarantine.reject(lineno, e)?;
+                continue;
             }
         };
         parsed.inc();
+        quarantine.record_ok();
         out.push((peer, entry));
     }
     Ok(out)
@@ -202,28 +219,42 @@ pub fn write_updates(updates: &[BgpUpdate], peers: &[Peer]) -> String {
 
 /// Parse an update archive produced by [`write_updates`]. Blank lines and
 /// `#` comment lines are skipped; any malformed line aborts with an error
-/// identifying the line.
+/// identifying the file and line.
 pub fn parse_updates(text: &str) -> Result<Vec<BgpUpdate>, ParseError> {
+    parse_updates_with(text, &mut Quarantine::strict("bgp/updates.txt"))
+}
+
+/// Parse an update archive under the ingestion policy carried by
+/// `quarantine`: strict rejects abort; permissive rejects are quarantined
+/// and parsing continues on the next line.
+pub fn parse_updates_with(
+    text: &str,
+    quarantine: &mut Quarantine,
+) -> Result<Vec<BgpUpdate>, ParseError> {
     let obs = droplens_obs::global();
     let parsed = obs.counter("bgp.updates.parsed");
     let skipped = obs.counter("bgp.updates.skipped");
     let malformed = obs.counter("bgp.updates.malformed");
     let mut out = Vec::new();
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             skipped.inc();
+            quarantine.record_skip();
             continue;
         }
+        let lineno = idx as u32 + 1;
         match parse_update_line(line) {
             Ok(u) => {
                 parsed.inc();
+                quarantine.record_ok();
                 out.push(u);
             }
             Err(e) => {
                 malformed.inc();
+                let e = e.with_location(quarantine.source(), lineno);
                 obs.error_sample("bgp.updates", e.to_string());
-                return Err(e);
+                quarantine.reject(lineno, e)?;
             }
         }
     }
@@ -313,6 +344,20 @@ mod tests {
         assert!(parse_update_line("BGP4MP|2020-01-01").is_err());
         assert!(parse_table_dump_line("TABLE_DUMP2|2020-01-01|B|peer0|1|10.0.0.0/8").is_err());
         assert!(parse_table_dump_line("BGP4MP|2020-01-01|A|peer0|1|10.0.0.0/8|1").is_err());
+    }
+
+    #[test]
+    fn permissive_quarantines_and_locates_bad_lines() {
+        let text = "BGP4MP|2020-01-01|A|peer0|1|10.0.0.0/8|1\nGARBAGE\nBGP4MP|2020-01-02|W|peer0|1|10.0.0.0/8\n";
+        // Strict: aborts, reporting the file and line.
+        let err = parse_updates(text).unwrap_err();
+        assert_eq!(err.location(), Some(("bgp/updates.txt", 2)));
+        // Permissive: the bad line is quarantined, the rest parse.
+        let mut q = Quarantine::permissive("bgp/updates.txt");
+        let updates = parse_updates_with(text, &mut q).unwrap();
+        assert_eq!(updates.len(), 2);
+        assert_eq!(q.quarantined, 1);
+        assert_eq!(q.samples[0].location(), Some(("bgp/updates.txt", 2)));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Subcommand implementations, process-free for testability.
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use droplens_core::{experiments, Study};
+use droplens_core::{experiments, IngestPolicy, Study};
 use droplens_drop::{classify, extract_asns};
 use droplens_net::{Asn, Date, Ipv4Prefix};
 use droplens_rpki::format::parse_events;
@@ -37,10 +37,36 @@ pub fn generate(out: &Path, seed: u64, scale: &str) -> Result<String, CliError> 
     ))
 }
 
-/// `droplens analyze`: load an archive tree and run experiments.
-pub fn analyze(dir: &Path, experiment: &str) -> Result<String, CliError> {
-    let (config, peers, text) = layout::read_archives(dir)?;
+/// How a loading command should treat malformed archive input.
+///
+/// `policy` selects strict (abort on the first malformed line, the
+/// default) or permissive (quarantine within error/gap budgets)
+/// parsing; `quarantine` optionally writes the per-source ingest
+/// ledger as JSON after a successful load.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    /// Parsing policy handed to [`Study::from_text`].
+    pub policy: IngestPolicy,
+    /// Where to write the ingest ledger JSON, if anywhere.
+    pub quarantine: Option<PathBuf>,
+}
+
+/// Load the archive tree under `dir` into a study, honouring the
+/// ingest options (shared by `analyze` and `scorecard`).
+fn load_study(dir: &Path, ingest: &IngestOptions) -> Result<Study, CliError> {
+    let (mut config, peers, text) = layout::read_archives(dir)?;
+    config.ingest = ingest.policy;
     let study = Study::from_text(config, peers, &text)?;
+    if let Some(path) = &ingest.quarantine {
+        std::fs::write(path, study.ingest.to_json())
+            .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+    }
+    Ok(study)
+}
+
+/// `droplens analyze`: load an archive tree and run experiments.
+pub fn analyze(dir: &Path, experiment: &str, ingest: &IngestOptions) -> Result<String, CliError> {
+    let study = load_study(dir, ingest)?;
     run_experiments(&study, experiment)
 }
 
@@ -84,9 +110,8 @@ pub fn run_experiments(study: &Study, experiment: &str) -> Result<String, CliErr
 
 /// `droplens scorecard`: load an archive tree and print the paper-vs-
 /// measured scorecard.
-pub fn scorecard(dir: &Path) -> Result<String, CliError> {
-    let (config, peers, text) = layout::read_archives(dir)?;
-    let study = Study::from_text(config, peers, &text)?;
+pub fn scorecard(dir: &Path, ingest: &IngestOptions) -> Result<String, CliError> {
+    let study = load_study(dir, ingest)?;
     let targets = droplens_core::paper::scorecard(&study);
     Ok(droplens_core::paper::render(&targets))
 }

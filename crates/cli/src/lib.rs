@@ -26,6 +26,9 @@ pub enum CliError {
     Io(String, std::io::Error),
     /// Archive or argument parse failure.
     Parse(droplens_net::ParseError),
+    /// Ingestion failure: strict parse error, error budget breach, or
+    /// coverage gap beyond the configured budget.
+    Ingest(droplens_net::IngestError),
     /// Bad usage (unknown flag, missing argument, ...).
     Usage(String),
 }
@@ -35,6 +38,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Io(path, e) => write!(f, "{path}: {e}"),
             CliError::Parse(e) => write!(f, "{e}"),
+            CliError::Ingest(e) => write!(f, "{e}"),
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
         }
     }
@@ -48,14 +52,20 @@ impl From<droplens_net::ParseError> for CliError {
     }
 }
 
+impl From<droplens_net::IngestError> for CliError {
+    fn from(e: droplens_net::IngestError) -> Self {
+        CliError::Ingest(e)
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 droplens — Stop, DROP, and ROA reproduction toolkit
 
 USAGE:
     droplens generate --out DIR [--seed N] [--scale small|paper]
-    droplens analyze --dir DIR [--experiment NAME]
-    droplens scorecard --dir DIR
+    droplens analyze --dir DIR [--experiment NAME] [INGEST FLAGS]
+    droplens scorecard --dir DIR [INGEST FLAGS]
     droplens classify [FILE]            (stdin when no file)
     droplens validate --roas FILE --date YYYY-MM-DD [--all-tals] PREFIX ASN
     droplens help
@@ -63,6 +73,17 @@ USAGE:
 GLOBAL FLAGS:
     --metrics           print the instrumentation summary to stderr
     --metrics=PATH      write the run report as JSON to PATH
+
+INGEST FLAGS (analyze, scorecard):
+    --ingest strict|permissive   parsing policy (default strict: any
+                                 malformed line aborts the run)
+    --max-error-rate R           permissive error budget per source,
+                                 0..1 (default 0.01)
+    --max-gap-days N             permissive coverage-gap budget in days,
+                                 cadence-adjusted (default 14)
+    --quarantine PATH            write the per-source ingest ledger
+                                 (counts, gaps, quarantined samples) as
+                                 JSON to PATH
 
 EXPERIMENTS:
     all (default), summary, fig1..fig7, table1, table2, sec4, sec5, sec6,

@@ -3,8 +3,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use droplens_cli::commands::IngestOptions;
 use droplens_cli::{commands, CliError, USAGE};
-use droplens_net::{Asn, Date, Ipv4Prefix};
+use droplens_net::{Asn, Date, IngestPolicy, Ipv4Prefix};
 
 /// The global `--metrics[=PATH]` flag: where the run report should go.
 enum MetricsSink {
@@ -86,32 +87,36 @@ fn run(args: &[String]) -> Result<String, CliError> {
         Some("analyze") => {
             let mut dir: Option<PathBuf> = None;
             let mut experiment = "all".to_owned();
+            let mut ingest = IngestFlags::default();
             let rest: Vec<&str> = it.collect();
             let mut i = 0;
             while i < rest.len() {
                 match rest[i] {
                     "--dir" => dir = Some(PathBuf::from(value(&rest, &mut i)?)),
                     "--experiment" => experiment = value(&rest, &mut i)?.to_owned(),
+                    flag if ingest.accept(flag, &rest, &mut i)? => {}
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
                 i += 1;
             }
             let dir = dir.ok_or_else(|| CliError::Usage("analyze needs --dir DIR".into()))?;
-            commands::analyze(&dir, &experiment)
+            commands::analyze(&dir, &experiment, &ingest.build()?)
         }
         Some("scorecard") => {
             let mut dir: Option<PathBuf> = None;
+            let mut ingest = IngestFlags::default();
             let rest: Vec<&str> = it.collect();
             let mut i = 0;
             while i < rest.len() {
                 match rest[i] {
                     "--dir" => dir = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    flag if ingest.accept(flag, &rest, &mut i)? => {}
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
                 i += 1;
             }
             let dir = dir.ok_or_else(|| CliError::Usage("scorecard needs --dir DIR".into()))?;
-            commands::scorecard(&dir)
+            commands::scorecard(&dir, &ingest.build()?)
         }
         Some("classify") => {
             let text = match it.next() {
@@ -156,6 +161,80 @@ fn run(args: &[String]) -> Result<String, CliError> {
         }
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Accumulator for the shared ingest flags on `analyze`/`scorecard`.
+#[derive(Default)]
+struct IngestFlags {
+    policy: Option<IngestPolicy>,
+    max_error_rate: Option<f64>,
+    max_gap_days: Option<u32>,
+    quarantine: Option<PathBuf>,
+}
+
+impl IngestFlags {
+    /// Consume `flag` (and its value) if it is an ingest flag; returns
+    /// `Ok(false)` when the flag is not ours so the caller can keep
+    /// matching.
+    fn accept(&mut self, flag: &str, rest: &[&str], i: &mut usize) -> Result<bool, CliError> {
+        match flag {
+            "--ingest" => self.policy = Some(value(rest, i)?.parse()?),
+            "--max-error-rate" => {
+                let raw = value(rest, i)?;
+                let rate: f64 = raw.parse().map_err(|_| {
+                    CliError::Usage(format!("--max-error-rate wants a number, got {raw:?}"))
+                })?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(CliError::Usage(format!(
+                        "--max-error-rate must be in 0..=1, got {rate}"
+                    )));
+                }
+                self.max_error_rate = Some(rate);
+            }
+            "--max-gap-days" => {
+                let raw = value(rest, i)?;
+                self.max_gap_days = Some(raw.parse().map_err(|_| {
+                    CliError::Usage(format!("--max-gap-days wants a day count, got {raw:?}"))
+                })?);
+            }
+            "--quarantine" => self.quarantine = Some(PathBuf::from(value(rest, i)?)),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Resolve the accumulated flags into ingest options. Budget flags
+    /// imply `--ingest permissive` when no policy was named, and are
+    /// rejected under an explicit `--ingest strict` (strict has no
+    /// budgets to tune).
+    fn build(self) -> Result<IngestOptions, CliError> {
+        let budgets_tuned = self.max_error_rate.is_some() || self.max_gap_days.is_some();
+        let mut policy = match self.policy {
+            Some(p) => p,
+            None if budgets_tuned => IngestPolicy::permissive(),
+            None => IngestPolicy::Strict,
+        };
+        if let IngestPolicy::Permissive {
+            max_error_rate,
+            max_gap_days,
+        } = &mut policy
+        {
+            if let Some(rate) = self.max_error_rate {
+                *max_error_rate = rate;
+            }
+            if let Some(days) = self.max_gap_days {
+                *max_gap_days = days;
+            }
+        } else if budgets_tuned {
+            return Err(CliError::Usage(
+                "--max-error-rate/--max-gap-days need --ingest permissive".into(),
+            ));
+        }
+        Ok(IngestOptions {
+            policy,
+            quarantine: self.quarantine,
+        })
     }
 }
 

@@ -3,8 +3,9 @@
 
 use std::path::PathBuf;
 
+use droplens_cli::commands::IngestOptions;
 use droplens_cli::{commands, layout};
-use droplens_core::Study;
+use droplens_core::{IngestPolicy, Study};
 use droplens_synth::{World, WorldConfig};
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -34,7 +35,7 @@ fn generate_then_analyze_round_trips() {
     assert!(dir.join("rir").read_dir().expect("rir dir").count() > 10);
 
     // Analysis over the on-disk tree equals the in-memory pipeline.
-    let from_disk = commands::analyze(&dir, "all").expect("analyze");
+    let from_disk = commands::analyze(&dir, "all", &IngestOptions::default()).expect("analyze");
     let world = World::generate(42, &WorldConfig::small());
     let study = Study::from_world(&world);
     let in_memory = commands::run_experiments(&study, "all").expect("run");
@@ -47,10 +48,10 @@ fn generate_then_analyze_round_trips() {
 fn analyze_single_experiment_selection() {
     let dir = temp_dir("single");
     commands::generate(&dir, 5, "small").expect("generate");
-    let out = commands::analyze(&dir, "table1").expect("analyze");
+    let out = commands::analyze(&dir, "table1", &IngestOptions::default()).expect("analyze");
     assert!(out.contains("## table1"));
     assert!(!out.contains("## fig1"));
-    assert!(commands::analyze(&dir, "nope").is_err());
+    assert!(commands::analyze(&dir, "nope", &IngestOptions::default()).is_err());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -58,9 +59,38 @@ fn analyze_single_experiment_selection() {
 fn scorecard_over_archive_tree() {
     let dir = temp_dir("scorecard");
     commands::generate(&dir, 42, "small").expect("generate");
-    let out = commands::scorecard(&dir).expect("scorecard");
+    let out = commands::scorecard(&dir, &IngestOptions::default()).expect("scorecard");
     assert!(out.contains("targets in band"), "{out}");
     assert!(out.contains("DROP-filtering peers"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn analyze_permissive_quarantines_corruption_and_writes_ledger() {
+    let dir = temp_dir("quarantine");
+    commands::generate(&dir, 7, "small").expect("generate");
+
+    // Corrupt one BGP line in place: strict must refuse the tree.
+    let updates = dir.join("bgp/updates.txt");
+    let mut text = std::fs::read_to_string(&updates).expect("read updates");
+    text.push_str("this line is not a bgp update\n");
+    std::fs::write(&updates, &text).expect("write updates");
+    let err = commands::analyze(&dir, "summary", &IngestOptions::default())
+        .expect_err("strict must reject the corrupted tree");
+    assert!(err.to_string().contains("bgp/updates.txt"), "{err}");
+
+    // Permissive quarantines it, still analyzes, and writes the ledger.
+    let ledger = dir.join("ingest.json");
+    let opts = IngestOptions {
+        policy: IngestPolicy::permissive(),
+        quarantine: Some(ledger.clone()),
+    };
+    let out = commands::analyze(&dir, "summary", &opts).expect("permissive analyze");
+    assert!(out.contains("## summary"));
+    let json = std::fs::read_to_string(&ledger).expect("ledger written");
+    assert!(json.contains("\"quarantined\":1"), "{json}");
+    assert!(json.contains("bgp/updates.txt"), "{json}");
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -38,4 +38,5 @@ mod study;
 // keeps working via this re-export.
 pub use droplens_obs::report;
 
+pub use droplens_net::{IngestError, IngestPolicy, IngestReport};
 pub use study::{Study, StudyConfig, StudyEntry};

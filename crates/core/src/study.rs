@@ -7,12 +7,19 @@ use droplens_drop::{
     classify, extract_asns, Category, DropEntry, DropSnapshot, DropTimeline, SblDatabase, SblId,
 };
 use droplens_irr::{journal, IrrRegistry};
-use droplens_net::{AddressSpace, Asn, Date, DateRange, Ipv4Prefix, ParseError};
-use droplens_rir::format::parse_stats_file;
+use droplens_net::{
+    AddressSpace, Asn, Date, DateRange, IngestError, IngestPolicy, IngestReport, Ipv4Prefix,
+    ParseError, Quarantine, SourceCoverage, SourceIngest,
+};
+use droplens_rir::format::parse_stats_file_with;
 use droplens_rir::{Rir, RirStatsArchive};
-use droplens_rpki::format::parse_events;
+use droplens_rpki::format::parse_events_with;
 use droplens_rpki::RoaArchive;
 use droplens_synth::{TextArchives, World};
+
+/// Expected days between RIR delegated-stats snapshots: the synthetic
+/// world publishes them monthly, so a ≤31-day delta is not a gap.
+const RIR_CADENCE_DAYS: u32 = 31;
 
 /// Knobs of the analysis itself (not of the data): the study window and
 /// the analyst-supplied manual labels for keyword-less SBL records.
@@ -25,6 +32,9 @@ pub struct StudyConfig {
     /// Days of lookback when inferring withdrawal around a listing
     /// (Figure 2's CDF starts at −1 day).
     pub withdrawal_lookback: i32,
+    /// How archive loaders react to malformed input (strict by default:
+    /// synthetic archives must be byte-perfect).
+    pub ingest: IngestPolicy,
 }
 
 impl StudyConfig {
@@ -34,6 +44,7 @@ impl StudyConfig {
             window,
             manual_labels: BTreeMap::new(),
             withdrawal_lookback: 1,
+            ingest: IngestPolicy::Strict,
         }
     }
 }
@@ -112,6 +123,10 @@ pub struct Study {
     pub sbl: SblDatabase,
     /// Annotated listing episodes, in listing order.
     pub entries: Vec<StudyEntry>,
+    /// Ingestion ledger: per-source quarantine counts and gap-aware
+    /// coverage. Empty sources when the study was built in memory via
+    /// [`Study::from_world`] (no parsing happened).
+    pub ingest: IngestReport,
 }
 
 impl Study {
@@ -141,6 +156,10 @@ impl Study {
             || DropTimeline::from_snapshots(&world.drop_snapshots),
         );
         index_span.finish();
+        let ingest = IngestReport {
+            window: Some(config.window),
+            ..IngestReport::default()
+        };
         Self::assemble(
             config,
             world.peers.clone(),
@@ -150,63 +169,231 @@ impl Study {
             rir,
             drop,
             world.sbl_db.clone(),
+            ingest,
         )
     }
 
     /// Build a study by parsing serialized archives — the same code path
     /// a deployment against the real feeds would use.
+    ///
+    /// Parsing honors `config.ingest`: in strict mode any malformed line
+    /// aborts; in permissive mode malformed records are quarantined
+    /// per source and the run fails only when a source blows its error
+    /// or gap budget. The resulting ledger (counts, bounded samples,
+    /// gap-aware coverage) lands on [`Study::ingest`].
     pub fn from_text(
         config: StudyConfig,
         peers: Vec<Peer>,
         text: &TextArchives,
-    ) -> Result<Study, ParseError> {
+    ) -> Result<Study, IngestError> {
         let obs = droplens_obs::global();
         let load_span = obs.span("load");
+        let policy = config.ingest;
         // The five wire formats parse independently (each closure owns one
-        // source and its counters commute), so the load stage fans out.
-        let (updates, irr_journal, roa_events, rir_files, drop_and_sbl) = droplens_par::join5(
-            || bgpfmt::parse_updates(&text.bgp_updates),
-            || journal::parse_journal(&text.irr_journal),
-            || parse_events(&text.roa_events),
+        // source, its counters commute, and its quarantine ledger is
+        // merged in fixed input order), so the load stage fans out while
+        // staying deterministic at any worker count.
+        let (bgp_res, irr_res, rpki_res, rir_res, drop_res) = droplens_par::join5(
             || {
-                droplens_par::par_map(&text.rir_snapshots, |(date, files)| {
-                    let parsed: Result<Vec<_>, ParseError> =
-                        files.iter().map(|f| parse_stats_file(f)).collect();
-                    parsed.map(|p| (*date, p))
-                })
-                .into_iter()
-                .collect::<Result<Vec<_>, ParseError>>()
+                let mut q = Quarantine::for_policy("bgp/updates.txt", &policy);
+                let updates = bgpfmt::parse_updates_with(&text.bgp_updates, &mut q)?;
+                Ok::<_, ParseError>((updates, q))
             },
             || {
-                let snapshots = droplens_par::par_map(&text.drop_snapshots, |(date, body)| {
-                    DropSnapshot::parse(*date, body)
-                })
-                .into_iter()
-                .collect::<Result<Vec<_>, ParseError>>()?;
-                Ok::<_, ParseError>((snapshots, SblDatabase::parse(&text.sbl_records)?))
+                let mut q = Quarantine::for_policy("irr/journal.txt", &policy);
+                let entries = journal::parse_journal_with(&text.irr_journal, &mut q)?;
+                Ok::<_, ParseError>((entries, q))
+            },
+            || {
+                let mut q = Quarantine::for_policy("rpki/roas.csv", &policy);
+                let events = parse_events_with(&text.roa_events, &mut q)?;
+                Ok::<_, ParseError>((events, q))
+            },
+            || {
+                let per_snapshot = droplens_par::par_map(&text.rir_snapshots, |(date, files)| {
+                    let mut kept = Vec::with_capacity(files.len());
+                    let mut merged = Quarantine::for_policy("rir", &policy);
+                    for (i, f) in files.iter().enumerate() {
+                        let label = match Rir::ALL.get(i) {
+                            Some(r) => format!(
+                                "rir/{}/delegated-{}-extended.txt",
+                                date.compact(),
+                                r.token()
+                            ),
+                            None => format!("rir/{}/file{}", date.compact(), i),
+                        };
+                        let mut q = Quarantine::for_policy(label, &policy);
+                        // `None` = the file was structurally unusable and
+                        // quarantined whole; the snapshot keeps the rest.
+                        if let Some(file) = parse_stats_file_with(f, &mut q)? {
+                            kept.push(file);
+                        }
+                        merged.absorb(q);
+                    }
+                    Ok::<_, ParseError>((*date, kept, merged))
+                });
+                let mut out = Vec::new();
+                let mut partial = Vec::new();
+                let mut q = Quarantine::for_policy("rir", &policy);
+                for (r, (_, raw_files)) in per_snapshot.into_iter().zip(&text.rir_snapshots) {
+                    let (date, kept, merged) = r?;
+                    // Quarantined rows or a dropped file make the
+                    // snapshot untrustworthy about *absent* spans.
+                    let damaged = merged.quarantined > 0 || kept.len() < raw_files.len();
+                    q.absorb(merged);
+                    // A snapshot with every file dropped is a gap, not an
+                    // empty registry.
+                    if !kept.is_empty() {
+                        out.push((date, kept));
+                        partial.push(damaged);
+                    }
+                }
+                droplens_rir::format::repair_flickers(&mut out, &partial);
+                Ok::<_, ParseError>((out, q))
+            },
+            || {
+                let per_snapshot = droplens_par::par_map(&text.drop_snapshots, |(date, body)| {
+                    let mut q = Quarantine::for_policy(format!("drop/{date}.txt"), &policy);
+                    let snap = DropSnapshot::parse_with(*date, body, &mut q)?;
+                    Ok::<_, ParseError>((snap, q))
+                });
+                let mut snapshots = Vec::with_capacity(per_snapshot.len());
+                let mut partial = Vec::with_capacity(per_snapshot.len());
+                let mut q = Quarantine::for_policy("drop", &policy);
+                for r in per_snapshot {
+                    let (snap, file_q) = r?;
+                    // A day that quarantined lines cannot be trusted
+                    // about absences; see `repair_flickers`.
+                    partial.push(file_q.quarantined > 0);
+                    q.absorb(file_q);
+                    snapshots.push(snap);
+                }
+                droplens_drop::repair_flickers(&mut snapshots, &partial);
+                let mut sbl_q = Quarantine::for_policy("sbl/records.txt", &policy);
+                let sbl = SblDatabase::parse_with(&text.sbl_records, &mut sbl_q)?;
+                Ok::<_, ParseError>((snapshots, q, sbl, sbl_q))
             },
         );
-        let (updates, irr_journal, roa_events, rir_files) =
-            (updates?, irr_journal?, roa_events?, rir_files?);
-        let (snapshots, sbl) = drop_and_sbl?;
+        let (updates, bgp_q) = bgp_res?;
+        let (irr_journal, irr_q) = irr_res?;
+        let (roa_events, rpki_q) = rpki_res?;
+        let (rir_files, rir_q) = rir_res?;
+        let (snapshots, drop_q, sbl, sbl_q) = drop_res?;
         load_span.finish();
 
+        // Assemble the pipeline-wide ledger in fixed source order and
+        // enforce the budgets before paying for indexing.
+        let drop_dates: Vec<Date> = snapshots.iter().map(|s| s.date).collect();
+        let rir_dates: Vec<Date> = rir_files.iter().map(|(d, _)| *d).collect();
+        let mut report = IngestReport {
+            window: Some(config.window),
+            ..IngestReport::default()
+        };
+        let event_cov = |first: Option<Date>, last: Option<Date>, n: usize| {
+            SourceCoverage::of_events(first, last, n as u64)
+        };
+        report.sources.insert(
+            "bgp".into(),
+            SourceIngest {
+                quarantine: bgp_q,
+                coverage: event_cov(
+                    updates.first().map(|u| u.date),
+                    updates.last().map(|u| u.date),
+                    updates.len(),
+                ),
+            },
+        );
+        report.sources.insert(
+            "irr".into(),
+            SourceIngest {
+                quarantine: irr_q,
+                coverage: event_cov(
+                    irr_journal.first().map(|e| e.date),
+                    irr_journal.last().map(|e| e.date),
+                    irr_journal.len(),
+                ),
+            },
+        );
+        report.sources.insert(
+            "rpki".into(),
+            SourceIngest {
+                quarantine: rpki_q,
+                coverage: event_cov(
+                    roa_events.first().map(|e| e.date),
+                    roa_events.last().map(|e| e.date),
+                    roa_events.len(),
+                ),
+            },
+        );
+        report.sources.insert(
+            "rir".into(),
+            SourceIngest {
+                quarantine: rir_q,
+                coverage: SourceCoverage::of_snapshots(
+                    &rir_dates,
+                    RIR_CADENCE_DAYS,
+                    &config.window,
+                ),
+            },
+        );
+        report.sources.insert(
+            "drop".into(),
+            SourceIngest {
+                quarantine: drop_q,
+                coverage: SourceCoverage::of_snapshots(&drop_dates, 1, &config.window),
+            },
+        );
+        report.sources.insert(
+            "sbl".into(),
+            SourceIngest {
+                quarantine: sbl_q,
+                coverage: event_cov(None, None, sbl.len()),
+            },
+        );
+        report.enforce(&policy)?;
+        for (name, src) in &report.sources {
+            obs.counter(&format!("ingest.{name}.quarantined"))
+                .add(src.quarantine.quarantined);
+            obs.gauge(&format!("ingest.{name}.missing_days"))
+                .set(i64::from(src.coverage.missing_days()));
+        }
+
+        let bgp_damaged = report
+            .sources
+            .get("bgp")
+            .is_some_and(|s| s.quarantine.quarantined > 0);
         let index_span = obs.span("index");
         let (bgp, irr, roa, rir, drop) = droplens_par::join5(
-            || BgpArchive::from_updates(peers.clone(), &updates),
+            || {
+                let mut bgp = BgpArchive::from_updates(peers.clone(), &updates);
+                // A quarantined withdraw leaves its peer's route open
+                // forever; close those zombie lanes by sibling consensus.
+                // Gated on actual update damage so an undamaged stream
+                // indexes identically under either policy.
+                if bgp_damaged {
+                    let zombies = bgp.repair_zombie_routes() as u64;
+                    droplens_obs::global()
+                        .counter("ingest.bgp.zombie_routes_closed")
+                        .add(zombies);
+                }
+                bgp
+            },
             || IrrRegistry::from_journal(&irr_journal),
             || RoaArchive::from_events(&roa_events),
             || {
                 let mut rir = RirStatsArchive::new();
                 for (date, files) in &rir_files {
-                    rir.add_snapshot(*date, files);
+                    rir.try_add_snapshot(*date, files)?;
                 }
-                rir
+                Ok::<_, ParseError>(rir)
             },
-            || DropTimeline::from_snapshots(&snapshots),
+            || DropTimeline::try_from_snapshots(&snapshots),
         );
+        let (rir, drop) = (rir?, drop?);
         index_span.finish();
-        Ok(Self::assemble(config, peers, bgp, irr, roa, rir, drop, sbl))
+        Ok(Self::assemble(
+            config, peers, bgp, irr, roa, rir, drop, sbl, report,
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -219,6 +406,7 @@ impl Study {
         rir: RirStatsArchive,
         drop: DropTimeline,
         sbl: SblDatabase,
+        ingest: IngestReport,
     ) -> Study {
         let obs = droplens_obs::global();
         let annotate_span = obs.span("annotate");
@@ -240,6 +428,7 @@ impl Study {
             drop,
             sbl,
             entries,
+            ingest,
         }
     }
 
@@ -300,7 +489,18 @@ fn annotate(
             asns = extract_asns(&record.text);
         }
         None => {
-            categories.insert(Category::NoSblRecord);
+            // The record is gone — but the list entry still names its id,
+            // and the analyst's labels are keyed by id. A manual label is
+            // an independent read of the record, so it survives losing
+            // the record text (to SBL churn or to quarantined damage).
+            match entry.sbl.and_then(|id| config.manual_labels.get(&id)) {
+                Some(manual) if !manual.is_empty() => {
+                    categories.extend(manual.iter().copied());
+                }
+                _ => {
+                    categories.insert(Category::NoSblRecord);
+                }
+            }
         }
     }
     let status = rir.status_of(&entry.prefix, entry.added);
@@ -448,6 +648,112 @@ mod tests {
             assert_eq!(a.rir, b.rir);
             assert_eq!(a.afrinic_incident, b.afrinic_incident);
         }
+    }
+
+    #[test]
+    fn from_text_builds_ingest_ledger() {
+        let world = World::generate(42, &WorldConfig::small());
+        let text = world.to_text_archives();
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.manual_labels = world.manual_labels();
+        let s = Study::from_text(config, world.peers.clone(), &text).expect("parses");
+        // All six sources accounted for, nothing quarantined, full
+        // coverage on clean archives.
+        for name in ["bgp", "irr", "rpki", "rir", "drop", "sbl"] {
+            let src = s.ingest.sources.get(name).expect(name);
+            assert_eq!(src.quarantine.quarantined, 0, "{name}");
+        }
+        assert_eq!(s.ingest.total_quarantined(), 0);
+        let drop_cov = &s.ingest.sources["drop"].coverage;
+        assert!(drop_cov.gaps.is_empty(), "{:?}", drop_cov.gaps);
+        assert_eq!(drop_cov.fraction(&s.config.window), 1.0);
+        let rir_cov = &s.ingest.sources["rir"].coverage;
+        assert!(rir_cov.gaps.is_empty(), "{:?}", rir_cov.gaps);
+    }
+
+    #[test]
+    fn permissive_ingest_quarantines_within_budget() {
+        let world = World::generate(42, &WorldConfig::small());
+        let mut text = world.to_text_archives();
+        // One malformed line per line-oriented source: well under 1%.
+        text.bgp_updates.push_str("GARBAGE LINE\n");
+        text.roa_events.push_str("not,a,roa\n");
+        if let Some((_, body)) = text.drop_snapshots.last_mut() {
+            body.push_str("999.999.0.0/33 ; SBLx\n");
+        }
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.manual_labels = world.manual_labels();
+        // Strict: aborts.
+        assert!(Study::from_text(config.clone(), world.peers.clone(), &text).is_err());
+        // Permissive: quarantined, run proceeds, ledger records it.
+        config.ingest = IngestPolicy::permissive();
+        let s = Study::from_text(config, world.peers.clone(), &text).expect("within budget");
+        assert_eq!(s.ingest.sources["bgp"].quarantine.quarantined, 1);
+        assert_eq!(s.ingest.sources["rpki"].quarantine.quarantined, 1);
+        assert_eq!(s.ingest.sources["drop"].quarantine.quarantined, 1);
+        assert_eq!(s.ingest.total_quarantined(), 3);
+        let sample = &s.ingest.sources["bgp"].quarantine.samples[0];
+        assert!(sample.location().is_some());
+    }
+
+    #[test]
+    fn permissive_ingest_fails_fast_over_budget() {
+        let world = World::generate(42, &WorldConfig::small());
+        let mut text = world.to_text_archives();
+        // Corrupt far more than 1% of the (small) SBL database.
+        text.sbl_records = format!("NOTANID\nbody\n\n{}", text.sbl_records);
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.ingest = IngestPolicy::Permissive {
+            max_error_rate: 0.001,
+            max_gap_days: 14,
+        };
+        let err = match Study::from_text(config, world.peers.clone(), &text) {
+            Err(e) => e,
+            Ok(_) => panic!("expected budget failure"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("error budget"), "{msg}");
+        assert!(msg.contains("sbl"), "{msg}");
+        assert!(msg.contains("sbl/records.txt:1"), "{msg}");
+    }
+
+    #[test]
+    fn permissive_ingest_enforces_gap_budget() {
+        let world = World::generate(42, &WorldConfig::small());
+        let mut text = world.to_text_archives();
+        // Drop a 20-day run of daily DROP snapshots from the middle.
+        let n = text.drop_snapshots.len();
+        assert!(n > 40, "small world has {n} snapshots");
+        text.drop_snapshots.drain(n / 2..n / 2 + 20);
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.ingest = IngestPolicy::permissive(); // max_gap_days 14
+        let err = match Study::from_text(config.clone(), world.peers.clone(), &text) {
+            Err(e) => e,
+            Ok(_) => panic!("expected gap failure"),
+        };
+        assert!(err.to_string().contains("gap budget"), "{err}");
+        // A wider budget tolerates the hole and records it as coverage.
+        config.ingest = IngestPolicy::Permissive {
+            max_error_rate: 0.01,
+            max_gap_days: 30,
+        };
+        let s = Study::from_text(config, world.peers.clone(), &text).expect("gap tolerated");
+        let cov = &s.ingest.sources["drop"].coverage;
+        assert_eq!(cov.missing_days(), 20);
+        assert_eq!(cov.gaps.len(), 1);
+        assert!(cov.fraction(&s.config.window) < 1.0);
     }
 
     #[test]

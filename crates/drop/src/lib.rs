@@ -20,5 +20,5 @@ pub mod list;
 mod sbl;
 
 pub use category::Category;
-pub use list::{DropEntry, DropSnapshot, DropTimeline};
+pub use list::{repair_flickers, DropEntry, DropSnapshot, DropTimeline};
 pub use sbl::{classify, extract_asns, Classification, SblDatabase, SblId, SblRecord};

@@ -14,9 +14,11 @@
 //! [`DropEntry`] listing episodes with added/removed dates — the unit of
 //! analysis for every experiment.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::BTreeMap;
 
-use droplens_net::{Date, DateRange, Ipv4Prefix, ParseError};
+use droplens_net::{find_gaps, Date, DateRange, GapSpan, Ipv4Prefix, ParseError, Quarantine};
 
 use crate::SblId;
 
@@ -71,17 +73,34 @@ impl DropSnapshot {
     /// Parse a snapshot file; the date is supplied by the archive layout
     /// (FireHOL names files by date), not the header comment.
     pub fn parse(date: Date, text: &str) -> Result<DropSnapshot, ParseError> {
+        Self::parse_with(
+            date,
+            text,
+            &mut Quarantine::strict(format!("drop/{date}.txt")),
+        )
+    }
+
+    /// Parse a snapshot file under the ingestion policy carried by
+    /// `quarantine`: strict rejects abort; permissive rejects are
+    /// quarantined and parsing continues on the next line.
+    pub fn parse_with(
+        date: Date,
+        text: &str,
+        quarantine: &mut Quarantine,
+    ) -> Result<DropSnapshot, ParseError> {
         let obs = droplens_obs::global();
         let parsed = obs.counter("drop.list.parsed");
         let skipped = obs.counter("drop.list.skipped");
         let malformed = obs.counter("drop.list.malformed");
         let mut snapshot = DropSnapshot::new(date);
-        for line in text.lines() {
+        for (idx, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with(';') || line.starts_with('#') {
                 skipped.inc();
+                quarantine.record_skip();
                 continue;
             }
+            let lineno = idx as u32 + 1;
             let (prefix_s, sbl_s) = match line.split_once(';') {
                 Some((p, s)) => (p.trim(), Some(s.trim())),
                 None => (line, None),
@@ -96,16 +115,68 @@ impl DropSnapshot {
             match entry {
                 Ok((prefix, sbl)) => {
                     parsed.inc();
+                    quarantine.record_ok();
                     snapshot.insert(prefix, sbl);
                 }
                 Err(e) => {
                     malformed.inc();
+                    let e = e.with_location(quarantine.source(), lineno);
                     obs.error_sample("drop.list", e.to_string());
-                    return Err(e);
+                    quarantine.reject(lineno, e)?;
                 }
             }
         }
         Ok(snapshot)
+    }
+}
+
+/// Repair quarantine flicker across daily snapshots.
+///
+/// A *partial* snapshot (one that quarantined at least one malformed
+/// line, `partial[i]`) cannot be trusted about absences: the missing
+/// prefix may simply have been on the mangled line. A prefix that was
+/// listed the day before a partial snapshot and is listed again at its
+/// next trusted sighting — with every intervening snapshot also
+/// partial — is carried forward instead of being split into two
+/// phantom episodes. Absences confirmed by any intact snapshot are
+/// left alone, so with clean inputs (every flag false) this is a
+/// no-op and strict-mode results are untouched.
+pub fn repair_flickers(snapshots: &mut [DropSnapshot], partial: &[bool]) {
+    assert_eq!(
+        snapshots.len(),
+        partial.len(),
+        "one partial flag per snapshot"
+    );
+    for i in 1..snapshots.len() {
+        if !partial[i] {
+            continue;
+        }
+        let prev: Vec<(Ipv4Prefix, Option<SblId>)> = snapshots[i - 1]
+            .entries
+            .iter()
+            .map(|(p, s)| (*p, *s))
+            .collect();
+        for (prefix, sbl) in prev {
+            if snapshots[i].entries.contains_key(&prefix) {
+                continue;
+            }
+            let mut j = i + 1;
+            let reappears = loop {
+                match snapshots.get(j) {
+                    Some(s) if s.entries.contains_key(&prefix) => break true,
+                    Some(_) if partial[j] => j += 1,
+                    // Trusted absence: the removal is real, not flicker.
+                    Some(_) => break false,
+                    // Ran off the end through partial snapshots only: no
+                    // intact snapshot ever confirmed the absence, so the
+                    // last trusted state (listed) carries forward.
+                    None => break true,
+                }
+            };
+            if reappears {
+                snapshots[i].entries.insert(prefix, sbl);
+            }
+        }
     }
 }
 
@@ -140,22 +211,54 @@ impl DropEntry {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DropTimeline {
     entries: Vec<DropEntry>,
+    snapshot_dates: Vec<Date>,
 }
 
 impl DropTimeline {
     /// Diff a chronological series of snapshots. A prefix present in
     /// snapshot N but not N−1 was *added* on N's date; present in N−1 but
     /// not N, *removed* on N's date. Relisting opens a new episode.
+    ///
+    /// Across a coverage gap the change actually happened on some
+    /// unobserved day, so changes surfacing on the first post-gap
+    /// snapshot are dated to the gap's first day (the earliest day the
+    /// change could have happened) rather than the observation day —
+    /// the dating convention that pairs with the carry-forward state
+    /// semantics of [`DropTimeline::gaps`]. With a gap-free daily
+    /// series this is a no-op.
+    ///
     /// Panics if snapshots are out of order.
     pub fn from_snapshots(snapshots: &[DropSnapshot]) -> DropTimeline {
+        match Self::try_from_snapshots(snapshots) {
+            Ok(timeline) => timeline,
+            Err(e) => panic!("snapshots must be chronological: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`DropTimeline::from_snapshots`]: out-of-order
+    /// snapshots are reported as a [`ParseError`] instead of panicking,
+    /// so ingestion can surface the offending date.
+    pub fn try_from_snapshots(snapshots: &[DropSnapshot]) -> Result<DropTimeline, ParseError> {
         let mut entries: Vec<DropEntry> = Vec::new();
         let mut open: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
-        let mut prev_date: Option<Date> = None;
+        let mut snapshot_dates: Vec<Date> = Vec::with_capacity(snapshots.len());
         for snap in snapshots {
-            if let Some(prev) = prev_date {
-                assert!(prev < snap.date, "snapshots must be chronological");
+            if let Some(&prev) = snapshot_dates.last() {
+                if prev >= snap.date {
+                    return Err(ParseError::new(
+                        "DropTimeline",
+                        &snap.date.to_string(),
+                        format!("snapshot out of chronological order (follows {prev})"),
+                    ));
+                }
             }
-            prev_date = Some(snap.date);
+            // Changes observed on the first snapshot after a gap are
+            // dated to the gap's first day (see the method docs).
+            let change_date = match snapshot_dates.last() {
+                Some(&prev) if snap.date - prev > 1 => prev + 1,
+                _ => snap.date,
+            };
+            snapshot_dates.push(snap.date);
             // Additions and SBL back-fill.
             for (&prefix, &sbl) in &snap.entries {
                 match open.get(&prefix) {
@@ -170,7 +273,7 @@ impl DropTimeline {
                         entries.push(DropEntry {
                             prefix,
                             sbl,
-                            added: snap.date,
+                            added: change_date,
                             removed: None,
                         });
                     }
@@ -183,11 +286,28 @@ impl DropTimeline {
                 .copied()
                 .collect();
             for prefix in removed {
-                let idx = open.remove(&prefix).expect("came from open");
-                entries[idx].removed = Some(snap.date);
+                if let Some(idx) = open.remove(&prefix) {
+                    entries[idx].removed = Some(change_date);
+                }
             }
         }
-        DropTimeline { entries }
+        Ok(DropTimeline {
+            entries,
+            snapshot_dates,
+        })
+    }
+
+    /// The snapshot dates the timeline was diffed from, in order.
+    pub fn snapshot_dates(&self) -> &[Date] {
+        &self.snapshot_dates
+    }
+
+    /// Missing days in the (nominally daily) snapshot series. A change
+    /// that happened inside a gap surfaces on its first post-gap
+    /// snapshot and is dated to the gap's first day (see
+    /// [`DropTimeline::try_from_snapshots`]).
+    pub fn gaps(&self) -> Vec<GapSpan> {
+        find_gaps(&self.snapshot_dates, 1)
     }
 
     /// All episodes, in add order (ties broken by prefix order).
@@ -291,8 +411,10 @@ mod tests {
         ]);
         let eps = timeline.for_prefix(&p("10.0.0.0/16"));
         assert_eq!(eps.len(), 2);
-        assert_eq!(eps[0].removed, Some(d("2020-02-01")));
-        assert_eq!(eps[1].added, d("2020-03-01"));
+        // Both changes surfaced right after a month-long coverage gap, so
+        // both are dated to the gap's first day, not the observation day.
+        assert_eq!(eps[0].removed, Some(d("2020-01-02")));
+        assert_eq!(eps[1].added, d("2020-02-02"));
         assert_eq!(timeline.unique_prefixes().len(), 1);
     }
 
@@ -304,7 +426,9 @@ mod tests {
         ]);
         let pfx = p("10.0.0.0/16");
         assert!(timeline.listed_on(&pfx, d("2020-01-01")));
-        assert!(timeline.listed_on(&pfx, d("2020-01-15")));
+        // The removal observed on 2020-02-01 is dated into the gap
+        // (2020-01-02), so mid-gap days count as unlisted.
+        assert!(!timeline.listed_on(&pfx, d("2020-01-15")));
         assert!(!timeline.listed_on(&pfx, d("2020-02-01")));
         assert!(!timeline.listed_on(&p("99.0.0.0/8"), d("2020-01-15")));
     }
@@ -340,5 +464,44 @@ mod tests {
         let t = DropTimeline::from_snapshots(&[]);
         assert!(t.entries().is_empty());
         assert!(t.unique_prefixes().is_empty());
+        assert!(t.gaps().is_empty());
+    }
+
+    #[test]
+    fn try_from_snapshots_reports_out_of_order() {
+        let err =
+            DropTimeline::try_from_snapshots(&[snap("2020-02-01", &[]), snap("2020-01-01", &[])])
+                .unwrap_err();
+        assert!(err.to_string().contains("chronological"), "{err}");
+    }
+
+    #[test]
+    fn timeline_records_snapshot_gaps() {
+        let t = DropTimeline::from_snapshots(&[
+            snap("2020-01-01", &[("10.0.0.0/16", 1)]),
+            snap("2020-01-02", &[("10.0.0.0/16", 1)]),
+            snap("2020-01-06", &[]),
+        ]);
+        assert_eq!(t.snapshot_dates().len(), 3);
+        let gaps = t.gaps();
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].start, d("2020-01-03"));
+        assert_eq!(gaps[0].days(), 3);
+        // The removal happened somewhere inside the gap; it is dated to
+        // the gap's first day (the earliest day it could have happened).
+        assert_eq!(t.entries()[0].removed, Some(d("2020-01-03")));
+    }
+
+    #[test]
+    fn permissive_parse_quarantines_bad_lines() {
+        let text = "10.0.0.0/8 ; SBL7\nnot-a-prefix ; SBL1\n11.0.0.0/8 ; SBL8\n";
+        // Strict: aborts with per-file location.
+        let err = DropSnapshot::parse(d("2020-01-01"), text).unwrap_err();
+        assert_eq!(err.location(), Some(("drop/2020-01-01.txt", 2)));
+        // Permissive: the bad line is quarantined.
+        let mut q = Quarantine::permissive("drop/2020-01-01.txt");
+        let s = DropSnapshot::parse_with(d("2020-01-01"), text, &mut q).unwrap();
+        assert_eq!(s.entries.len(), 2);
+        assert_eq!(q.quarantined, 1);
     }
 }

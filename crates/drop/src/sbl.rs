@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::str::FromStr;
 
-use droplens_net::{Asn, ParseError};
+use droplens_net::{Asn, ParseError, Quarantine};
 
 use crate::Category;
 
@@ -202,27 +202,49 @@ impl SblDatabase {
 
     /// Parse the block format written by [`SblDatabase::to_text`].
     pub fn parse(text: &str) -> Result<SblDatabase, ParseError> {
+        Self::parse_with(text, &mut Quarantine::strict("sbl/records.txt"))
+    }
+
+    /// Parse the block format under the ingestion policy carried by
+    /// `quarantine`. The quarantine unit is a record block: a bad header
+    /// line quarantines the block (its body lines are swallowed until the
+    /// next blank separator) and, in permissive mode, parsing resumes at
+    /// the next block.
+    pub fn parse_with(text: &str, quarantine: &mut Quarantine) -> Result<SblDatabase, ParseError> {
         let obs = droplens_obs::global();
         let parsed = obs.counter("drop.sbl.parsed");
         let mut db = SblDatabase::new();
         let mut current: Option<(SblId, String)> = None;
-        for line in text.lines() {
+        // After a rejected header (permissive mode), swallow the block's
+        // body lines instead of misreading them as headers.
+        let mut swallowing = false;
+        for (idx, line) in text.lines().enumerate() {
             let trimmed = line.trim_end();
             if trimmed.is_empty() {
+                swallowing = false;
                 if let Some((id, body)) = current.take() {
                     parsed.inc();
+                    quarantine.record_ok();
                     db.insert(SblRecord::new(id, body.trim_end()));
                 }
                 continue;
             }
+            if swallowing {
+                quarantine.record_skip();
+                continue;
+            }
             match &mut current {
                 None => {
+                    let lineno = idx as u32 + 1;
                     let id: SblId = match trimmed.trim().parse() {
                         Ok(id) => id,
                         Err(e) => {
                             obs.counter("drop.sbl.malformed").inc();
+                            let e = e.with_location(quarantine.source(), lineno);
                             obs.error_sample("drop.sbl", e.to_string());
-                            return Err(e);
+                            quarantine.reject(lineno, e)?;
+                            swallowing = true;
+                            continue;
                         }
                     };
                     current = Some((id, String::new()));
@@ -235,6 +257,7 @@ impl SblDatabase {
         }
         if let Some((id, body)) = current.take() {
             parsed.inc();
+            quarantine.record_ok();
             db.insert(SblRecord::new(id, body.trim_end()));
         }
         Ok(db)
@@ -375,7 +398,19 @@ mod tests {
 
     #[test]
     fn database_parse_rejects_garbage_header() {
-        assert!(SblDatabase::parse("NOTANID\nbody\n").is_err());
+        let err = SblDatabase::parse("NOTANID\nbody\n").unwrap_err();
+        assert_eq!(err.location(), Some(("sbl/records.txt", 1)));
+    }
+
+    #[test]
+    fn permissive_parse_quarantines_whole_blocks() {
+        let text = "NOTANID\nbody of the bad block\n\nSBL7\ngood body\n";
+        let mut q = Quarantine::permissive("sbl/records.txt");
+        let db = SblDatabase::parse_with(text, &mut q).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.get(SblId(7)).unwrap().text, "good body");
+        assert_eq!(q.quarantined, 1);
+        assert_eq!(q.samples[0].location(), Some(("sbl/records.txt", 1)));
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! source:         RADB
 //! ```
 
-use droplens_net::{Date, ParseError};
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use droplens_net::{Date, ParseError, Quarantine};
 
 use crate::RouteObject;
 
@@ -62,76 +64,104 @@ pub fn write_journal(entries: &[JournalEntry]) -> String {
 /// skipped. Entries must be chronologically ordered (the registry replay
 /// relies on it); out-of-order entries are an error.
 pub fn parse_journal(text: &str) -> Result<Vec<JournalEntry>, ParseError> {
-    let obs = droplens_obs::global();
-    let result = parse_journal_impl(text, &obs.counter("irr.journal.skipped"));
-    match &result {
-        Ok(entries) => obs.counter("irr.journal.parsed").add(entries.len() as u64),
-        Err(e) => {
-            obs.counter("irr.journal.malformed").inc();
-            obs.error_sample("irr.journal", e.to_string());
-        }
-    }
-    result
+    parse_journal_with(text, &mut Quarantine::strict("irr/journal.txt"))
 }
 
-fn parse_journal_impl(
+/// Parse a journal under the ingestion policy carried by `quarantine`.
+/// The quarantine unit is a whole ADD/DEL entry: a malformed header,
+/// object body, or out-of-order date quarantines that entry (located at
+/// its header line) and, in permissive mode, parsing resumes at the next
+/// header.
+pub fn parse_journal_with(
     text: &str,
-    skipped: &droplens_obs::Counter,
+    quarantine: &mut Quarantine,
 ) -> Result<Vec<JournalEntry>, ParseError> {
-    let mut entries: Vec<JournalEntry> = Vec::new();
-    let mut pending: Option<(Date, JournalOp)> = None;
-    let mut body = String::new();
+    let obs = droplens_obs::global();
+    let parsed = obs.counter("irr.journal.parsed");
+    let skipped = obs.counter("irr.journal.skipped");
+    let malformed = obs.counter("irr.journal.malformed");
 
-    let flush = |pending: &mut Option<(Date, JournalOp)>,
-                 body: &mut String,
-                 entries: &mut Vec<JournalEntry>|
-     -> Result<(), ParseError> {
-        if let Some((date, op)) = pending.take() {
-            let object: RouteObject = body.parse()?;
-            if let Some(last) = entries.last() {
-                if last.date > date {
-                    return Err(ParseError::new(
-                        "Journal",
-                        &date.to_string(),
-                        "journal entries out of chronological order",
-                    ));
+    let mut entries: Vec<JournalEntry> = Vec::new();
+    // The pending header: (date, op, 1-based line number of the header).
+    let mut pending: Option<(Date, JournalOp, u32)> = None;
+    let mut body = String::new();
+    // After a rejected header (permissive mode), swallow the orphaned body
+    // lines until the next header rather than erroring on each one.
+    let mut swallowing = false;
+
+    macro_rules! reject {
+        ($lineno:expr, $err:expr) => {{
+            malformed.inc();
+            let e = $err.with_location(quarantine.source(), $lineno);
+            obs.error_sample("irr.journal", e.to_string());
+            quarantine.reject($lineno, e)?;
+        }};
+    }
+
+    macro_rules! flush {
+        () => {{
+            if let Some((date, op, header_line)) = pending.take() {
+                let result = body
+                    .parse::<RouteObject>()
+                    .and_then(|object| match entries.last() {
+                        Some(last) if last.date > date => Err(ParseError::new(
+                            "Journal",
+                            &date.to_string(),
+                            "journal entries out of chronological order",
+                        )),
+                        _ => Ok(object),
+                    });
+                match result {
+                    Ok(object) => {
+                        parsed.inc();
+                        quarantine.record_ok();
+                        entries.push(JournalEntry { date, op, object });
+                    }
+                    Err(e) => reject!(header_line, e),
                 }
             }
-            entries.push(JournalEntry { date, op, object });
-        }
-        body.clear();
-        Ok(())
-    };
+            body.clear();
+        }};
+    }
 
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
         let trimmed = line.trim_end();
         if trimmed.starts_with('%') {
             skipped.inc();
+            quarantine.record_skip();
             continue;
         }
-        let is_op = trimmed.starts_with("ADD ") || trimmed.starts_with("DEL ");
-        if is_op {
-            flush(&mut pending, &mut body, &mut entries)?;
-            let (op_s, date_s) = trimmed.split_once(' ').expect("checked prefix");
-            let op = if op_s == "ADD" {
-                JournalOp::Add
-            } else {
-                JournalOp::Del
-            };
-            let date: Date = date_s.trim().parse()?;
-            pending = Some((date, op));
+        let header = if let Some(rest) = trimmed.strip_prefix("ADD ") {
+            Some((JournalOp::Add, rest))
+        } else {
+            trimmed.strip_prefix("DEL ").map(|r| (JournalOp::Del, r))
+        };
+        if let Some((op, date_s)) = header {
+            flush!();
+            swallowing = false;
+            match date_s.trim().parse::<Date>() {
+                Ok(date) => pending = Some((date, op, lineno)),
+                Err(e) => {
+                    reject!(lineno, e);
+                    swallowing = true;
+                }
+            }
         } else if pending.is_some() {
             body.push_str(trimmed);
             body.push('\n');
+        } else if swallowing {
+            skipped.inc();
+            quarantine.record_skip();
         } else if !trimmed.is_empty() {
-            return Err(ParseError::new(
-                "Journal",
-                trimmed,
-                "content before first ADD/DEL header",
-            ));
+            reject!(
+                lineno,
+                ParseError::new("Journal", trimmed, "content before first ADD/DEL header")
+            );
+            swallowing = true;
         }
     }
-    flush(&mut pending, &mut body, &mut entries)?;
+    flush!();
     Ok(entries)
 }
 
@@ -219,5 +249,47 @@ mod tests {
     fn bad_date_rejected() {
         let text = "ADD 2020-13-01\n\nroute: 10.0.0.0/8\norigin: AS1\n";
         assert!(parse_journal(text).is_err());
+    }
+
+    #[test]
+    fn strict_errors_carry_header_location() {
+        let text = "ADD 2020-01-01\n\nroute: 10.0.0.0/8\norigin: AS1\n\nADD 2020-02-01\n\nroute: junk\norigin: AS2\n";
+        let err = parse_journal(text).unwrap_err();
+        assert_eq!(err.location(), Some(("irr/journal.txt", 6)));
+    }
+
+    #[test]
+    fn permissive_quarantines_whole_entries() {
+        // Entry 2 has a bad body, entry 3 a bad header date whose orphaned
+        // body must be swallowed, entry 4 is fine.
+        let text = "\
+ADD 2020-01-01
+
+route: 10.0.0.0/8
+origin: AS1
+
+ADD 2020-02-01
+
+route: junk
+origin: AS2
+
+ADD 2020-13-01
+
+route: 11.0.0.0/8
+origin: AS3
+
+ADD 2020-04-01
+
+route: 12.0.0.0/8
+origin: AS4
+";
+        let mut q = Quarantine::permissive("irr/journal.txt");
+        let entries = parse_journal_with(text, &mut q).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].object.origin, Asn(1));
+        assert_eq!(entries[1].object.origin, Asn(4));
+        assert_eq!(q.quarantined, 2);
+        assert_eq!(q.samples[0].location(), Some(("irr/journal.txt", 6)));
+        assert_eq!(q.samples[1].location(), Some(("irr/journal.txt", 11)));
     }
 }

@@ -7,11 +7,17 @@ use std::fmt;
 /// The error records what was being parsed and the offending input, so that
 /// callers higher up the stack (archive parsers chewing through millions of
 /// lines) can produce actionable diagnostics without re-deriving context.
+/// Archive parsers additionally attach *where* the input came from — a
+/// source-file label and 1-based line number — via
+/// [`ParseError::with_location`], so a bad byte in a multi-GB feed is
+/// reported as `bgp/updates.txt:10482`, not just as the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     kind: &'static str,
     input: String,
     detail: String,
+    file: Option<String>,
+    line: Option<u32>,
 }
 
 impl ParseError {
@@ -22,7 +28,22 @@ impl ParseError {
             kind,
             input: input.to_owned(),
             detail: detail.into(),
+            file: None,
+            line: None,
         }
+    }
+
+    /// Attach the source-file label and 1-based line number where the bad
+    /// input was found. Existing location context is kept (the innermost
+    /// parser knows the position best), so archive loaders can apply it
+    /// unconditionally on the way out.
+    #[must_use]
+    pub fn with_location(mut self, file: &str, line: u32) -> Self {
+        if self.file.is_none() {
+            self.file = Some(file.to_owned());
+            self.line = Some(line);
+        }
+        self
     }
 
     /// The type that failed to parse (e.g. `"Asn"`).
@@ -39,15 +60,30 @@ impl ParseError {
     pub fn detail(&self) -> &str {
         &self.detail
     }
+
+    /// The source-file label and 1-based line number, when attached.
+    pub fn location(&self) -> Option<(&str, u32)> {
+        match (&self.file, self.line) {
+            (Some(f), Some(l)) => Some((f.as_str(), l)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid {}: {:?} ({})",
-            self.kind, self.input, self.detail
-        )
+        match self.location() {
+            Some((file, line)) => write!(
+                f,
+                "{file}:{line}: invalid {}: {:?} ({})",
+                self.kind, self.input, self.detail
+            ),
+            None => write!(
+                f,
+                "invalid {}: {:?} ({})",
+                self.kind, self.input, self.detail
+            ),
+        }
     }
 }
 
@@ -72,5 +108,17 @@ mod tests {
         assert_eq!(e.kind(), "Ipv4Prefix");
         assert_eq!(e.input(), "1.2.3.4/33");
         assert_eq!(e.detail(), "prefix length > 32");
+        assert_eq!(e.location(), None);
+    }
+
+    #[test]
+    fn location_is_attached_once_and_displayed() {
+        let e = ParseError::new("Asn", "ASX", "not a number").with_location("bgp/updates.txt", 42);
+        assert_eq!(e.location(), Some(("bgp/updates.txt", 42)));
+        let s = e.to_string();
+        assert!(s.starts_with("bgp/updates.txt:42: "), "{s}");
+        // The innermost location wins; later attachments are no-ops.
+        let e = e.with_location("outer.txt", 1);
+        assert_eq!(e.location(), Some(("bgp/updates.txt", 42)));
     }
 }

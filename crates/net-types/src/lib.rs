@@ -30,6 +30,7 @@
 mod asn;
 mod date;
 mod error;
+pub mod ingest;
 mod prefix;
 mod set;
 mod space;
@@ -38,6 +39,10 @@ mod trie;
 pub use asn::Asn;
 pub use date::{CompactDate, Date, DateRange, Month};
 pub use error::ParseError;
+pub use ingest::{
+    find_gaps, GapSpan, IngestError, IngestPolicy, IngestReport, Quarantine, SourceCoverage,
+    SourceIngest, QUARANTINE_SAMPLES_KEPT,
+};
 pub use prefix::Ipv4Prefix;
 pub use set::PrefixSet;
 pub use space::{AddressSpace, SLASH8};

@@ -1,8 +1,10 @@
 //! Temporal allocation database over stats-file snapshots.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::BTreeMap;
 
-use droplens_net::{AddressSpace, Date, Ipv4Prefix, PrefixTrie};
+use droplens_net::{AddressSpace, Date, Ipv4Prefix, ParseError, PrefixTrie};
 
 use crate::format::StatsFile;
 use crate::{AllocationStatus, Rir};
@@ -75,11 +77,26 @@ impl RirStatsArchive {
     /// published on `date`. Snapshots must be added in chronological
     /// order; panics otherwise (archives are built by one writer).
     pub fn add_snapshot(&mut self, date: Date, files: &[StatsFile]) {
+        if let Err(e) = self.try_add_snapshot(date, files) {
+            panic!("snapshots must be added in chronological order: {e}");
+        }
+    }
+
+    /// Fallible variant of [`RirStatsArchive::add_snapshot`]: an
+    /// out-of-order date is reported as a [`ParseError`] instead of
+    /// panicking, so ingestion can surface the offending snapshot.
+    pub fn try_add_snapshot(&mut self, date: Date, files: &[StatsFile]) -> Result<(), ParseError> {
         if let Some(last) = self.snapshots.last() {
-            assert!(
-                last.date < date,
-                "snapshots must be added in chronological order"
-            );
+            if last.date >= date {
+                return Err(ParseError::new(
+                    "RirStatsArchive",
+                    &date.to_string(),
+                    format!(
+                        "snapshot out of chronological order (follows {})",
+                        last.date
+                    ),
+                ));
+            }
         }
         let mut entries = Vec::new();
         let mut index = PrefixTrie::new();
@@ -122,6 +139,7 @@ impl RirStatsArchive {
             free_pool,
             delegated,
         });
+        Ok(())
     }
 
     /// Dates of all snapshots, ascending.

@@ -12,10 +12,12 @@
 //! `ipv6` rows and summary lines are tolerated and skipped on parse, and
 //! a correct summary line is emitted on write.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
-use droplens_net::{Date, ParseError};
+use droplens_net::{Date, ParseError, Quarantine};
 
 use crate::{AllocationStatus, DelegationRecord, Rir};
 
@@ -67,94 +69,218 @@ pub fn write_stats_file(file: &StatsFile) -> String {
     out
 }
 
-/// Parse a delegated(-extended) stats file.
-pub fn parse_stats_file(text: &str) -> Result<StatsFile, ParseError> {
-    let obs = droplens_obs::global();
-    let result = parse_stats_file_impl(text, &obs.counter("rir.stats.skipped"));
-    match &result {
-        Ok(file) => obs
-            .counter("rir.stats.parsed")
-            .add(file.records.len() as u64),
-        Err(e) => {
-            obs.counter("rir.stats.malformed").inc();
-            obs.error_sample("rir.stats", e.to_string());
-        }
-    }
-    result
+/// What one stats-file line turned out to be.
+enum Row {
+    /// The version header: registry and snapshot date.
+    Version(Rir, Date),
+    /// Summary line or non-ipv4 row — tolerated and skipped.
+    Skip,
+    /// A materialized IPv4 delegation row.
+    Record(DelegationRecord),
 }
 
-fn parse_stats_file_impl(
+fn parse_stats_row(line: &str, saw_version: bool) -> Result<Row, ParseError> {
+    // Split without heap allocation: delegated-extended rows have at
+    // most 8 fields; overflow fields are dropped (never indexed).
+    let mut fields = [""; 8];
+    let mut n = 0;
+    for f in line.split('|') {
+        if n < fields.len() {
+            fields[n] = f;
+        }
+        n += 1;
+    }
+    // Version line: starts with the format version number.
+    if !saw_version && n >= 6 && fields[0].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(Row::Version(
+            fields[1].parse()?,
+            Date::parse_compact(fields[2])?,
+        ));
+    }
+    if n >= 6 && fields[5] == "summary" {
+        return Ok(Row::Skip);
+    }
+    if n < 7 {
+        return Err(ParseError::new("StatsFile", line, "too few fields"));
+    }
+    if fields[2] != "ipv4" {
+        return Ok(Row::Skip); // asn / ipv6 rows
+    }
+    let row_rir: Rir = fields[0].parse()?;
+    let start: Ipv4Addr = fields[3]
+        .parse()
+        .map_err(|_| ParseError::new("StatsFile", line, "bad start address"))?;
+    let count: u64 = fields[4]
+        .parse()
+        .map_err(|_| ParseError::new("StatsFile", line, "bad address count"))?;
+    if count == 0 || u64::from(u32::from(start)) + count > (1u64 << 32) {
+        return Err(ParseError::new("StatsFile", line, "span out of range"));
+    }
+    let rec_date = if fields[5].is_empty() {
+        None
+    } else {
+        Some(Date::parse_compact(fields[5])?)
+    };
+    let status: AllocationStatus = fields[6].parse()?;
+    let opaque_id = if n > 7 { fields[7] } else { "" }.to_owned();
+    Ok(Row::Record(DelegationRecord {
+        rir: row_rir,
+        country: fields[1].to_owned(),
+        start,
+        count,
+        date: rec_date,
+        status,
+        opaque_id,
+    }))
+}
+
+/// Parse a delegated(-extended) stats file.
+pub fn parse_stats_file(text: &str) -> Result<StatsFile, ParseError> {
+    let mut quarantine = Quarantine::strict("rir/delegated-extended.txt");
+    match parse_stats_file_with(text, &mut quarantine)? {
+        Some(file) => Ok(file),
+        // Unreachable in strict mode — the structural error propagates.
+        None => Err(ParseError::new("StatsFile", "", "missing version line")),
+    }
+}
+
+/// Parse a delegated(-extended) stats file under the ingestion policy
+/// carried by `quarantine`. Strict rejects abort. Permissive row rejects
+/// are quarantined; a structurally unusable file (no version line) is
+/// quarantined whole and reported as `Ok(None)` so the caller can drop
+/// the snapshot and record the gap.
+pub fn parse_stats_file_with(
     text: &str,
-    skipped: &droplens_obs::Counter,
-) -> Result<StatsFile, ParseError> {
+    quarantine: &mut Quarantine,
+) -> Result<Option<StatsFile>, ParseError> {
+    let obs = droplens_obs::global();
+    let parsed = obs.counter("rir.stats.parsed");
+    let skipped = obs.counter("rir.stats.skipped");
+    let malformed = obs.counter("rir.stats.malformed");
     let mut rir: Option<Rir> = None;
     let mut date: Option<Date> = None;
     let mut records = Vec::new();
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             skipped.inc();
+            quarantine.record_skip();
             continue;
         }
-        // Split without heap allocation: delegated-extended rows have at
-        // most 8 fields; overflow fields are dropped (never indexed).
-        let mut fields = [""; 8];
-        let mut n = 0;
-        for f in line.split('|') {
-            if n < fields.len() {
-                fields[n] = f;
+        let lineno = idx as u32 + 1;
+        match parse_stats_row(line, rir.is_some()) {
+            Ok(Row::Version(r, d)) => {
+                rir = Some(r);
+                date = Some(d);
+                quarantine.record_skip();
             }
-            n += 1;
+            Ok(Row::Skip) => {
+                skipped.inc();
+                quarantine.record_skip();
+            }
+            Ok(Row::Record(rec)) => {
+                parsed.inc();
+                quarantine.record_ok();
+                records.push(rec);
+            }
+            Err(e) => {
+                malformed.inc();
+                let e = e.with_location(quarantine.source(), lineno);
+                obs.error_sample("rir.stats", e.to_string());
+                quarantine.reject(lineno, e)?;
+            }
         }
-        // Version line: starts with the format version number.
-        if rir.is_none() && n >= 6 && fields[0].chars().all(|c| c.is_ascii_digit()) {
-            rir = Some(fields[1].parse()?);
-            date = Some(Date::parse_compact(fields[2])?);
-            continue;
-        }
-        if n >= 6 && fields[5] == "summary" {
-            skipped.inc();
-            continue;
-        }
-        if n < 7 {
-            return Err(ParseError::new("StatsFile", line, "too few fields"));
-        }
-        if fields[2] != "ipv4" {
-            skipped.inc();
-            continue; // asn / ipv6 rows
-        }
-        let row_rir: Rir = fields[0].parse()?;
-        let start: Ipv4Addr = fields[3]
-            .parse()
-            .map_err(|_| ParseError::new("StatsFile", line, "bad start address"))?;
-        let count: u64 = fields[4]
-            .parse()
-            .map_err(|_| ParseError::new("StatsFile", line, "bad address count"))?;
-        if count == 0 || u64::from(u32::from(start)) + count > (1u64 << 32) {
-            return Err(ParseError::new("StatsFile", line, "span out of range"));
-        }
-        let rec_date = if fields[5].is_empty() {
-            None
-        } else {
-            Some(Date::parse_compact(fields[5])?)
-        };
-        let status: AllocationStatus = fields[6].parse()?;
-        let opaque_id = if n > 7 { fields[7] } else { "" }.to_owned();
-        records.push(DelegationRecord {
-            rir: row_rir,
-            country: fields[1].to_owned(),
-            start,
-            count,
-            date: rec_date,
-            status,
-            opaque_id,
-        });
     }
-    Ok(StatsFile {
-        rir: rir.ok_or_else(|| ParseError::new("StatsFile", "", "missing version line"))?,
-        date: date.expect("set with rir"),
-        records,
-    })
+    match (rir, date) {
+        (Some(rir), Some(date)) => Ok(Some(StatsFile { rir, date, records })),
+        _ => {
+            let e = ParseError::new("StatsFile", "", "missing version line");
+            malformed.inc();
+            let e = e.with_location(quarantine.source(), 1);
+            obs.error_sample("rir.stats", e.to_string());
+            quarantine.reject(1, e)?;
+            Ok(None)
+        }
+    }
+}
+
+/// Repair quarantine flicker across a chronological series of stats
+/// snapshots (one `Vec<StatsFile>` per date, as the archive tree stores
+/// them).
+///
+/// A *partial* snapshot (`partial[i]`: one that quarantined at least
+/// one row, or dropped a whole structurally-broken file) cannot be
+/// trusted about absent delegations: the span may simply have been on
+/// a mangled row. A span (keyed by registry, first address, and size)
+/// that was delegated in the previous snapshot and is delegated again
+/// at its next trusted sighting — with every intervening snapshot also
+/// partial — is carried forward (last observation carried forward)
+/// rather than read as a one-month deallocate/reallocate cycle.
+/// Absences confirmed by an intact snapshot are left alone: genuine
+/// deallocations (§4.1 of the paper) still surface on the month an
+/// undamaged file first omits the span. With clean inputs this is a
+/// no-op.
+pub fn repair_flickers(snapshots: &mut [(Date, Vec<StatsFile>)], partial: &[bool]) {
+    use std::collections::BTreeSet;
+    use std::net::Ipv4Addr;
+
+    assert_eq!(
+        snapshots.len(),
+        partial.len(),
+        "one partial flag per snapshot"
+    );
+    type Key = (Rir, Ipv4Addr, u64);
+    let key = |r: &DelegationRecord| (r.rir, r.start, r.count);
+    let mut keys: Vec<BTreeSet<Key>> = snapshots
+        .iter()
+        .map(|(_, files)| {
+            files
+                .iter()
+                .flat_map(|f| f.records.iter().map(key))
+                .collect()
+        })
+        .collect();
+    for i in 1..snapshots.len() {
+        if !partial[i] {
+            continue;
+        }
+        let prev: Vec<DelegationRecord> = snapshots[i - 1]
+            .1
+            .iter()
+            .flat_map(|f| f.records.iter().cloned())
+            .collect();
+        for record in prev {
+            let k = key(&record);
+            if keys[i].contains(&k) {
+                continue;
+            }
+            let mut j = i + 1;
+            let reappears = loop {
+                match keys.get(j) {
+                    Some(s) if s.contains(&k) => break true,
+                    Some(_) if partial[j] => j += 1,
+                    // Trusted absence (or end of archive): a real
+                    // deallocation, not flicker.
+                    _ => break false,
+                }
+            };
+            if !reappears {
+                continue;
+            }
+            keys[i].insert(k);
+            let (date, files) = &mut snapshots[i];
+            match files.iter_mut().find(|f| f.rir == record.rir) {
+                Some(f) => f.records.push(record),
+                // The registry's whole file was dropped: regrow it from
+                // the carried-forward records.
+                None => files.push(StatsFile {
+                    rir: record.rir,
+                    date: *date,
+                    records: vec![record],
+                }),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +360,29 @@ ripencc|NL|ipv4|193.0.0.0|2048|19930901|allocated|org1
             let text = format!("{header}{bad}");
             assert!(parse_stats_file(&text).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn permissive_quarantines_rows_and_drops_headerless_files() {
+        let text = "\
+2|apnic|20200101|2|19830613|20200101|+0000
+apnic|AU|ipv4|1.0.0.0|256|20110811|allocated|x
+apnic|AU|ipv4|nonsense|256|20110811|allocated|x
+";
+        // Strict: the bad row aborts with location context.
+        let err = parse_stats_file(text).unwrap_err();
+        assert_eq!(err.location(), Some(("rir/delegated-extended.txt", 3)));
+        // Permissive: the bad row is quarantined, the good one survives.
+        let mut q = Quarantine::permissive("rir/f1");
+        let f = parse_stats_file_with(text, &mut q).unwrap().unwrap();
+        assert_eq!(f.records.len(), 1);
+        assert_eq!(q.quarantined, 1);
+        // A file with no version line is dropped whole in permissive mode.
+        let mut q = Quarantine::permissive("rir/f2");
+        let out = parse_stats_file_with("apnic|AU|ipv4|1.0.0.0|256|20110811|allocated|x\n", &mut q)
+            .unwrap();
+        assert!(out.is_none());
+        assert!(q.quarantined >= 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Temporal ROA archive.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::BTreeMap;
 
 use droplens_net::{Asn, Date, Ipv4Prefix, PrefixTrie};
@@ -54,10 +56,12 @@ impl RoaArchive {
                         removed: None,
                     });
                     live.insert(key, idx);
-                    if by_prefix.get(&e.roa.prefix).is_none() {
-                        by_prefix.insert(e.roa.prefix, Vec::new());
+                    match by_prefix.get_mut(&e.roa.prefix) {
+                        Some(idxs) => idxs.push(idx),
+                        None => {
+                            by_prefix.insert(e.roa.prefix, vec![idx]);
+                        }
                     }
-                    by_prefix.get_mut(&e.roa.prefix).expect("ensured").push(idx);
                 }
                 RoaOp::Del => {
                     if let Some(idx) = live.remove(&key) {

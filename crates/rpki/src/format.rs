@@ -12,7 +12,9 @@
 //! 2021-06-16,DEL,lacnic,AS263692,132.255.0.0/22,
 //! ```
 
-use droplens_net::{Asn, Date, ParseError};
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use droplens_net::{Asn, Date, ParseError, Quarantine};
 
 use crate::{Roa, Tal};
 
@@ -65,82 +67,98 @@ pub fn write_events(events: &[RoaEvent]) -> String {
     out
 }
 
+/// Parse one event line (without the chronological-order check).
+fn parse_event_line(line: &str) -> Result<RoaEvent, ParseError> {
+    // Split without heap allocation: exactly 6 comma fields per event.
+    let mut fields = [""; 6];
+    let mut n = 0;
+    for f in line.split(',') {
+        if n < fields.len() {
+            fields[n] = f;
+        }
+        n += 1;
+    }
+    if n != 6 {
+        return Err(ParseError::new("RoaEvent", line, "expected 6 fields"));
+    }
+    let date: Date = fields[0].parse()?;
+    let op = match fields[1] {
+        "ADD" => RoaOp::Add,
+        "DEL" => RoaOp::Del,
+        other => {
+            return Err(ParseError::new(
+                "RoaEvent",
+                line,
+                format!("unknown op {other:?}"),
+            ))
+        }
+    };
+    let tal: Tal = fields[2].parse()?;
+    let asn: Asn = fields[3].parse()?;
+    let prefix = fields[4].parse()?;
+    let max_length = if fields[5].is_empty() {
+        None
+    } else {
+        let ml: u8 = fields[5]
+            .parse()
+            .map_err(|_| ParseError::new("RoaEvent", line, "bad maxLength"))?;
+        if ml > 32 {
+            return Err(ParseError::new("RoaEvent", line, "maxLength > 32"));
+        }
+        Some(ml)
+    };
+    let mut roa = Roa::new(prefix, asn, tal);
+    roa.max_length = max_length;
+    Ok(RoaEvent { date, op, roa })
+}
+
 /// Parse a CSV journal. The header is optional; blank and `#` lines are
 /// skipped; events must be chronological.
 pub fn parse_events(text: &str) -> Result<Vec<RoaEvent>, ParseError> {
-    let obs = droplens_obs::global();
-    let result = parse_events_impl(text, &obs.counter("rpki.events.skipped"));
-    match &result {
-        Ok(events) => obs.counter("rpki.events.parsed").add(events.len() as u64),
-        Err(e) => {
-            obs.counter("rpki.events.malformed").inc();
-            obs.error_sample("rpki.events", e.to_string());
-        }
-    }
-    result
+    parse_events_with(text, &mut Quarantine::strict("rpki/roas.csv"))
 }
 
-fn parse_events_impl(
+/// Parse a CSV journal under the ingestion policy carried by `quarantine`:
+/// strict rejects abort; permissive rejects (malformed or out-of-order
+/// lines) are quarantined and parsing continues on the next line.
+pub fn parse_events_with(
     text: &str,
-    skipped: &droplens_obs::Counter,
+    quarantine: &mut Quarantine,
 ) -> Result<Vec<RoaEvent>, ParseError> {
+    let obs = droplens_obs::global();
+    let parsed = obs.counter("rpki.events.parsed");
+    let skipped = obs.counter("rpki.events.skipped");
+    let malformed = obs.counter("rpki.events.malformed");
     let mut out: Vec<RoaEvent> = Vec::new();
-    for line in text.lines() {
+    for (idx, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') || line == HEADER {
             skipped.inc();
+            quarantine.record_skip();
             continue;
         }
-        // Split without heap allocation: exactly 6 comma fields per event.
-        let mut fields = [""; 6];
-        let mut n = 0;
-        for f in line.split(',') {
-            if n < fields.len() {
-                fields[n] = f;
+        let lineno = idx as u32 + 1;
+        let event = parse_event_line(line).and_then(|event| match out.last() {
+            Some(last) if last.date > event.date => Err(ParseError::new(
+                "RoaEvent",
+                line,
+                "events out of chronological order",
+            )),
+            _ => Ok(event),
+        });
+        match event {
+            Ok(event) => {
+                parsed.inc();
+                quarantine.record_ok();
+                out.push(event);
             }
-            n += 1;
-        }
-        if n != 6 {
-            return Err(ParseError::new("RoaEvent", line, "expected 6 fields"));
-        }
-        let date: Date = fields[0].parse()?;
-        let op = match fields[1] {
-            "ADD" => RoaOp::Add,
-            "DEL" => RoaOp::Del,
-            other => {
-                return Err(ParseError::new(
-                    "RoaEvent",
-                    line,
-                    format!("unknown op {other:?}"),
-                ))
-            }
-        };
-        let tal: Tal = fields[2].parse()?;
-        let asn: Asn = fields[3].parse()?;
-        let prefix = fields[4].parse()?;
-        let max_length = if fields[5].is_empty() {
-            None
-        } else {
-            let ml: u8 = fields[5]
-                .parse()
-                .map_err(|_| ParseError::new("RoaEvent", line, "bad maxLength"))?;
-            if ml > 32 {
-                return Err(ParseError::new("RoaEvent", line, "maxLength > 32"));
-            }
-            Some(ml)
-        };
-        if let Some(last) = out.last() {
-            if last.date > date {
-                return Err(ParseError::new(
-                    "RoaEvent",
-                    line,
-                    "events out of chronological order",
-                ));
+            Err(e) => {
+                malformed.inc();
+                let e = e.with_location(quarantine.source(), lineno);
+                obs.error_sample("rpki.events", e.to_string());
+                quarantine.reject(lineno, e)?;
             }
         }
-        let mut roa = Roa::new(prefix, asn, tal);
-        roa.max_length = max_length;
-        out.push(RoaEvent { date, op, roa });
     }
     Ok(out)
 }
@@ -213,6 +231,22 @@ mod tests {
     #[test]
     fn out_of_order_rejected() {
         let text = "2021-01-01,ADD,arin,AS1,10.0.0.0/8,\n2020-01-01,ADD,arin,AS2,11.0.0.0/8,\n";
-        assert!(parse_events(text).is_err());
+        let err = parse_events(text).unwrap_err();
+        assert_eq!(err.location(), Some(("rpki/roas.csv", 2)));
+        // Permissive: the out-of-order line is quarantined, order preserved.
+        let mut q = Quarantine::permissive("rpki/roas.csv");
+        let events = parse_events_with(text, &mut q).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(q.quarantined, 1);
+    }
+
+    #[test]
+    fn permissive_quarantines_malformed_bodies() {
+        let text = "2020-01-01,ADD,arin,AS1,10.0.0.0/8,\n2020-01-02,ADD,arin,ASX,11.0.0.0/8,\n2020-01-03,DEL,arin,AS1,10.0.0.0/8,\n";
+        let mut q = Quarantine::permissive("rpki/roas.csv");
+        let events = parse_events_with(text, &mut q).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(q.quarantined, 1);
+        assert_eq!(q.samples[0].location(), Some(("rpki/roas.csv", 2)));
     }
 }

@@ -82,6 +82,89 @@ fn corrupted_sbl_block_is_rejected() {
 }
 
 #[test]
+fn corrupted_roa_body_is_rejected_with_location() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    // Mangle a record body mid-file: replace the prefix field of the
+    // third event line with garbage, keeping the CSV shape intact.
+    let lines: Vec<&str> = text.roa_events.lines().collect();
+    let target = 3; // 1-based: header is line 1, so this is an event line
+    let mut mangled: Vec<String> = lines.iter().map(|l| (*l).to_owned()).collect();
+    let fields: Vec<&str> = lines[target - 1].split(',').collect();
+    mangled[target - 1] = format!(
+        "{},{},{},{},256.0.0.0/99,{}",
+        fields[0], fields[1], fields[2], fields[3], fields[5]
+    );
+    text.roa_events = mangled.join("\n");
+    text.roa_events.push('\n');
+    let err = match Study::from_text(config, world.peers.clone(), &text) {
+        Ok(_) => panic!("corrupted ROA body accepted"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains(&format!("rpki/roas.csv:{target}")), "{msg}");
+}
+
+#[test]
+fn truncated_drop_line_is_rejected_with_location() {
+    let (world, config) = base();
+    let mut text = world.to_text_archives();
+    let (date, body) = text.drop_snapshots.last_mut().expect("snapshots exist");
+    // Cut the first entry line off mid-prefix, the way a partial
+    // download truncates: "198.51.0.0/16 ; SBL123" -> "198.51.".
+    let lineno = 1 + body
+        .lines()
+        .position(|l| !l.trim().is_empty() && !l.starts_with([';', '#']))
+        .expect("snapshot has an entry");
+    let mangled: String = body
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i + 1 == lineno {
+                let cut = l.find('.').map_or(l.len() / 2, |d| d + 1);
+                format!("{}\n", &l[..cut])
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let expect_loc = format!("drop/{date}.txt:{lineno}");
+    *body = mangled;
+    let err = match Study::from_text(config, world.peers.clone(), &text) {
+        Ok(_) => panic!("truncated DROP line accepted"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains(&expect_loc), "{msg}");
+}
+
+#[test]
+fn duplicate_drop_prefix_lines_are_idempotent() {
+    // FireHOL mirrors occasionally serve a snapshot with a repeated
+    // entry; a re-listing of the same prefix/SBL pair is not damage
+    // and must not double-count or split episodes.
+    let (world, config) = base();
+    let clean = {
+        let text = world.to_text_archives();
+        Study::from_text(config.clone(), world.peers.clone(), &text).expect("clean parse")
+    };
+    let mut text = world.to_text_archives();
+    for (_, body) in &mut text.drop_snapshots {
+        let first_entry = body
+            .lines()
+            .find(|l| !l.trim().is_empty() && !l.starts_with([';', '#']))
+            .map(|l| l.to_owned());
+        if let Some(line) = first_entry {
+            body.push_str(&line);
+            body.push('\n');
+        }
+    }
+    let study = Study::from_text(config, world.peers.clone(), &text).expect("duplicates tolerated");
+    assert_eq!(study.entries.len(), clean.entries.len());
+    assert_eq!(study.drop.entries(), clean.drop.entries());
+}
+
+#[test]
 fn comments_and_blank_lines_are_tolerated_everywhere() {
     // The flip side: benign archive noise must NOT be rejected.
     let (world, config) = base();
