@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p droplens-bench --bin reproduce [seed]
-//!     [--metrics-json PATH]
+//!     [--metrics-json PATH] [--trace PATH]
 //!     [--chaos SEED] [--ingest strict|permissive] [--quarantine PATH]
 //! ```
 //!
@@ -22,6 +22,12 @@
 //! pipeline re-parses them — pair it with `--ingest permissive`. CI's
 //! chaos-smoke job runs this at 1 and 8 workers and byte-compares the
 //! stdout. `--quarantine PATH` writes the per-source ingest ledger.
+//!
+//! `--trace PATH` records a hierarchical trace of the whole run — stage
+//! spans, per-worker `par` task spans with queue-wait, parser spans,
+//! quarantine instants — and writes it as Chrome trace-event JSON
+//! loadable in Perfetto. Tracing never touches stdout: the reproduction
+//! output stays byte-identical with or without it.
 
 use std::fmt::Display;
 use std::path::PathBuf;
@@ -33,6 +39,7 @@ use droplens_synth::{World, WorldConfig};
 fn main() {
     let mut seed = 42u64;
     let mut metrics_json: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut chaos: Option<u64> = None;
     let mut policy = IngestPolicy::Strict;
     let mut quarantine: Option<PathBuf> = None;
@@ -42,6 +49,10 @@ fn main() {
             "--metrics-json" => {
                 let path = args.next().expect("--metrics-json wants a path");
                 metrics_json = Some(PathBuf::from(path));
+            }
+            "--trace" => {
+                let path = args.next().expect("--trace wants a path");
+                trace_out = Some(PathBuf::from(path));
             }
             "--chaos" => {
                 let s = args.next().expect("--chaos wants a seed");
@@ -60,6 +71,10 @@ fn main() {
             }
             _ => seed = arg.parse().expect("seed must be a u64"),
         }
+    }
+
+    if trace_out.is_some() {
+        droplens_obs::trace::global().enable();
     }
 
     let obs = droplens_obs::global();
@@ -169,6 +184,29 @@ fn main() {
     }
 
     eprintln!("total: {:?}", run_span.finish());
+
+    if let Some(path) = trace_out {
+        let tracer = droplens_obs::trace::global();
+        tracer.disable();
+        let trace = tracer.drain();
+        match std::fs::write(&path, trace.to_chrome_json()) {
+            Ok(()) => {
+                let coverage = trace
+                    .coverage("reproduce")
+                    .map(|c| format!("{:.1}%", c * 100.0))
+                    .unwrap_or_else(|| "n/a".to_owned());
+                eprintln!(
+                    "trace written to {} ({} events, {coverage} of the run inside child spans)",
+                    path.display(),
+                    trace.events.len(),
+                );
+            }
+            Err(e) => {
+                eprintln!("cannot write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some(path) = metrics_json {
         let mut report = obs.report();

@@ -190,6 +190,20 @@ impl BgpArchive {
                     iv.end = Some(close_at);
                     record.build_visibility();
                     repaired += 1;
+                    let tracer = droplens_obs::trace::global();
+                    if tracer.is_enabled() {
+                        use droplens_obs::trace::ArgValue;
+                        tracer.instant(
+                            "gap-repair",
+                            "ingest",
+                            vec![
+                                ("source", ArgValue::Str("bgp/updates".into())),
+                                ("kind", ArgValue::Str("zombie-route".into())),
+                                ("peer", ArgValue::U64(u64::from(peer.0))),
+                                ("closed_at", ArgValue::Str(close_at.to_string())),
+                            ],
+                        );
+                    }
                 }
             }
         }

@@ -176,6 +176,8 @@ pub fn parse_table_dump_with(
     quarantine: &mut Quarantine,
 ) -> Result<Vec<(PeerId, RibEntry)>, ParseError> {
     let obs = droplens_obs::global();
+    let mut tspan = droplens_obs::trace::global().span("parse.bgp.rib", "parse");
+    tspan.arg_str("file", quarantine.source());
     let parsed = obs.counter("bgp.rib.parsed");
     let skipped = obs.counter("bgp.rib.skipped");
     let malformed = obs.counter("bgp.rib.malformed");
@@ -202,6 +204,7 @@ pub fn parse_table_dump_with(
         quarantine.record_ok();
         out.push((peer, entry));
     }
+    tspan.arg_u64("records", out.len() as u64);
     Ok(out)
 }
 
@@ -232,6 +235,8 @@ pub fn parse_updates_with(
     quarantine: &mut Quarantine,
 ) -> Result<Vec<BgpUpdate>, ParseError> {
     let obs = droplens_obs::global();
+    let mut tspan = droplens_obs::trace::global().span("parse.bgp.updates", "parse");
+    tspan.arg_str("file", quarantine.source());
     let parsed = obs.counter("bgp.updates.parsed");
     let skipped = obs.counter("bgp.updates.skipped");
     let malformed = obs.counter("bgp.updates.malformed");
@@ -258,6 +263,7 @@ pub fn parse_updates_with(
             }
         }
     }
+    tspan.arg_u64("records", out.len() as u64);
     Ok(out)
 }
 

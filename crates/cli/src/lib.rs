@@ -16,6 +16,7 @@
 
 pub mod commands;
 pub mod layout;
+pub mod perf;
 
 use std::fmt;
 
@@ -31,6 +32,10 @@ pub enum CliError {
     Ingest(droplens_net::IngestError),
     /// Bad usage (unknown flag, missing argument, ...).
     Usage(String),
+    /// A perf gate tripped: the carried string is the full diff
+    /// rendering, which the binary prints before exiting nonzero
+    /// (no usage text — the invocation was fine, the numbers weren't).
+    Gate(String),
 }
 
 impl fmt::Display for CliError {
@@ -40,6 +45,7 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "{e}"),
             CliError::Ingest(e) => write!(f, "{e}"),
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Gate(_) => write!(f, "perf gate failed"),
         }
     }
 }
@@ -68,11 +74,23 @@ USAGE:
     droplens scorecard --dir DIR [INGEST FLAGS]
     droplens classify [FILE]            (stdin when no file)
     droplens validate --roas FILE --date YYYY-MM-DD [--all-tals] PREFIX ASN
+    droplens perf diff BASE HEAD [--gate PCT] [--floor-ms MS]
     droplens help
 
 GLOBAL FLAGS:
     --metrics           print the instrumentation summary to stderr
     --metrics=PATH      write the run report as JSON to PATH
+    --trace=PATH        record a hierarchical trace of the run and write
+                        it as Chrome trace-event JSON to PATH (open in
+                        Perfetto or chrome://tracing)
+
+PERF (compare run reports, gate regressions):
+    BASE and HEAD are comma-separated lists of --metrics=PATH JSON files;
+    each side is collapsed best-of-N (per-span minimum) to strip noise.
+    --gate PCT          exit nonzero when any span regresses more than
+                        PCT percent (default: report only)
+    --floor-ms MS       spans faster than MS on the base side are never
+                        gated (default 5)
 
 INGEST FLAGS (analyze, scorecard):
     --ingest strict|permissive   parsing policy (default strict: any

@@ -17,6 +17,7 @@ enum MetricsSink {
 
 fn main() -> ExitCode {
     let mut metrics: Option<MetricsSink> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| {
@@ -26,12 +27,26 @@ fn main() -> ExitCode {
             } else if let Some(path) = a.strip_prefix("--metrics=") {
                 metrics = Some(MetricsSink::Json(PathBuf::from(path)));
                 false
+            } else if let Some(path) = a.strip_prefix("--trace=") {
+                trace_out = Some(PathBuf::from(path));
+                false
             } else {
                 true
             }
         })
         .collect();
+    if trace_out.is_some() {
+        droplens_obs::trace::global().enable();
+    }
     let result = run(&args);
+    if let Some(path) = trace_out {
+        let tracer = droplens_obs::trace::global();
+        tracer.disable();
+        let trace = tracer.drain();
+        if let Err(e) = std::fs::write(&path, trace.to_chrome_json()) {
+            eprintln!("droplens: cannot write trace to {}: {e}", path.display());
+        }
+    }
     if let Some(sink) = metrics {
         let mut report = droplens_obs::global().report();
         report.meta.insert("command".to_owned(), args.join(" "));
@@ -48,6 +63,13 @@ fn main() -> ExitCode {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
+        }
+        // A tripped perf gate still prints its diff table; the failure
+        // is in the measured numbers, not the invocation.
+        Err(CliError::Gate(output)) => {
+            print!("{output}");
+            eprintln!("droplens: perf gate failed");
+            ExitCode::FAILURE
         }
         Err(e) => {
             eprintln!("droplens: {e}");
@@ -158,6 +180,39 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let prefix: Ipv4Prefix = prefix.parse()?;
             let asn: Asn = asn.parse()?;
             commands::validate(&roas, date, prefix, asn, all_tals)
+        }
+        Some("perf") => {
+            let Some("diff") = it.next() else {
+                return Err(CliError::Usage("perf needs the diff subcommand".into()));
+            };
+            let mut opts = droplens_cli::perf::DiffOptions::default();
+            let mut positional: Vec<&str> = Vec::new();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--gate" => {
+                        let raw = value(&rest, &mut i)?;
+                        opts.gate_pct = Some(raw.parse().map_err(|_| {
+                            CliError::Usage(format!("--gate wants a percentage, got {raw:?}"))
+                        })?);
+                    }
+                    "--floor-ms" => {
+                        let raw = value(&rest, &mut i)?;
+                        opts.floor_ms = raw.parse().map_err(|_| {
+                            CliError::Usage(format!("--floor-ms wants milliseconds, got {raw:?}"))
+                        })?;
+                    }
+                    other => positional.push(other),
+                }
+                i += 1;
+            }
+            let [base, head] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "perf diff needs BASE and HEAD report lists".into(),
+                ));
+            };
+            droplens_cli::perf::diff(base, head, &opts)
         }
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),

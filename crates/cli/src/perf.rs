@@ -1,0 +1,255 @@
+//! `droplens perf diff` — span-by-span comparison of run reports with a
+//! noise-aware regression gate.
+//!
+//! Each side of the diff is a comma-separated list of run-report JSON
+//! files (written by `--metrics=PATH` / `reproduce --metrics-json`).
+//! Multiple reports per side are collapsed **best-of-N**: a span's time
+//! is its minimum across the side's reports, which strips scheduler and
+//! cache noise the same way `hyperfine --min` does. Spans whose best
+//! time sits under the per-span floor (`--floor-ms`, default 5 ms) are
+//! compared but never gated — a 2 ms span doubling is measurement noise,
+//! not a regression.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use droplens_obs::report::TextTable;
+use droplens_obs::RunReport;
+
+use crate::CliError;
+
+/// Options for [`diff`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Fail (exit nonzero) when any gated span regresses by more than
+    /// this percentage. `None` = report only, never fail.
+    pub gate_pct: Option<f64>,
+    /// Spans whose best-of-N base time is below this floor (milliseconds)
+    /// are exempt from gating.
+    pub floor_ms: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            gate_pct: None,
+            floor_ms: 5.0,
+        }
+    }
+}
+
+/// Compare two sides of run reports span-by-span. Returns the rendered
+/// table on success; a gated regression returns [`CliError::Gate`]
+/// carrying the same rendering so the caller can print it and exit
+/// nonzero.
+pub fn diff(base_list: &str, head_list: &str, opts: &DiffOptions) -> Result<String, CliError> {
+    let base_reports = load_side("base", base_list)?;
+    let head_reports = load_side("head", head_list)?;
+    let base = best_totals(&base_reports);
+    let head = best_totals(&head_reports);
+
+    let paths: BTreeSet<&String> = base.keys().chain(head.keys()).collect();
+    let mut table = TextTable::new(vec!["span", "base", "head", "delta", "status"]);
+    let mut regressions: Vec<String> = Vec::new();
+    let floor_ns = (opts.floor_ms * 1e6).max(0.0) as u64;
+    for path in paths {
+        let (b, h) = (base.get(path), head.get(path));
+        let row = match (b, h) {
+            (Some(&b), Some(&h)) => {
+                let delta_pct = match b {
+                    0 => 0.0,
+                    _ => (h as f64 - b as f64) / b as f64 * 100.0,
+                };
+                let gated = b >= floor_ns;
+                let status = match opts.gate_pct {
+                    Some(gate) if gated && delta_pct > gate => {
+                        regressions.push(format!("{path} {delta_pct:+.1}%"));
+                        "REGRESSED".to_owned()
+                    }
+                    _ if !gated => "below-floor".to_owned(),
+                    _ => "ok".to_owned(),
+                };
+                vec![
+                    path.clone(),
+                    ms(b),
+                    ms(h),
+                    format!("{delta_pct:+.1}%"),
+                    status,
+                ]
+            }
+            (Some(&b), None) => vec![path.clone(), ms(b), "-".into(), "-".into(), "gone".into()],
+            (None, Some(&h)) => vec![path.clone(), "-".into(), ms(h), "-".into(), "new".into()],
+            (None, None) => unreachable!("path came from one of the maps"),
+        };
+        table.row(row);
+    }
+
+    let mut out = table.render();
+    out.push_str(&format!(
+        "\n{} spans; best of {} base / {} head report(s); floor {} ms",
+        table.len(),
+        base_reports.len(),
+        head_reports.len(),
+        opts.floor_ms,
+    ));
+    match opts.gate_pct {
+        Some(gate) if !regressions.is_empty() => {
+            out.push_str(&format!(
+                "\nFAIL: {} span(s) regressed past the {gate}% gate: {}\n",
+                regressions.len(),
+                regressions.join(", "),
+            ));
+            Err(CliError::Gate(out))
+        }
+        Some(gate) => {
+            out.push_str(&format!(
+                "\nPASS: no span regressed past the {gate}% gate\n"
+            ));
+            Ok(out)
+        }
+        None => {
+            out.push('\n');
+            Ok(out)
+        }
+    }
+}
+
+/// Read one side's comma-separated report list.
+fn load_side(side: &str, list: &str) -> Result<Vec<RunReport>, CliError> {
+    let reports: Vec<RunReport> = list
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            let text = std::fs::read_to_string(p).map_err(|e| CliError::Io(p.to_owned(), e))?;
+            RunReport::from_json(&text).map_err(|m| CliError::Usage(format!("{p}: {m}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if reports.is_empty() {
+        return Err(CliError::Usage(format!(
+            "perf diff: {side} side names no report files"
+        )));
+    }
+    Ok(reports)
+}
+
+/// Best-of-N: each span path's minimum total across the side's reports.
+fn best_totals(reports: &[RunReport]) -> BTreeMap<String, u64> {
+    let mut out: BTreeMap<String, u64> = BTreeMap::new();
+    for r in reports {
+        for (path, stat) in &r.spans {
+            out.entry(path.clone())
+                .and_modify(|v| *v = (*v).min(stat.total_ns))
+                .or_insert(stat.total_ns);
+        }
+    }
+    out
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use droplens_obs::Registry;
+    use std::time::Duration;
+
+    fn report_json(spans: &[(&str, u64)]) -> String {
+        let r = Registry::new();
+        for (path, ms) in spans {
+            r.record_span(path, Duration::from_millis(*ms));
+        }
+        r.report().to_json()
+    }
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("droplens-perf-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let json = report_json(&[("reproduce", 100), ("reproduce/study", 60)]);
+        let a = write_temp("ident_a.json", &json);
+        let b = write_temp("ident_b.json", &json);
+        let opts = DiffOptions {
+            gate_pct: Some(15.0),
+            floor_ms: 5.0,
+        };
+        let out = diff(a.to_str().unwrap(), b.to_str().unwrap(), &opts).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("+0.0%"), "{out}");
+    }
+
+    #[test]
+    fn regression_past_gate_fails() {
+        let base = report_json(&[("reproduce", 100), ("reproduce/study", 60)]);
+        let head = report_json(&[("reproduce", 130), ("reproduce/study", 61)]);
+        let a = write_temp("reg_a.json", &base);
+        let b = write_temp("reg_b.json", &head);
+        let opts = DiffOptions {
+            gate_pct: Some(15.0),
+            floor_ms: 5.0,
+        };
+        let err = diff(a.to_str().unwrap(), b.to_str().unwrap(), &opts).unwrap_err();
+        let CliError::Gate(out) = err else {
+            panic!("expected gate failure");
+        };
+        assert!(out.contains("FAIL"), "{out}");
+        assert!(out.contains("reproduce +30.0%"), "{out}");
+        // The small within-gate drift is reported but not gated.
+        assert!(out.contains("+1.7%"), "{out}");
+    }
+
+    #[test]
+    fn best_of_n_takes_the_minimum_per_side() {
+        let noisy = report_json(&[("reproduce", 140)]);
+        let quiet = report_json(&[("reproduce", 100)]);
+        let a1 = write_temp("bon_a1.json", &noisy);
+        let a2 = write_temp("bon_a2.json", &quiet);
+        let b = write_temp("bon_b.json", &quiet);
+        let opts = DiffOptions {
+            gate_pct: Some(15.0),
+            floor_ms: 5.0,
+        };
+        // Base min is 100ms, not 140ms, so an identical head passes.
+        let list = format!("{},{}", a1.display(), a2.display());
+        let out = diff(&list, b.to_str().unwrap(), &opts).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn below_floor_spans_never_gate() {
+        let base = report_json(&[("reproduce", 100), ("tiny", 2)]);
+        let head = report_json(&[("reproduce", 100), ("tiny", 4)]);
+        let a = write_temp("floor_a.json", &base);
+        let b = write_temp("floor_b.json", &head);
+        let opts = DiffOptions {
+            gate_pct: Some(15.0),
+            floor_ms: 5.0,
+        };
+        // `tiny` doubled (+100%) but sits under the 5ms floor.
+        let out = diff(a.to_str().unwrap(), b.to_str().unwrap(), &opts).unwrap();
+        assert!(out.contains("below-floor"), "{out}");
+        assert!(out.contains("PASS"), "{out}");
+    }
+
+    #[test]
+    fn new_and_gone_spans_are_reported() {
+        let base = report_json(&[("reproduce", 100), ("old_stage", 50)]);
+        let head = report_json(&[("reproduce", 100), ("new_stage", 50)]);
+        let a = write_temp("ng_a.json", &base);
+        let b = write_temp("ng_b.json", &head);
+        let out = diff(
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            &DiffOptions::default(),
+        )
+        .unwrap();
+        assert!(out.contains("gone"), "{out}");
+        assert!(out.contains("new"), "{out}");
+    }
+}

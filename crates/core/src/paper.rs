@@ -101,8 +101,12 @@ fn timed<T>(span_prefix: Option<&str>, name: &str, f: impl FnOnce() -> T) -> T {
     match span_prefix {
         None => f(),
         Some(prefix) => {
+            // The trace span still nests automatically: the worker
+            // adopted the caller's span when the join fanned out.
+            let tspan = droplens_obs::trace::global().span(name, "experiment");
             let t0 = std::time::Instant::now();
             let v = f();
+            tspan.finish();
             droplens_obs::global().record_span(&format!("{prefix}/{name}"), t0.elapsed());
             v
         }

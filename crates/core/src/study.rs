@@ -187,7 +187,7 @@ impl Study {
         text: &TextArchives,
     ) -> Result<Study, IngestError> {
         let obs = droplens_obs::global();
-        let load_span = obs.span("load");
+        let mut load_span = obs.span("load");
         let policy = config.ingest;
         // The five wire formats parse independently (each closure owns one
         // source, its counters commute, and its quarantine ledger is
@@ -279,6 +279,11 @@ impl Study {
         let (roa_events, rpki_q) = rpki_res?;
         let (rir_files, rir_q) = rir_res?;
         let (snapshots, drop_q, sbl, sbl_q) = drop_res?;
+        load_span
+            .arg_u64("bgp_updates", updates.len() as u64)
+            .arg_u64("irr_entries", irr_journal.len() as u64)
+            .arg_u64("roa_events", roa_events.len() as u64)
+            .arg_u64("drop_days", snapshots.len() as u64);
         load_span.finish();
 
         // Assemble the pipeline-wide ledger in fixed source order and
@@ -409,10 +414,11 @@ impl Study {
         ingest: IngestReport,
     ) -> Study {
         let obs = droplens_obs::global();
-        let annotate_span = obs.span("annotate");
+        let mut annotate_span = obs.span("annotate");
         // Entries annotate independently; `par_map` preserves listing order.
         let mut entries: Vec<StudyEntry> =
             droplens_par::par_map(drop.entries(), |e| annotate(e, &sbl, &rir, &config));
+        annotate_span.arg_u64("entries", entries.len() as u64);
         annotate_span.finish();
         let correlate_span = obs.span("correlate");
         mark_afrinic_incidents(&mut entries);

@@ -89,6 +89,8 @@ impl DropSnapshot {
         quarantine: &mut Quarantine,
     ) -> Result<DropSnapshot, ParseError> {
         let obs = droplens_obs::global();
+        let mut tspan = droplens_obs::trace::global().span("parse.drop.list", "parse");
+        tspan.arg_str("file", quarantine.source());
         let parsed = obs.counter("drop.list.parsed");
         let skipped = obs.counter("drop.list.skipped");
         let malformed = obs.counter("drop.list.malformed");
@@ -126,6 +128,7 @@ impl DropSnapshot {
                 }
             }
         }
+        tspan.arg_u64("records", snapshot.entries.len() as u64);
         Ok(snapshot)
     }
 }
@@ -174,6 +177,19 @@ pub fn repair_flickers(snapshots: &mut [DropSnapshot], partial: &[bool]) {
                 }
             };
             if reappears {
+                let tracer = droplens_obs::trace::global();
+                if tracer.is_enabled() {
+                    use droplens_obs::trace::ArgValue;
+                    tracer.instant(
+                        "gap-repair",
+                        "ingest",
+                        vec![
+                            ("source", ArgValue::Str("drop/list".into())),
+                            ("date", ArgValue::Str(snapshots[i].date.to_string())),
+                            ("prefix", ArgValue::Str(prefix.to_string())),
+                        ],
+                    );
+                }
                 snapshots[i].entries.insert(prefix, sbl);
             }
         }

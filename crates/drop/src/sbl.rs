@@ -212,6 +212,8 @@ impl SblDatabase {
     /// the next block.
     pub fn parse_with(text: &str, quarantine: &mut Quarantine) -> Result<SblDatabase, ParseError> {
         let obs = droplens_obs::global();
+        let mut tspan = droplens_obs::trace::global().span("parse.drop.sbl", "parse");
+        tspan.arg_str("file", quarantine.source());
         let parsed = obs.counter("drop.sbl.parsed");
         let mut db = SblDatabase::new();
         let mut current: Option<(SblId, String)> = None;
@@ -260,6 +262,7 @@ impl SblDatabase {
             quarantine.record_ok();
             db.insert(SblRecord::new(id, body.trim_end()));
         }
+        tspan.arg_u64("records", db.len() as u64);
         Ok(db)
     }
 }

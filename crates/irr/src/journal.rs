@@ -77,6 +77,8 @@ pub fn parse_journal_with(
     quarantine: &mut Quarantine,
 ) -> Result<Vec<JournalEntry>, ParseError> {
     let obs = droplens_obs::global();
+    let mut tspan = droplens_obs::trace::global().span("parse.irr.journal", "parse");
+    tspan.arg_str("file", quarantine.source());
     let parsed = obs.counter("irr.journal.parsed");
     let skipped = obs.counter("irr.journal.skipped");
     let malformed = obs.counter("irr.journal.malformed");
@@ -162,6 +164,7 @@ pub fn parse_journal_with(
         }
     }
     flush!();
+    tspan.arg_u64("records", entries.len() as u64);
     Ok(entries)
 }
 

@@ -184,6 +184,19 @@ impl Quarantine {
             return Err(located);
         }
         self.quarantined += 1;
+        let tracer = droplens_obs::trace::global();
+        if tracer.is_enabled() {
+            use droplens_obs::trace::ArgValue;
+            tracer.instant(
+                "quarantine",
+                "ingest",
+                vec![
+                    ("source", ArgValue::Str(self.source.clone())),
+                    ("line", ArgValue::U64(u64::from(line))),
+                    ("error", ArgValue::Str(located.to_string())),
+                ],
+            );
+        }
         if self.samples.len() < QUARANTINE_SAMPLES_KEPT {
             self.samples.push(located);
         }

@@ -254,6 +254,85 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_histogram_is_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.p50), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn quantile_single_sample_is_exact_everywhere() {
+        let h = Histogram::new();
+        h.record(1500);
+        // With one sample every quantile — including the clamped
+        // out-of-range ones — is that sample, not a bucket estimate.
+        for q in [-0.5, 0.0, 0.25, 0.5, 0.99, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), Some(1500), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_are_exact() {
+        let h = Histogram::new();
+        for v in [3, 900, 17, 1_000_000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0), "q=0 is the exact minimum");
+        assert_eq!(h.quantile(1.0), Some(1_000_000), "q=1 is the exact maximum");
+    }
+
+    #[test]
+    fn quantile_zero_samples_stay_zero() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(0));
+        }
+    }
+
+    #[test]
+    fn quantile_bucket_boundary_values() {
+        // Powers of two sit on bucket edges: 4 opens [4,8), so an
+        // interior rank landing in that bucket must estimate within it
+        // and inside the observed extremes.
+        let h = Histogram::new();
+        for v in [4, 4, 4, 8] {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!((4..8).contains(&p50), "p50={p50} outside [4,8)");
+        assert_eq!(h.quantile(1.0), Some(8));
+        assert_eq!(h.quantile(0.0), Some(4));
+        // Interior quantiles never escape [min, max] even when the
+        // overflow-adjacent bucket is hit.
+        let h2 = Histogram::new();
+        h2.record(1);
+        h2.record(1 << 62);
+        h2.record(u64::MAX);
+        for q in [0.3, 0.5, 0.7] {
+            let v = h2.quantile(q).unwrap();
+            assert!((1..=u64::MAX).contains(&v), "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn quantile_uniform_distribution_is_roughly_right() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // Log-bucket estimate: within a factor of two of the true median.
+        assert!((250..=1000).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
     fn counter_and_gauge() {
         let c = Counter::new();
         c.inc();

@@ -98,9 +98,17 @@ impl Registry {
 
     /// Record a completed span (used by [`Span`]; callers can also feed
     /// externally measured durations).
+    ///
+    /// Paths are normalized (empty segments collapse, edge slashes
+    /// trim), so an explicitly recorded `"a//b"` or `"/a/b"` aggregates
+    /// under the same `a/b` key an RAII span would produce — nested
+    /// paths stay consistently related to their parent prefix, and the
+    /// report's rollup view ([`RunReport::span_rollups`]) can synthesize
+    /// unrecorded ancestors reliably.
     pub fn record_span(&self, path: &str, duration: std::time::Duration) {
+        let path = normalize_span_path(path);
         let mut map = self.inner.spans.lock().expect("span map poisoned");
-        let stat = map.entry(path.to_owned()).or_default();
+        let stat = map.entry(path).or_default();
         stat.count += 1;
         stat.total_ns = stat
             .total_ns
@@ -183,6 +191,25 @@ impl Registry {
     }
 }
 
+/// Collapse empty path segments (`a//b`, `/a/b/` → `a/b`) so explicit
+/// and RAII-recorded spans share keys. Paths that are already clean —
+/// the common case — return without allocating a segment vector.
+fn normalize_span_path(path: &str) -> String {
+    let needs_fix =
+        path.starts_with('/') || path.ends_with('/') || path.contains("//") || path.is_empty();
+    if !needs_fix {
+        return path.to_owned();
+    }
+    let mut out = String::with_capacity(path.len());
+    for seg in path.split('/').filter(|s| !s.is_empty()) {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(seg);
+    }
+    out
+}
+
 /// The process-wide registry the pipeline's built-in instrumentation
 /// records into.
 pub fn global() -> &'static Registry {
@@ -225,5 +252,54 @@ mod tests {
         let snap = r.report();
         assert!(snap.counters.is_empty());
         assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn record_span_normalizes_explicit_paths() {
+        let r = Registry::new();
+        let d = std::time::Duration::from_micros(5);
+        r.record_span("a/b", d);
+        r.record_span("a//b", d);
+        r.record_span("/a/b/", d);
+        let snap = r.report();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans["a/b"].count, 3);
+        assert_eq!(normalize_span_path("clean/path"), "clean/path");
+        assert_eq!(normalize_span_path("///"), "");
+    }
+
+    #[test]
+    fn reset_racing_concurrent_counter_adds_is_safe() {
+        // Handles resolved before a reset keep feeding their detached
+        // atomics (the documented contract); the reset itself must never
+        // panic, deadlock, or corrupt the maps while writers hammer both
+        // old and freshly resolved handles from other threads.
+        let r = Registry::new();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = r.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let pinned = reg.counter("race"); // survives resets, detached
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        pinned.add(1);
+                        reg.counter("race").add(1); // re-resolves every time
+                        reg.record_span("race/span", std::time::Duration::from_nanos(1));
+                    }
+                });
+            }
+            for _ in 0..50 {
+                r.reset();
+                std::thread::yield_now();
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        // Post-reset state is coherent: one more reset gives a clean
+        // slate, and a fresh handle starts from zero.
+        r.reset();
+        assert!(r.report().counters.is_empty());
+        r.counter("race").add(2);
+        assert_eq!(r.report().counters["race"], 2);
     }
 }

@@ -4,10 +4,28 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use crate::json::JsonObject;
+use crate::json::{self, JsonObject, Value};
 use crate::metrics::HistogramSummary;
 use crate::registry::{ErrorLog, SpanStat};
 use crate::report::TextTable;
+
+/// One row of the hierarchical rollup over span paths.
+///
+/// Recorded spans already *include* the wall-clock of spans nested under
+/// them (an RAII span is open while its children run), so a recorded
+/// path's rollup is simply its own total. The rollup exists for paths
+/// that were never recorded themselves but have recorded descendants —
+/// `reproduce/experiments` when only `reproduce/experiments/fig1..` were
+/// timed: their rollup is the sum of their direct children's rollups,
+/// making `a` and `a/b` consistently related in every report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanRollup {
+    /// The directly recorded stat (zeroed for synthesized interior
+    /// nodes).
+    pub own: SpanStat,
+    /// Own total when recorded, else the sum of direct children rollups.
+    pub rollup_ns: u64,
+}
 
 /// Everything a registry knew at snapshot time.
 ///
@@ -56,14 +74,19 @@ impl RunReport {
             out.push('\n');
         }
         if !self.spans.is_empty() {
-            let mut t = TextTable::new(vec!["span", "count", "total", "mean"]);
-            for (path, s) in &self.spans {
-                t.row(vec![
-                    path.clone(),
-                    s.count.to_string(),
-                    ns(s.total_ns),
-                    ns(s.mean_ns()),
-                ]);
+            let mut t = TextTable::new(vec!["span", "count", "total", "mean", "rollup"]);
+            for (path, r) in self.span_rollups() {
+                let (count, total, mean) = if r.own.count > 0 {
+                    (
+                        r.own.count.to_string(),
+                        ns(r.own.total_ns),
+                        ns(r.own.mean_ns()),
+                    )
+                } else {
+                    // Synthesized interior node: no direct recordings.
+                    ("-".to_owned(), "-".to_owned(), "-".to_owned())
+                };
+                t.row(vec![path, count, total, mean, ns(r.rollup_ns)]);
             }
             out.push_str(&t.render());
             out.push('\n');
@@ -120,6 +143,55 @@ impl RunReport {
             out.push_str("(no metrics recorded)\n");
         }
         out
+    }
+
+    /// The hierarchical rollup over span paths: every recorded path plus
+    /// synthesized interior nodes for unrecorded ancestors, so nested
+    /// paths always aggregate under their parent prefix. See
+    /// [`SpanRollup`] for the aggregation rule.
+    pub fn span_rollups(&self) -> BTreeMap<String, SpanRollup> {
+        let mut out: BTreeMap<String, SpanRollup> = BTreeMap::new();
+        for (path, stat) in &self.spans {
+            out.insert(
+                path.clone(),
+                SpanRollup {
+                    own: *stat,
+                    rollup_ns: stat.total_ns,
+                },
+            );
+            // Synthesize every missing ancestor.
+            let mut prefix = path.as_str();
+            while let Some(cut) = prefix.rfind('/') {
+                prefix = &prefix[..cut];
+                out.entry(prefix.to_owned()).or_default();
+            }
+        }
+        // Children sort strictly after their parent, so a reverse pass
+        // sees every child's final rollup before its parent.
+        let paths: Vec<String> = out.keys().cloned().collect();
+        for path in paths.iter().rev() {
+            let r = out[path];
+            if r.own.count > 0 {
+                continue; // recorded totals already include descendants
+            }
+            let prefix = format!("{path}/");
+            let sum: u64 = out
+                .iter()
+                .filter(|(p, _)| {
+                    p.strip_prefix(&prefix)
+                        .is_some_and(|rest| !rest.contains('/'))
+                })
+                .map(|(_, c)| c.rollup_ns)
+                .sum();
+            out.get_mut(path).expect("path present").rollup_ns = sum;
+        }
+        out
+    }
+
+    /// Look up a path's rollup total in nanoseconds (0 when the path has
+    /// neither recordings nor recorded descendants).
+    pub fn rollup_ns(&self, path: &str) -> u64 {
+        self.span_rollups().get(path).map_or(0, |r| r.rollup_ns)
     }
 
     /// Stable machine-readable JSON (schema `droplens-obs/1`).
@@ -186,6 +258,84 @@ impl RunReport {
         out.push('\n');
         out
     }
+
+    /// Parse a report back from its [`RunReport::to_json`] document —
+    /// how `droplens perf diff` loads the two sides it compares.
+    /// Unknown top-level fields are ignored; a malformed document or a
+    /// wrong schema tag is an error.
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(Value::as_str) {
+            Some("droplens-obs/1") => {}
+            Some(other) => return Err(format!("unsupported schema {other:?}")),
+            None => return Err("missing \"schema\" field".to_owned()),
+        }
+        let section = |name: &str| doc.get(name).map(Value::members).unwrap_or(&[]).iter();
+        let need_u64 = |v: &Value, what: &str, key: &str| {
+            v.as_u64()
+                .ok_or_else(|| format!("{what} {key:?}: not a u64"))
+        };
+        let mut report = RunReport::default();
+        for (k, v) in section("meta") {
+            let s = v
+                .as_str()
+                .ok_or_else(|| format!("meta {k:?}: not a string"))?;
+            report.meta.insert(k.clone(), s.to_owned());
+        }
+        for (k, v) in section("counters") {
+            report
+                .counters
+                .insert(k.clone(), need_u64(v, "counter", k)?);
+        }
+        for (k, v) in section("gauges") {
+            let n = v
+                .as_i64()
+                .ok_or_else(|| format!("gauge {k:?}: not an i64"))?;
+            report.gauges.insert(k.clone(), n);
+        }
+        for (k, v) in section("histograms") {
+            let field = |name: &str| {
+                need_u64(
+                    v.get(name).unwrap_or(&Value::Num(0.0)),
+                    "histogram field",
+                    name,
+                )
+            };
+            report.histograms.insert(
+                k.clone(),
+                HistogramSummary {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    p50: field("p50")?,
+                    p90: field("p90")?,
+                    p99: field("p99")?,
+                },
+            );
+        }
+        for (k, v) in section("spans") {
+            let count = need_u64(v.get("count").unwrap_or(&Value::Null), "span", k)?;
+            let total_ns = need_u64(v.get("total_ns").unwrap_or(&Value::Null), "span", k)?;
+            report.spans.insert(k.clone(), SpanStat { count, total_ns });
+        }
+        for (k, v) in section("errors") {
+            let seen = need_u64(v.get("seen").unwrap_or(&Value::Null), "error", k)?;
+            let samples = match v.get("samples") {
+                Some(Value::Array(items)) => items
+                    .iter()
+                    .map(|s| {
+                        s.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| format!("error {k:?}: non-string sample"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => Vec::new(),
+            };
+            report.errors.insert(k.clone(), ErrorLog { seen, samples });
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +348,113 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.to_text(), "(no metrics recorded)\n");
         assert!(r.to_json().starts_with("{\"schema\":\"droplens-obs/1\""));
+    }
+
+    fn stat(count: u64, total_ns: u64) -> SpanStat {
+        SpanStat { count, total_ns }
+    }
+
+    #[test]
+    fn rollups_synthesize_unrecorded_ancestors() {
+        let mut r = RunReport::default();
+        r.spans.insert("run/exp/fig1".into(), stat(1, 100));
+        r.spans.insert("run/exp/fig2".into(), stat(2, 300));
+        r.spans.insert("run/load".into(), stat(1, 50));
+        let rollups = r.span_rollups();
+        // `run/exp` was never recorded: synthesized from its children.
+        let exp = &rollups["run/exp"];
+        assert_eq!(exp.own.count, 0);
+        assert_eq!(exp.rollup_ns, 400);
+        // `run` itself was never recorded either: children are its
+        // *direct* children's rollups (run/exp + run/load), not a double
+        // count of the leaves.
+        assert_eq!(rollups["run"].rollup_ns, 450);
+        assert_eq!(r.rollup_ns("run"), 450);
+        assert_eq!(r.rollup_ns("absent"), 0);
+    }
+
+    #[test]
+    fn recorded_parents_keep_their_own_total_as_rollup() {
+        // An RAII parent span's total already includes its children;
+        // its rollup must not add them again.
+        let mut r = RunReport::default();
+        r.spans.insert("study".into(), stat(1, 1000));
+        r.spans.insert("study/load".into(), stat(1, 400));
+        r.spans.insert("study/index".into(), stat(1, 500));
+        let rollups = r.span_rollups();
+        assert_eq!(rollups["study"].rollup_ns, 1000);
+        assert_eq!(rollups["study"].own.count, 1);
+    }
+
+    #[test]
+    fn rollups_do_not_mix_sibling_name_prefixes() {
+        // "a" and "ab" share a string prefix but not a path prefix.
+        let mut r = RunReport::default();
+        r.spans.insert("a/x".into(), stat(1, 10));
+        r.spans.insert("ab/x".into(), stat(1, 20));
+        let rollups = r.span_rollups();
+        assert_eq!(rollups["a"].rollup_ns, 10);
+        assert_eq!(rollups["ab"].rollup_ns, 20);
+    }
+
+    #[test]
+    fn span_table_shows_rollup_column() {
+        let mut r = RunReport::default();
+        r.spans.insert("run/a".into(), stat(1, 1_000_000));
+        let text = r.to_text();
+        assert!(text.contains("rollup"), "{text}");
+        // Synthesized interior row for `run` with only a rollup.
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("run ") && l.contains('-')),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let mut r = RunReport::default();
+        r.meta.insert("seed".into(), "42".into());
+        r.counters.insert("bgp.parsed".into(), 7);
+        r.gauges.insert("depth".into(), -3);
+        r.histograms.insert(
+            "lat".into(),
+            HistogramSummary {
+                count: 2,
+                sum: 30,
+                min: 10,
+                max: 20,
+                p50: 10,
+                p90: 20,
+                p99: 20,
+            },
+        );
+        r.spans.insert("run/load".into(), stat(3, 1234));
+        r.errors.insert(
+            "bgp".into(),
+            ErrorLog {
+                seen: 2,
+                samples: vec!["line 3: bad \"prefix\"".into()],
+            },
+        );
+        let json = r.to_json();
+        let back = RunReport::from_json(&json).expect("parses");
+        assert_eq!(back.meta, r.meta);
+        assert_eq!(back.counters, r.counters);
+        assert_eq!(back.gauges, r.gauges);
+        assert_eq!(back.histograms, r.histograms);
+        assert_eq!(back.spans, r.spans);
+        assert_eq!(back.errors, r.errors);
+        // Byte-stable round trip.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(RunReport::from_json("not json").is_err());
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("{\"schema\":\"other/9\"}").is_err());
+        let bad_span = r#"{"schema":"droplens-obs/1","spans":{"x":{"count":"q"}}}"#;
+        assert!(RunReport::from_json(bad_span).is_err());
     }
 }

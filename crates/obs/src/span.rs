@@ -4,6 +4,7 @@ use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 use crate::registry::Registry;
+use crate::trace::TraceGuard;
 
 thread_local! {
     /// Segments of the spans currently open on this thread, outermost
@@ -18,6 +19,12 @@ thread_local! {
 /// Spans opened while another span is open on the same thread nest:
 /// a span `load` opened inside `study` records as `study/load`. Spans
 /// are thread-bound — drop them on the thread that opened them.
+///
+/// When the global tracer ([`crate::trace::global`]) is enabled, every
+/// span additionally records a [`crate::trace::TraceEvent`] carrying its
+/// parent id, worker thread, and any attributes attached via
+/// [`Span::arg_u64`]-style methods — the aggregate view and the timeline
+/// come from the same instrumentation points.
 #[derive(Debug)]
 pub struct Span {
     registry: Registry,
@@ -25,6 +32,7 @@ pub struct Span {
     depth: usize,
     start: Instant,
     recorded: bool,
+    trace: TraceGuard,
 }
 
 impl Span {
@@ -35,18 +43,40 @@ impl Span {
             stack.push(name.to_owned());
             (stack.join("/"), depth)
         });
+        // A no-op guard when tracing is disabled (one atomic load).
+        let trace = crate::trace::global().span(name, "span");
         Span {
             registry,
             path,
             depth,
             start: Instant::now(),
             recorded: false,
+            trace,
         }
     }
 
     /// The full nested path this span records under.
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// Attach an unsigned-integer attribute to this span's trace event
+    /// (no-op unless the global tracer is enabled).
+    pub fn arg_u64(&mut self, key: &'static str, value: u64) -> &mut Self {
+        self.trace.arg_u64(key, value);
+        self
+    }
+
+    /// Attach a signed-integer attribute to this span's trace event.
+    pub fn arg_i64(&mut self, key: &'static str, value: i64) -> &mut Self {
+        self.trace.arg_i64(key, value);
+        self
+    }
+
+    /// Attach a string attribute to this span's trace event.
+    pub fn arg_str(&mut self, key: &'static str, value: impl Into<String>) -> &mut Self {
+        self.trace.arg_str(key, value);
+        self
     }
 
     /// Wall-clock since the span opened.

@@ -28,10 +28,24 @@
 //! `< 1` or unparsable fall back to the default). With one worker every
 //! helper degrades to a plain sequential loop on the calling thread —
 //! no threads are spawned at all.
+//!
+//! # Tracing
+//!
+//! When the global tracer ([`droplens_obs::trace::global`]) is enabled,
+//! every spawned chunk records a `task` span (category `par`) on its
+//! worker's timeline, linked under the span that was open on the calling
+//! thread, carrying `queue_wait_ns` (spawn-to-start latency) and the
+//! chunk size. The [`join`] family adopts the caller's span on the
+//! spawned side so spans opened inside nest correctly across threads.
+//! Disabled tracing costs one atomic load per spawned chunk; the
+//! sequential paths are untouched.
 
 use std::num::NonZeroUsize;
 use std::panic::resume_unwind;
 use std::thread;
+use std::time::Instant;
+
+use droplens_obs::trace;
 
 /// A boxed heterogeneous task for [`par_join`].
 pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
@@ -72,10 +86,20 @@ pub fn par_map_with<T: Sync, R: Send>(
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(workers);
+    let tracer = trace::global();
+    let parent = tracer.current();
+    let queued = Instant::now();
+    let f = &f;
     let chunks: Vec<Vec<R>> = thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|part| s.spawn(|| part.iter().map(&f).collect::<Vec<R>>()))
+            .map(|part| {
+                s.spawn(move || {
+                    let mut span = task_span(tracer, parent, queued);
+                    span.arg_u64("items", part.len() as u64);
+                    part.iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         collect_all(handles)
     });
@@ -102,11 +126,17 @@ pub fn par_for_each_mut_with<T: Send>(workers: usize, items: &mut [T], f: impl F
         return;
     }
     let chunk = items.len().div_ceil(workers);
+    let tracer = trace::global();
+    let parent = tracer.current();
+    let queued = Instant::now();
+    let f = &f;
     thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks_mut(chunk)
             .map(|part| {
-                s.spawn(|| {
+                s.spawn(move || {
+                    let mut span = task_span(tracer, parent, queued);
+                    span.arg_u64("items", part.len() as u64);
                     for item in part {
                         f(item);
                     }
@@ -129,8 +159,15 @@ where
         let rb = b();
         return (ra, rb);
     }
+    let tracer = trace::global();
+    let parent = tracer.current();
     thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(move || {
+            // Inherit the caller's open span so spans opened inside `b`
+            // nest under it even though `b` runs on another thread.
+            let _adopt = tracer.adopt(parent);
+            b()
+        });
         let ra = a();
         let rb = match hb.join() {
             Ok(v) => v,
@@ -213,14 +250,35 @@ pub fn par_join_with<R: Send>(workers: usize, tasks: Vec<Task<'_, R>>) -> Vec<R>
         rest = tail;
     }
     batches.push(rest);
+    let tracer = trace::global();
+    let parent = tracer.current();
+    let queued = Instant::now();
     let results: Vec<Vec<R>> = thread::scope(|s| {
         let handles: Vec<_> = batches
             .into_iter()
-            .map(|batch| s.spawn(|| batch.into_iter().map(|t| t()).collect::<Vec<R>>()))
+            .map(|batch| {
+                s.spawn(move || {
+                    let mut span = task_span(tracer, parent, queued);
+                    span.arg_u64("tasks", batch.len() as u64);
+                    batch.into_iter().map(|t| t()).collect::<Vec<R>>()
+                })
+            })
             .collect();
         collect_all(handles)
     });
     results.into_iter().flatten().collect()
+}
+
+/// Open the per-chunk `task` trace span on the worker: linked under the
+/// calling thread's span, stamped with the spawn-to-start queue wait.
+/// A no-op guard when tracing is disabled.
+fn task_span(tracer: &trace::Tracer, parent: u64, queued: Instant) -> trace::TraceGuard {
+    let mut span = tracer.span_under(parent, "task", "par");
+    span.arg_u64(
+        "queue_wait_ns",
+        u64::try_from(queued.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
+    span
 }
 
 /// Join every handle, then re-raise the first panic (if any). Joining

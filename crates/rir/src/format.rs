@@ -154,6 +154,8 @@ pub fn parse_stats_file_with(
     quarantine: &mut Quarantine,
 ) -> Result<Option<StatsFile>, ParseError> {
     let obs = droplens_obs::global();
+    let mut tspan = droplens_obs::trace::global().span("parse.rir.stats", "parse");
+    tspan.arg_str("file", quarantine.source());
     let parsed = obs.counter("rir.stats.parsed");
     let skipped = obs.counter("rir.stats.skipped");
     let malformed = obs.counter("rir.stats.malformed");
@@ -191,6 +193,7 @@ pub fn parse_stats_file_with(
             }
         }
     }
+    tspan.arg_u64("records", records.len() as u64);
     match (rir, date) {
         (Some(rir), Some(date)) => Ok(Some(StatsFile { rir, date, records })),
         _ => {
@@ -269,6 +272,19 @@ pub fn repair_flickers(snapshots: &mut [(Date, Vec<StatsFile>)], partial: &[bool
             }
             keys[i].insert(k);
             let (date, files) = &mut snapshots[i];
+            let tracer = droplens_obs::trace::global();
+            if tracer.is_enabled() {
+                use droplens_obs::trace::ArgValue;
+                tracer.instant(
+                    "gap-repair",
+                    "ingest",
+                    vec![
+                        ("source", ArgValue::Str("rir/delegated".into())),
+                        ("date", ArgValue::Str(date.to_string())),
+                        ("rir", ArgValue::Str(format!("{:?}", record.rir))),
+                    ],
+                );
+            }
             match files.iter_mut().find(|f| f.rir == record.rir) {
                 Some(f) => f.records.push(record),
                 // The registry's whole file was dropped: regrow it from

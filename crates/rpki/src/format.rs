@@ -126,6 +126,8 @@ pub fn parse_events_with(
     quarantine: &mut Quarantine,
 ) -> Result<Vec<RoaEvent>, ParseError> {
     let obs = droplens_obs::global();
+    let mut tspan = droplens_obs::trace::global().span("parse.rpki.events", "parse");
+    tspan.arg_str("file", quarantine.source());
     let parsed = obs.counter("rpki.events.parsed");
     let skipped = obs.counter("rpki.events.skipped");
     let malformed = obs.counter("rpki.events.malformed");
@@ -160,6 +162,7 @@ pub fn parse_events_with(
             }
         }
     }
+    tspan.arg_u64("records", out.len() as u64);
     Ok(out)
 }
 

@@ -40,8 +40,14 @@ impl World {
     pub fn generate(seed: u64, config: &WorldConfig) -> World {
         let obs = droplens_obs::global();
         let world = {
-            let _span = obs.span("synth.generate");
-            builder::Builder::new(seed, config.clone()).build()
+            let mut span = obs.span("synth.generate");
+            span.arg_u64("seed", seed)
+                .arg_str("study_start", config.study_start.to_string())
+                .arg_str("study_end", config.study_end.to_string())
+                .arg_u64("peers", config.peer_count as u64);
+            let world = builder::Builder::new(seed, config.clone()).build();
+            span.arg_u64("bgp_updates", world.bgp_updates.len() as u64);
+            world
         };
         obs.counter("synth.bgp_updates")
             .add(world.bgp_updates.len() as u64);
