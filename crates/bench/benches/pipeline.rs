@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo bench -p droplens-bench --bench pipeline`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 use std::sync::OnceLock;
 use std::time::Duration;
 

@@ -1,6 +1,7 @@
 //! Substrate throughput: the parsers and index builders the pipeline
 //! spends its time in when pointed at real archives.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};

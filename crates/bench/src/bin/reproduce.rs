@@ -47,29 +47,36 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--metrics-json" => {
-                let path = args.next().expect("--metrics-json wants a path");
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| die("--metrics-json wants a path"));
                 metrics_json = Some(PathBuf::from(path));
             }
             "--trace" => {
-                let path = args.next().expect("--trace wants a path");
+                let path = args.next().unwrap_or_else(|| die("--trace wants a path"));
                 trace_out = Some(PathBuf::from(path));
             }
             "--chaos" => {
-                let s = args.next().expect("--chaos wants a seed");
-                chaos = Some(s.parse().expect("chaos seed must be a u64"));
+                let s = args.next().unwrap_or_else(|| die("--chaos wants a seed"));
+                chaos = Some(
+                    s.parse()
+                        .unwrap_or_else(|_| die("chaos seed must be a u64")),
+                );
             }
             "--ingest" => {
                 policy = match args.next().as_deref() {
                     Some("strict") => IngestPolicy::Strict,
                     Some("permissive") => IngestPolicy::permissive(),
-                    other => panic!("--ingest wants strict|permissive, got {other:?}"),
+                    other => die(&format!("--ingest wants strict|permissive, got {other:?}")),
                 };
             }
             "--quarantine" => {
-                let path = args.next().expect("--quarantine wants a path");
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| die("--quarantine wants a path"));
                 quarantine = Some(PathBuf::from(path));
             }
-            _ => seed = arg.parse().expect("seed must be a u64"),
+            _ => seed = arg.parse().unwrap_or_else(|_| die("seed must be a u64")),
         }
     }
 
@@ -221,6 +228,13 @@ fn main() {
             }
         }
     }
+}
+
+/// Reject a malformed command line: print the complaint and exit
+/// nonzero, without the panic backtrace `expect` would produce.
+fn die(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    std::process::exit(2);
 }
 
 /// Print one precomputed experiment section.

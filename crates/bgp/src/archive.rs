@@ -7,8 +7,6 @@
 //! lookups are binary searches, so the whole-study correlations stay fast
 //! even with hundreds of peers and thousands of prefixes.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use std::collections::{BTreeMap, BTreeSet};
 
 use droplens_net::{Asn, Date, Ipv4Prefix, PrefixTrie};
@@ -442,6 +440,7 @@ impl BgpArchive {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -14,8 +14,6 @@
 //! token, peer ASN, prefix, and (for announcements and dump entries) the
 //! AS path.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use std::fmt::Write as _;
 
 use droplens_net::{Asn, Date, ParseError, Quarantine};
@@ -268,6 +266,7 @@ pub fn parse_updates_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -29,7 +29,6 @@
 //!   policies: the business-relationship machinery that makes per-peer
 //!   visibility differ in the first place.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod archive;

@@ -22,7 +22,8 @@ impl AsPath {
     /// which collectors do not model); use [`AsPath::try_new`] to handle
     /// untrusted input.
     pub fn new(hops: Vec<Asn>) -> AsPath {
-        Self::try_new(hops).expect("AS path must have at least one hop")
+        assert!(!hops.is_empty(), "AS path must have at least one hop");
+        AsPath { hops }
     }
 
     /// Fallible construction; `None` on an empty hop list.
@@ -36,7 +37,8 @@ impl AsPath {
 
     /// The origin AS (rightmost).
     pub fn origin(&self) -> Asn {
-        *self.hops.last().expect("non-empty by construction")
+        // Non-empty by construction; indexes like [`AsPath::first_hop`].
+        self.hops[self.hops.len() - 1]
     }
 
     /// The AS adjacent to the collector peer (leftmost).
@@ -124,6 +126,7 @@ impl FromStr for AsPath {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

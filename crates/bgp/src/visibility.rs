@@ -204,7 +204,7 @@ pub fn detect_filtering_peers(observations: &[PeerObservation], threshold: f64) 
         return Vec::new();
     }
     let mut fractions: Vec<f64> = observations.iter().map(|o| o.fraction()).collect();
-    fractions.sort_by(|a, b| a.partial_cmp(b).expect("fractions are finite"));
+    fractions.sort_by(f64::total_cmp);
     let median = fractions[fractions.len() / 2];
     if median < threshold {
         // The collector as a whole misses these prefixes; no peer stands out.
@@ -218,6 +218,7 @@ pub fn detect_filtering_peers(observations: &[PeerObservation], threshold: f64) 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use droplens_net::Asn;

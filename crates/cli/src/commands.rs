@@ -148,6 +148,44 @@ pub fn classify_text(text: &str) -> String {
     out
 }
 
+/// How `droplens lint` renders its report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum LintFormat {
+    /// `path:line: [rule] message` lines plus a summary (the default).
+    #[default]
+    Text,
+    /// Stable JSON, schema `droplens-lint/1`.
+    Json,
+}
+
+/// `droplens lint`: run the workspace invariant checker over `paths`
+/// (directories are walked recursively; `target/`, `vendor/`, and
+/// fixture corpora are skipped unless named explicitly). Returns the
+/// rendered report on success; violations surface as
+/// [`CliError::Lint`] carrying the same rendering, so the binary can
+/// print it and exit nonzero without usage noise.
+pub fn lint(paths: &[PathBuf], format: LintFormat) -> Result<String, CliError> {
+    let default_paths = [PathBuf::from(".")];
+    let inputs: &[PathBuf] = if paths.is_empty() {
+        &default_paths
+    } else {
+        paths
+    };
+    let files = droplens_lint::collect_rs_files(inputs)
+        .map_err(|e| CliError::Io(inputs[0].display().to_string(), e))?;
+    let report = droplens_lint::lint_files(&files)
+        .map_err(|e| CliError::Io(inputs[0].display().to_string(), e))?;
+    let rendered = match format {
+        LintFormat::Text => report.to_text(),
+        LintFormat::Json => report.to_json(),
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(CliError::Lint(rendered))
+    }
+}
+
 /// `droplens validate`: ROV of one announcement against a ROA journal.
 pub fn validate(
     roas_path: &Path,
@@ -180,6 +218,7 @@ pub fn validate(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

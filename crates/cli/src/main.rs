@@ -71,6 +71,13 @@ fn main() -> ExitCode {
             eprintln!("droplens: perf gate failed");
             ExitCode::FAILURE
         }
+        // Same shape for lint: the report is the payload, the failure
+        // is in the findings, not the invocation.
+        Err(CliError::Lint(output)) => {
+            print!("{output}");
+            eprintln!("droplens: lint failed");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("droplens: {e}");
             eprintln!("{USAGE}");
@@ -180,6 +187,33 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let prefix: Ipv4Prefix = prefix.parse()?;
             let asn: Asn = asn.parse()?;
             commands::validate(&roas, date, prefix, asn, all_tals)
+        }
+        Some("lint") => {
+            let mut format = commands::LintFormat::Text;
+            let mut paths: Vec<PathBuf> = Vec::new();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--format" => {
+                        format = match value(&rest, &mut i)? {
+                            "text" => commands::LintFormat::Text,
+                            "json" => commands::LintFormat::Json,
+                            other => {
+                                return Err(CliError::Usage(format!(
+                                    "--format wants text|json, got {other:?}"
+                                )))
+                            }
+                        };
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag {flag:?}")))
+                    }
+                    path => paths.push(PathBuf::from(path)),
+                }
+                i += 1;
+            }
+            commands::lint(&paths, format)
         }
         Some("perf") => {
             let Some("diff") = it.next() else {

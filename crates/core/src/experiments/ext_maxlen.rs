@@ -62,7 +62,7 @@ impl ExtMaxLen {
 
 /// Compute the maxLength surface at study end.
 pub fn compute(study: &Study) -> ExtMaxLen {
-    let date = study.config.window.last().expect("non-empty window");
+    let date = study.config.window.last_or_start();
     let mut total = 0usize;
     let mut maxlen = 0usize;
     let mut vulnerable = Vec::new();

@@ -187,6 +187,7 @@ impl fmt::Display for ExtRov {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use crate::experiments::testutil;

@@ -80,7 +80,9 @@ pub fn compute(study: &Study) -> Fig1 {
     for entry in &study.entries {
         let exclusive = entry.categories.len() == 1;
         for &cat in &entry.categories {
-            let row = rows.get_mut(&cat).expect("all categories present");
+            let Some(row) = rows.get_mut(&cat) else {
+                continue;
+            };
             if exclusive {
                 row.exclusive_prefixes += 1;
             } else {
@@ -113,7 +115,7 @@ pub fn compute(study: &Study) -> Fig1 {
     Fig1 {
         rows: Category::ALL
             .into_iter()
-            .map(|c| rows.remove(&c).expect("present"))
+            .filter_map(|c| rows.remove(&c))
             .collect(),
         total_prefixes,
         total_space,

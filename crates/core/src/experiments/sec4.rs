@@ -76,7 +76,7 @@ impl Sec4 {
 
 /// Compute the §4.1 statistics.
 pub fn compute(study: &Study) -> Sec4 {
-    let end = study.config.window.last().expect("non-empty window");
+    let end = study.config.window.last_or_start();
 
     let mut mh_total = 0;
     let mut mh_deallocated = 0;
@@ -154,6 +154,7 @@ impl fmt::Display for Sec4 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use crate::experiments::testutil;

@@ -75,7 +75,7 @@ impl Sec6 {
 
 /// Compute the §6.2 results.
 pub fn compute(study: &Study) -> Sec6 {
-    let end = study.config.window.last().expect("non-empty window");
+    let end = study.config.window.last_or_start();
 
     // Operator AS0: a production-TAL AS0 ROA covering a listed prefix,
     // created during the listing episode.
@@ -127,7 +127,9 @@ pub fn compute(study: &Study) -> Sec6 {
         }
         for peer in study.peers.iter() {
             if study.bgp.observed_by(&prefix, peer.id, end) {
-                *filterable.get_mut(&peer.id).expect("initialized above") += 1;
+                if let Some(n) = filterable.get_mut(&peer.id) {
+                    *n += 1;
+                }
             }
         }
     }
@@ -183,6 +185,7 @@ impl fmt::Display for Sec6 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use crate::experiments::testutil;

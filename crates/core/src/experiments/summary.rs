@@ -57,7 +57,7 @@ pub fn compute(study: &Study) -> Summary {
     }
     Summary {
         window_start: study.config.window.start(),
-        window_end: study.config.window.last().expect("non-empty window"),
+        window_end: study.config.window.last_or_start(),
         listings: study.entries.len(),
         unique_prefixes: study.drop.unique_prefixes().len(),
         with_records: study

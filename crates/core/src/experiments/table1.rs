@@ -90,7 +90,7 @@ impl Table1 {
 pub fn compute(study: &Study) -> Table1 {
     let tals = &Tal::PRODUCTION;
     let start = study.config.window.start();
-    let end = study.config.window.last().expect("non-empty window");
+    let end = study.config.window.last_or_start();
 
     let mut rows: BTreeMap<Rir, Table1Row> = Rir::ALL
         .into_iter()
@@ -118,7 +118,10 @@ pub fn compute(study: &Study) -> Table1 {
         if study.roa.is_signed_at(&prefix, start, tals) {
             continue; // already had a ROA at the study start
         }
-        let cell = &mut rows.get_mut(&rir).expect("present").never;
+        let Some(row) = rows.get_mut(&rir) else {
+            continue;
+        };
+        let cell = &mut row.never;
         cell.total += 1;
         if signed_between(study, &prefix, start, end) {
             cell.signed += 1;
@@ -138,7 +141,9 @@ pub fn compute(study: &Study) -> Table1 {
         if study.roa.is_signed_at(&prefix, listed, tals) {
             continue; // had a ROA when added (the paper's exclusions)
         }
-        let row = rows.get_mut(&rir).expect("present");
+        let Some(row) = rows.get_mut(&rir) else {
+            continue;
+        };
         let signed = signed_between(study, &prefix, listed, end);
         if entry.entry.was_removed() {
             row.removed.total += 1;
@@ -183,7 +188,7 @@ pub fn compute(study: &Study) -> Table1 {
 
     let rows: Vec<Table1Row> = Rir::ALL
         .into_iter()
-        .map(|r| rows.remove(&r).expect("present"))
+        .filter_map(|r| rows.remove(&r))
         .collect();
     let fold = |get: fn(&Table1Row) -> Cell| {
         rows.iter().fold(Cell::default(), |acc, r| {

@@ -26,7 +26,6 @@
 //! table/series the paper prints, so the bench harness regenerates the
 //! evaluation verbatim.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -104,7 +104,7 @@ fn timed<T>(span_prefix: Option<&str>, name: &str, f: impl FnOnce() -> T) -> T {
             // The trace span still nests automatically: the worker
             // adopted the caller's span when the join fanned out.
             let tspan = droplens_obs::trace::global().span(name, "experiment");
-            let t0 = std::time::Instant::now();
+            let t0 = droplens_obs::Stopwatch::start();
             let v = f();
             tspan.finish();
             droplens_obs::global().record_span(&format!("{prefix}/{name}"), t0.elapsed());
@@ -220,7 +220,9 @@ pub fn scorecard_with(study: &Study, results: &ExperimentResults) -> Vec<Target>
         .filter(|e| e.hijacker_asn().is_some() && !e.afrinic_incident)
         .count();
     let (one_kw, _, none_kw) = t2.distribution();
-    let last5 = fig5.points.last().expect("fig5 has samples");
+    let Some(last5) = fig5.points.last() else {
+        return Vec::new(); // degenerate: an empty study window has no samples
+    };
     let arin_unsigned_share = {
         let total: droplens_net::AddressSpace = fig5.unsigned_by_rir.iter().map(|(_, s)| *s).sum();
         fig5.unsigned_by_rir

@@ -551,6 +551,7 @@ fn mark_afrinic_incidents(entries: &mut [StudyEntry]) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use droplens_synth::WorldConfig;

@@ -12,7 +12,6 @@
 //! * [`list`] — the DROP file format and [`DropTimeline`], which diffs a
 //!   series of daily snapshots into dated add/remove entries.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod category;

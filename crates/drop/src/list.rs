@@ -14,8 +14,6 @@
 //! [`DropEntry`] listing episodes with added/removed dates — the unit of
 //! analysis for every experiment.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use std::collections::BTreeMap;
 
 use droplens_net::{find_gaps, Date, DateRange, GapSpan, Ipv4Prefix, ParseError, Quarantine};
@@ -247,6 +245,9 @@ impl DropTimeline {
     pub fn from_snapshots(snapshots: &[DropSnapshot]) -> DropTimeline {
         match Self::try_from_snapshots(snapshots) {
             Ok(timeline) => timeline,
+            // Documented invariant of this infallible wrapper; ingestion
+            // paths go through `try_from_snapshots` instead.
+            // lint: allow(no-unwrap)
             Err(e) => panic!("snapshots must be chronological: {e}"),
         }
     }
@@ -261,6 +262,10 @@ impl DropTimeline {
         for snap in snapshots {
             if let Some(&prev) = snapshot_dates.last() {
                 if prev >= snap.date {
+                    // Chronology check over already-parsed snapshots:
+                    // there is no file/line here, and the error names
+                    // the offending snapshot date instead.
+                    // lint: allow(located-errors)
                     return Err(ParseError::new(
                         "DropTimeline",
                         &snap.date.to_string(),
@@ -356,6 +361,7 @@ impl DropTimeline {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

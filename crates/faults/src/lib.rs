@@ -26,7 +26,6 @@
 //! # let _ = (mangled, log);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;

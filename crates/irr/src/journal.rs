@@ -19,8 +19,6 @@
 //! source:         RADB
 //! ```
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use droplens_net::{Date, ParseError, Quarantine};
 
 use crate::RouteObject;
@@ -169,6 +167,7 @@ pub fn parse_journal_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use droplens_net::{Asn, Ipv4Prefix};

@@ -18,7 +18,6 @@
 //!   answering "which objects covered prefix P on date D" queries through
 //!   a prefix trie.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod journal;

@@ -59,12 +59,8 @@ impl IrrRegistry {
                         removed: None,
                     });
                     live.insert(key, idx);
-                    if by_prefix.get(&e.object.prefix).is_none() {
-                        by_prefix.insert(e.object.prefix, Vec::new());
-                    }
                     by_prefix
-                        .get_mut(&e.object.prefix)
-                        .expect("just ensured")
+                        .get_or_insert_with(e.object.prefix, Vec::new)
                         .push(idx);
                 }
                 JournalOp::Del => {
@@ -141,6 +137,7 @@ impl IrrRegistry {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -1,0 +1,555 @@
+//! droplens-lint: the workspace's own invariant checker.
+//!
+//! The pipeline's two non-negotiables — byte-identical output at any
+//! `DROPLENS_THREADS`, and panic-free, located error handling in every
+//! parser — used to live in reviewers' heads. This crate makes them
+//! machine-enforced: a zero-dependency, token-level static analysis
+//! over the workspace's own sources, run as `droplens lint` locally and
+//! as a CI gate.
+//!
+//! Five rules, each scoped to the modules where its invariant bites
+//! (see [`rules_for_path`] and DESIGN.md §9):
+//!
+//! | rule | scope | bans |
+//! |------|-------|------|
+//! | `no-unwrap` | format/archive/journal/list/ingest modules | `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!` |
+//! | `ordered-output` | modules that write archives, reports, or traces | `HashMap`, `HashSet` |
+//! | `no-wallclock` | everything outside `crates/obs` | `Instant::now`, `SystemTime::now` |
+//! | `seeded-rng-only` | everywhere | `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`, `rand::random` |
+//! | `located-errors` | parser modules (format/journal/list) | `ParseError::new` with no `.with_location` on any intra-file caller path |
+//!
+//! A finding can be suppressed per line with a trailing
+//! `// lint: allow(<rule>)` comment (or one on its own line directly
+//! above). Escapes naming unknown rules are themselves reported, so a
+//! typo cannot silently disable checking.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+mod rules;
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::FileView;
+
+/// The rules droplens-lint knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `.unwrap()` / `.expect()` / `panic!` / `todo!` /
+    /// `unimplemented!` in format/archive/ingest modules.
+    NoUnwrap,
+    /// No `HashMap`/`HashSet` in modules that write archives, reports,
+    /// or trace exports.
+    OrderedOutput,
+    /// `Instant::now`/`SystemTime::now` only inside `crates/obs`.
+    NoWallclock,
+    /// No entropy-seeded RNG construction anywhere.
+    SeededRngOnly,
+    /// Every `ParseError` construction in a parser module is located.
+    LocatedErrors,
+    /// A `// lint: allow(...)` escape that names an unknown rule.
+    BadEscape,
+}
+
+impl Rule {
+    /// Every scannable rule (excludes [`Rule::BadEscape`], which is
+    /// emitted by the escape parser, not scanned for).
+    pub const ALL: [Rule; 5] = [
+        Rule::NoUnwrap,
+        Rule::OrderedOutput,
+        Rule::NoWallclock,
+        Rule::SeededRngOnly,
+        Rule::LocatedErrors,
+    ];
+
+    /// The kebab-case name used in diagnostics and escapes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::OrderedOutput => "ordered-output",
+            Rule::NoWallclock => "no-wallclock",
+            Rule::SeededRngOnly => "seeded-rng-only",
+            Rule::LocatedErrors => "located-errors",
+            Rule::BadEscape => "bad-escape",
+        }
+    }
+
+    /// Parse a rule name as written in an escape comment.
+    pub fn from_name(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+/// One finding: where, which rule, and what to do about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file, `/`-separated.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The outcome of linting a set of files.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// How many files were scanned.
+    pub files_checked: usize,
+    /// Findings suppressed by `// lint: allow(...)` escapes.
+    pub suppressed: usize,
+    /// Surviving findings, sorted by path, line, rule.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when no diagnostics survived.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render as `path:line: [rule] message` lines plus a summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                out,
+                "{}:{}: [{}] {}",
+                d.path,
+                d.line,
+                d.rule.name(),
+                d.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "droplens-lint: {} violation{} ({} suppressed) in {} file{}",
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+            self.suppressed,
+            self.files_checked,
+            if self.files_checked == 1 { "" } else { "s" },
+        );
+        out
+    }
+
+    /// Render as stable JSON (schema `droplens-lint/1`): diagnostics in
+    /// the same sorted order as [`LintReport::to_text`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"droplens-lint/1\"");
+        let _ = write!(
+            out,
+            ",\"files_checked\":{},\"violations\":{},\"suppressed\":{},\"diagnostics\":[",
+            self.files_checked,
+            self.diagnostics.len(),
+            self.suppressed,
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&d.path),
+                d.line,
+                d.rule.name(),
+                json_escape(&d.message),
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Escape `s` as the body of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Which rules apply to the file at `path` (workspace-relative).
+///
+/// Scoping is by path shape, so the same classification covers real
+/// sources and the fixture corpus:
+///
+/// * `vendor/`, `target/`, `.git/` — nothing applies;
+/// * test-ish trees (`tests/`, `benches/`, `examples/` outside a
+///   `fixtures/` dir) — only `seeded-rng-only`;
+/// * `crates/obs/` is exempt from `no-wallclock` (it owns the clock);
+/// * file-stem scopes: `no-unwrap` on format/archive/journal/list/
+///   ingest, `located-errors` on format/journal/list, `ordered-output`
+///   on the output writers (format, layout, sbltext, report,
+///   run_report, json, trace, registry, perf, paper, experiments/*).
+pub fn rules_for_path(path: &str) -> Vec<Rule> {
+    let norm = path.replace('\\', "/");
+    let comps: Vec<&str> = norm
+        .split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect();
+    let Some(file) = comps.last() else {
+        return Vec::new();
+    };
+    let Some(stem) = file.strip_suffix(".rs") else {
+        return Vec::new();
+    };
+    let has = |name: &str| comps.contains(&name);
+    if has("vendor") || has("target") || has(".git") {
+        return Vec::new();
+    }
+    let mut rules = vec![Rule::SeededRngOnly];
+    let fixture = has("fixtures");
+    if !fixture && (has("tests") || has("benches") || has("examples")) {
+        return rules;
+    }
+    if !has("obs") {
+        rules.push(Rule::NoWallclock);
+    }
+    const UNWRAP_STEMS: [&str; 5] = ["format", "archive", "journal", "list", "ingest"];
+    const LOCATED_STEMS: [&str; 3] = ["format", "journal", "list"];
+    const ORDERED_STEMS: [&str; 10] = [
+        "format",
+        "layout",
+        "sbltext",
+        "report",
+        "run_report",
+        "json",
+        "trace",
+        "registry",
+        "perf",
+        "paper",
+    ];
+    if UNWRAP_STEMS.contains(&stem) {
+        rules.push(Rule::NoUnwrap);
+    }
+    if ORDERED_STEMS.contains(&stem) || has("experiments") {
+        rules.push(Rule::OrderedOutput);
+    }
+    if LOCATED_STEMS.contains(&stem) {
+        rules.push(Rule::LocatedErrors);
+    }
+    rules.sort();
+    rules
+}
+
+/// Per-line allow-escapes parsed from `// lint: allow(a, b)` comments.
+struct Escapes {
+    /// (line, rule) pairs that are allowed.
+    allowed: BTreeSet<(u32, Rule)>,
+    /// Diagnostics for malformed escapes.
+    bad: Vec<(u32, String)>,
+}
+
+/// Parse escapes from the comment tokens. A same-line escape suppresses
+/// findings on its own line; an escape that is the only thing on its
+/// line also covers the next code line (so rustfmt-wrapped lines keep
+/// their escape). Doc comments (`///`, `//!`) never carry escapes.
+fn parse_escapes(src: &str, view: &FileView<'_>) -> Escapes {
+    let mut esc = Escapes {
+        allowed: BTreeSet::new(),
+        bad: Vec::new(),
+    };
+    for (idx, tok) in view.tokens.iter().enumerate() {
+        if tok.kind != lexer::TokenKind::LineComment {
+            continue;
+        }
+        let body = &tok.text[2..];
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comment
+        }
+        let Some(rest) = body.trim_start().strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(list) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .map(|(names, _)| names)
+        else {
+            esc.bad.push((
+                tok.line,
+                format!(
+                    "malformed lint escape {:?} — expected `lint: allow(<rule>, ...)`",
+                    body.trim()
+                ),
+            ));
+            continue;
+        };
+        let mut lines = vec![tok.line];
+        // Standalone comment: nothing but whitespace before it on its
+        // line — the escape also covers the next code line.
+        let line_start = src[..tok.start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+        if src[line_start..tok.start].chars().all(char::is_whitespace) {
+            if let Some(next) = view.tokens[idx + 1..].iter().find(|t| !t.is_trivia()) {
+                lines.push(next.line);
+            }
+        }
+        for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            match Rule::from_name(name) {
+                Some(rule) => {
+                    for &l in &lines {
+                        esc.allowed.insert((l, rule));
+                    }
+                }
+                None => esc.bad.push((
+                    tok.line,
+                    format!(
+                        "unknown rule {name:?} in lint escape (known: {})",
+                        rule_names()
+                    ),
+                )),
+            }
+        }
+    }
+    esc
+}
+
+fn rule_names() -> String {
+    Rule::ALL
+        .iter()
+        .map(|r| r.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Lint one file's source text under the rules its path selects.
+/// Returns the surviving diagnostics and the suppressed count.
+pub fn lint_source(path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+    let rules = rules_for_path(path);
+    let view = FileView::new(src);
+    let escapes = parse_escapes(src, &view);
+    let mut hits = Vec::new();
+    for &rule in &rules {
+        rules::check(rule, &view, &mut hits);
+    }
+    let mut suppressed = 0usize;
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for hit in hits {
+        if escapes.allowed.contains(&(hit.line, hit.rule)) {
+            suppressed += 1;
+            continue;
+        }
+        out.push(Diagnostic {
+            path: path.to_owned(),
+            line: hit.line,
+            rule: hit.rule,
+            message: hit.message,
+        });
+    }
+    for (line, message) in escapes.bad {
+        out.push(Diagnostic {
+            path: path.to_owned(),
+            line,
+            rule: Rule::BadEscape,
+            message,
+        });
+    }
+    out.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    (out, suppressed)
+}
+
+/// Recursively collect `.rs` files under each input, in sorted order.
+/// Directories named `target`, `vendor`, `.git`, or `fixtures` are
+/// skipped during the walk; explicitly named files are always included
+/// (that is how the CI self-test lints the fixture corpus).
+pub fn collect_rs_files(inputs: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
+    const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<Vec<_>>>()?;
+        entries.sort();
+        for entry in entries {
+            let name = entry
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if entry.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    walk(&entry, out)?;
+                }
+            } else if name.ends_with(".rs") {
+                out.push(entry);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            walk(input, &mut out)?;
+        } else {
+            out.push(input.clone());
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Lint every file in `files` (as returned by [`collect_rs_files`]).
+pub fn lint_files(files: &[PathBuf]) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for file in files {
+        let src = std::fs::read_to_string(file)?;
+        let label = file.to_string_lossy().replace('\\', "/");
+        let label = label.strip_prefix("./").unwrap_or(&label).to_owned();
+        let (diags, suppressed) = lint_source(&label, &src);
+        report.files_checked += 1;
+        report.suppressed += suppressed;
+        report.diagnostics.extend(diags);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_classification_matches_the_tree() {
+        let r = rules_for_path("crates/bgp/src/format.rs");
+        assert!(r.contains(&Rule::NoUnwrap));
+        assert!(r.contains(&Rule::OrderedOutput));
+        assert!(r.contains(&Rule::LocatedErrors));
+        assert!(r.contains(&Rule::NoWallclock));
+
+        let r = rules_for_path("crates/obs/src/trace.rs");
+        assert!(!r.contains(&Rule::NoWallclock), "obs owns the clock");
+        assert!(r.contains(&Rule::OrderedOutput));
+
+        let r = rules_for_path("crates/bgp/tests/proptests.rs");
+        assert_eq!(r, vec![Rule::SeededRngOnly]);
+
+        assert!(rules_for_path("vendor/rand/src/lib.rs").is_empty());
+        assert!(rules_for_path("crates/core/README.md").is_empty());
+
+        // Fixtures classify like sources, not like tests.
+        let r = rules_for_path("crates/lint/tests/fixtures/no_unwrap/format.rs");
+        assert!(r.contains(&Rule::NoUnwrap));
+    }
+
+    #[test]
+    fn same_line_escape_suppresses() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(no-unwrap)\n";
+        let (diags, suppressed) = lint_source("crates/x/src/format.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn standalone_escape_covers_next_line() {
+        let src = "fn f() {\n    // lint: allow(no-unwrap)\n    x.unwrap();\n}\n";
+        let (diags, suppressed) = lint_source("crates/x/src/format.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn unknown_rule_in_escape_is_reported() {
+        let src = "// lint: allow(no-unwarp)\nfn f() {}\n";
+        let (diags, _) = lint_source("crates/x/src/format.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadEscape);
+        assert!(diags[0].message.contains("no-unwarp"));
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "fn f() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::f(); Some(1).unwrap(); panic!(\"x\"); }\n}\n";
+        let (diags, _) = lint_source("crates/x/src/format.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unwrap_in_strings_and_comments_is_ignored() {
+        let src = "fn f() -> &'static str { \"call .unwrap() maybe\" } // .unwrap() here\n";
+        let (diags, _) = lint_source("crates/x/src/format.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        let (diags, _) = lint_source("crates/x/src/format.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn located_errors_accepts_the_parser_idiom() {
+        // Line-level helper returns a bare error; the loop stamps the
+        // location — the idiom every parser in the workspace uses.
+        let src = r#"
+fn parse_line(s: &str) -> Result<u32, ParseError> {
+    s.parse().map_err(|_| ParseError::new("U32", s, "bad"))
+}
+fn parse_all(text: &str) -> Result<Vec<u32>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_line(line) {
+            Ok(v) => out.push(v),
+            Err(e) => return Err(e.with_location("f.txt", i as u32 + 1)),
+        }
+    }
+    Ok(out)
+}
+"#;
+        let (diags, _) = lint_source("crates/x/src/format.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn located_errors_flags_unlocated_construction() {
+        let src = r#"
+fn parse_line(s: &str) -> Result<u32, ParseError> {
+    s.parse().map_err(|_| ParseError::new("U32", s, "bad"))
+}
+pub fn parse_all(text: &str) -> Result<Vec<u32>, ParseError> {
+    text.lines().map(parse_line).collect()
+}
+"#;
+        let (diags, _) = lint_source("crates/x/src/format.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, Rule::LocatedErrors);
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn json_report_is_stable() {
+        let report = LintReport {
+            files_checked: 2,
+            suppressed: 1,
+            diagnostics: vec![Diagnostic {
+                path: "crates/x/src/format.rs".into(),
+                line: 7,
+                rule: Rule::NoUnwrap,
+                message: "`.unwrap()` bad".into(),
+            }],
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"schema\":\"droplens-lint/1\",\"files_checked\":2,\"violations\":1,\"suppressed\":1,\"diagnostics\":[{\"path\":\"crates/x/src/format.rs\",\"line\":7,\"rule\":\"no-unwrap\",\"message\":\"`.unwrap()` bad\"}]}\n"
+        );
+    }
+}

@@ -1,0 +1,435 @@
+//! The five project-specific rules, run over the significant-token
+//! stream of one file.
+//!
+//! Every rule is a local pattern over [`lexer`] tokens — no type
+//! information, no macro expansion. That keeps the checker fast and
+//! zero-dependency, at the cost of being a *lint*, not a proof: the
+//! escape hatch (`// lint: allow(<rule>)`) exists precisely because
+//! token-level analysis sometimes needs a human override. See
+//! DESIGN.md §9 for the rule table and escape policy.
+
+use crate::lexer::{Token, TokenKind};
+use crate::Rule;
+
+/// A rule hit before escape filtering: line and message.
+pub(crate) struct Hit {
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+/// The lexed file plus the derived views every rule needs.
+pub(crate) struct FileView<'a> {
+    /// The full lossless token stream.
+    pub tokens: Vec<Token<'a>>,
+    /// Indices into `tokens` of the non-trivia tokens, in order.
+    pub sig: Vec<usize>,
+    /// Half-open ranges over `sig` positions that sit under an exact
+    /// `#[cfg(test)]` attribute (the attribute itself plus the item it
+    /// gates) or after `#![cfg(test)]`. Rules skip these.
+    inactive: Vec<(usize, usize)>,
+}
+
+impl<'a> FileView<'a> {
+    pub fn new(src: &'a str) -> FileView<'a> {
+        let tokens = crate::lexer::lex(src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_trivia())
+            .map(|(i, _)| i)
+            .collect();
+        let mut view = FileView {
+            tokens,
+            sig,
+            inactive: Vec::new(),
+        };
+        view.inactive = view.find_cfg_test_ranges();
+        view
+    }
+
+    /// The token at sig position `i`, if any.
+    fn tok(&self, i: usize) -> Option<&Token<'a>> {
+        self.sig.get(i).map(|&ti| &self.tokens[ti])
+    }
+
+    /// The text at sig position `i`, or "".
+    pub fn text(&self, i: usize) -> &'a str {
+        self.tok(i).map(|t| t.text).unwrap_or("")
+    }
+
+    /// The kind at sig position `i`.
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.tok(i).map(|t| t.kind)
+    }
+
+    /// 1-based line of sig position `i` (0 when out of range).
+    pub fn line(&self, i: usize) -> u32 {
+        self.tok(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// True when sig position `i` is inside a `#[cfg(test)]` region.
+    pub fn is_test_code(&self, i: usize) -> bool {
+        self.inactive.iter().any(|&(a, b)| a <= i && i < b)
+    }
+
+    /// Does the exact token sequence `pat` start at sig position `i`?
+    pub fn matches(&self, i: usize, pat: &[&str]) -> bool {
+        pat.iter()
+            .enumerate()
+            .all(|(k, want)| self.text(i + k) == *want)
+    }
+
+    /// Find `#[cfg(test)]`-gated regions: the attribute plus the item
+    /// it introduces (up to a top-level `;`, or through the matched
+    /// `{...}` block). Only the exact form is recognized; conditional
+    /// spellings like `#[cfg(all(test, ...))]` are not test-gated for
+    /// the linter's purposes.
+    fn find_cfg_test_ranges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sig.len() {
+            if self.matches(i, &["#", "!", "[", "cfg", "(", "test", ")", "]"]) {
+                // Inner attribute: the whole rest of the file is a test
+                // module.
+                out.push((i, self.sig.len()));
+                break;
+            }
+            if self.matches(i, &["#", "[", "cfg", "(", "test", ")", "]"]) {
+                let end = self.skip_item(i + 7);
+                out.push((i, end));
+                i = end;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// From sig position `i` (just past an attribute), skip any further
+    /// attributes and then one item: to a top-level `;`, or through the
+    /// first `{`'s matched `}`. Returns the sig position just past it.
+    fn skip_item(&self, mut i: usize) -> usize {
+        let mut depth = 0i64; // (), []
+        while i < self.sig.len() {
+            match self.text(i) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => return i + 1,
+                "{" if depth == 0 => return self.skip_braces(i),
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// From sig position `i` (an opening `{`), return the position just
+    /// past its matching `}` (or EOF).
+    pub fn skip_braces(&self, mut i: usize) -> usize {
+        debug_assert_eq!(self.text(i), "{");
+        let mut depth = 0i64;
+        while i < self.sig.len() {
+            match self.text(i) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+}
+
+/// Run `rule` over the file, appending hits.
+pub(crate) fn check(rule: Rule, view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    match rule {
+        Rule::NoUnwrap => no_unwrap(view, hits),
+        Rule::OrderedOutput => ordered_output(view, hits),
+        Rule::NoWallclock => no_wallclock(view, hits),
+        Rule::SeededRngOnly => seeded_rng_only(view, hits),
+        Rule::LocatedErrors => located_errors(view, hits),
+        // Emitted during escape parsing, never scanned for.
+        Rule::BadEscape => {}
+    }
+}
+
+/// `no-unwrap`: `.unwrap()`, `.expect(...)`, `panic!`, `todo!`,
+/// `unimplemented!` are banned in format/archive/ingest modules —
+/// parsers must return located errors, not crash the pipeline.
+fn no_unwrap(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    for i in 0..view.len() {
+        if view.is_test_code(i) || view.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        match view.text(i) {
+            m @ ("unwrap" | "expect")
+                if i > 0 && view.text(i - 1) == "." && view.text(i + 1) == "(" =>
+            {
+                hits.push(Hit {
+                    line: view.line(i),
+                    rule: Rule::NoUnwrap,
+                    message: format!(
+                        "`.{m}()` in a format/archive/ingest module — return a located error instead"
+                    ),
+                });
+            }
+            m @ ("panic" | "todo" | "unimplemented") if view.text(i + 1) == "!" => {
+                hits.push(Hit {
+                    line: view.line(i),
+                    rule: Rule::NoUnwrap,
+                    message: format!(
+                        "`{m}!` in a format/archive/ingest module — return a located error instead"
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `ordered-output`: `HashMap`/`HashSet` are banned in any module that
+/// writes archives, reports, or trace exports. Their iteration order is
+/// seeded per-process, so anything they feed into an output file can
+/// silently stop being byte-stable. Use `BTreeMap`/`BTreeSet` or sort a
+/// `Vec` explicitly.
+fn ordered_output(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    for i in 0..view.len() {
+        if view.is_test_code(i) || view.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let name = view.text(i);
+        if name == "HashMap" || name == "HashSet" {
+            hits.push(Hit {
+                line: view.line(i),
+                rule: Rule::OrderedOutput,
+                message: format!(
+                    "`{name}` in an output-writing module — iteration order is not deterministic; \
+                     use BTreeMap/BTreeSet or a sorted Vec"
+                ),
+            });
+        }
+    }
+}
+
+/// `no-wallclock`: `Instant::now`/`SystemTime::now` only inside the
+/// `obs` crate. Everything else must take time through `obs` (spans,
+/// `Stopwatch`) so output-affecting code cannot branch on the clock.
+fn no_wallclock(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    for i in 0..view.len() {
+        if view.is_test_code(i) {
+            continue;
+        }
+        let name = view.text(i);
+        if (name == "Instant" || name == "SystemTime") && view.matches(i + 1, &[":", ":", "now"]) {
+            hits.push(Hit {
+                line: view.line(i),
+                rule: Rule::NoWallclock,
+                message: format!(
+                    "`{name}::now()` outside obs — go through droplens_obs (Span/Stopwatch) instead"
+                ),
+            });
+        }
+    }
+}
+
+/// `seeded-rng-only`: entropy-seeded RNG construction is banned
+/// everywhere (the vendored `rand` test shims are outside the lint
+/// walk). Every random stream must derive from an explicit `u64` seed
+/// or the run stops being reproducible.
+fn seeded_rng_only(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    const ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+    for i in 0..view.len() {
+        if view.is_test_code(i) || view.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let name = view.text(i);
+        if ENTROPY.contains(&name) {
+            hits.push(Hit {
+                line: view.line(i),
+                rule: Rule::SeededRngOnly,
+                message: format!(
+                    "`{name}` constructs an entropy-seeded RNG — derive every RNG from an explicit seed"
+                ),
+            });
+        } else if name == "rand" && view.matches(i + 1, &[":", ":", "random"]) {
+            hits.push(Hit {
+                line: view.line(i),
+                rule: Rule::SeededRngOnly,
+                message: "`rand::random` draws from the thread RNG — derive every RNG from an \
+                          explicit seed"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// One function definition found in the file, for `located-errors`.
+struct FnDef<'a> {
+    name: &'a str,
+    /// Sig-position range of the body, half-open (`{` .. past `}`).
+    body: (usize, usize),
+    /// Sig positions of `ParseError::new` constructions in the body.
+    constructions: Vec<usize>,
+    /// Whether the body contains `.with_location(`.
+    has_with_location: bool,
+    /// Indices (into the fn table) of functions this one calls.
+    calls: Vec<usize>,
+    /// Indices of functions that call this one.
+    callers: Vec<usize>,
+}
+
+/// `located-errors`: every `ParseError::new(...)` in a parser module
+/// must end up located. A construction passes when the function it sits
+/// in attaches `.with_location(...)` somewhere, or when every intra-file
+/// caller of that function (transitively) does. This matches the parser
+/// idiom where line-level helpers return bare errors and the archive
+/// loop stamps file:line on the way out.
+fn located_errors(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    // Pass 1: find the functions and their body ranges.
+    let mut fns: Vec<FnDef<'_>> = Vec::new();
+    let mut i = 0;
+    while i < view.len() {
+        if view.text(i) == "fn"
+            && view.kind(i + 1) == Some(TokenKind::Ident)
+            && !view.is_test_code(i)
+        {
+            let name = view.text(i + 1);
+            // Find the body: the first top-level `{` before any
+            // top-level `;` (a `;` first means a bodyless declaration).
+            let mut j = i + 2;
+            let mut depth = 0i64;
+            let mut body = None;
+            while j < view.len() {
+                match view.text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "{" if depth == 0 => {
+                        body = Some((j, view.skip_braces(j)));
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                fns.push(FnDef {
+                    name,
+                    body,
+                    constructions: Vec::new(),
+                    has_with_location: false,
+                    calls: Vec::new(),
+                    callers: Vec::new(),
+                });
+                // Continue scanning *inside* the body too: nested fns.
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Innermost function containing sig position `p`.
+    let bodies: Vec<(usize, usize)> = fns.iter().map(|f| f.body).collect();
+    let owner = |p: usize| -> Option<usize> {
+        bodies
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.0 <= p && p < b.1)
+            .min_by_key(|(_, b)| b.1 - b.0)
+            .map(|(k, _)| k)
+    };
+
+    // Pass 2: constructions, with_location markers, and the intra-file
+    // call graph.
+    let mut orphans: Vec<usize> = Vec::new(); // constructions outside any fn
+    for p in 0..view.len() {
+        if view.is_test_code(p) {
+            continue;
+        }
+        if view.matches(p, &["ParseError", ":", ":", "new"]) {
+            match owner(p) {
+                Some(k) => fns[k].constructions.push(p),
+                None => orphans.push(p),
+            }
+        }
+        if view.text(p) == "with_location" && p > 0 && view.text(p - 1) == "." {
+            if let Some(k) = owner(p) {
+                fns[k].has_with_location = true;
+            }
+        }
+        if view.kind(p) == Some(TokenKind::Ident) && view.text(p + 1) == "(" && view.text(p) != "fn"
+        {
+            // A call to a function defined in this file (by name; free
+            // or method position both count).
+            if p > 0 && view.text(p - 1) == "fn" {
+                continue; // the definition itself
+            }
+            let callee_name = view.text(p);
+            if let Some(caller) = owner(p) {
+                for k in 0..fns.len() {
+                    if fns[k].name == callee_name && k != caller {
+                        fns[caller].calls.push(k);
+                        fns[k].callers.push(caller);
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 3: fixpoint. A function is "located" when it attaches a
+    // location itself, or when every one of its (at least one)
+    // intra-file callers is located.
+    let mut located: Vec<bool> = fns.iter().map(|f| f.has_with_location).collect();
+    loop {
+        let mut changed = false;
+        for k in 0..fns.len() {
+            if !located[k]
+                && !fns[k].callers.is_empty()
+                && fns[k].callers.iter().all(|&c| located[c])
+            {
+                located[k] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (k, f) in fns.iter().enumerate() {
+        if located[k] {
+            continue;
+        }
+        for &p in &f.constructions {
+            hits.push(Hit {
+                line: view.line(p),
+                rule: Rule::LocatedErrors,
+                message: format!(
+                    "ParseError constructed in `{}` without `.with_location(file, line)` on any \
+                     caller path in this file",
+                    f.name
+                ),
+            });
+        }
+    }
+    for p in orphans {
+        hits.push(Hit {
+            line: view.line(p),
+            rule: Rule::LocatedErrors,
+            message: "ParseError constructed outside any function without `.with_location(file, \
+                      line)`"
+                .to_owned(),
+        });
+    }
+}

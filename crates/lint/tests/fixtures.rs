@@ -1,0 +1,127 @@
+//! Golden-diagnostic tests over the fixture corpus.
+//!
+//! Each rule has one known-bad file (exact `(line, rule)` findings
+//! pinned below) and one allow-escaped twin that must lint clean with
+//! every finding suppressed. The corpus lives under `tests/fixtures/`,
+//! which the workspace walk skips — CI lints it explicitly as the
+//! self-test that the gate still fails on bad code.
+
+use std::path::{Path, PathBuf};
+
+use droplens_lint::{collect_rs_files, lint_files, lint_source, Rule};
+
+/// Absolute path of the fixture corpus.
+fn corpus() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint one fixture by its corpus-relative path, labeling it with the
+/// workspace-relative path so `rules_for_path` classifies it the same
+/// way the CLI does.
+fn lint_fixture(rel: &str) -> (Vec<(u32, Rule)>, usize) {
+    let file = corpus().join(rel);
+    let src = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("cannot read fixture {}: {e}", file.display()));
+    let label = format!("crates/lint/tests/fixtures/{rel}");
+    let (diags, suppressed) = lint_source(&label, &src);
+    (diags.iter().map(|d| (d.line, d.rule)).collect(), suppressed)
+}
+
+#[test]
+fn no_unwrap_goldens() {
+    let (found, _) = lint_fixture("no_unwrap/bad/archive.rs");
+    assert_eq!(
+        found,
+        vec![
+            (6, Rule::NoUnwrap),  // .unwrap()
+            (7, Rule::NoUnwrap),  // .expect()
+            (9, Rule::NoUnwrap),  // panic!
+            (15, Rule::NoUnwrap), // todo!
+        ]
+    );
+    let (found, suppressed) = lint_fixture("no_unwrap/allowed/archive.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 4);
+}
+
+#[test]
+fn ordered_output_goldens() {
+    let (found, _) = lint_fixture("ordered_output/bad/report.rs");
+    assert_eq!(
+        found,
+        vec![
+            (4, Rule::OrderedOutput),  // use HashMap
+            (6, Rule::OrderedOutput),  // HashMap in signature
+            (15, Rule::OrderedOutput), // HashSet
+        ]
+    );
+    let (found, suppressed) = lint_fixture("ordered_output/allowed/report.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 3);
+}
+
+#[test]
+fn no_wallclock_goldens() {
+    let (found, _) = lint_fixture("no_wallclock/bad/pipeline.rs");
+    assert_eq!(
+        found,
+        vec![
+            (7, Rule::NoWallclock),  // Instant::now()
+            (13, Rule::NoWallclock), // SystemTime::now()
+        ]
+    );
+    let (found, suppressed) = lint_fixture("no_wallclock/allowed/pipeline.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
+fn seeded_rng_only_goldens() {
+    let (found, _) = lint_fixture("seeded_rng_only/bad/sampler.rs");
+    assert_eq!(
+        found,
+        vec![
+            (8, Rule::SeededRngOnly),  // thread_rng
+            (13, Rule::SeededRngOnly), // from_entropy
+            (18, Rule::SeededRngOnly), // rand::random
+        ]
+    );
+    let (found, suppressed) = lint_fixture("seeded_rng_only/allowed/sampler.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 3);
+}
+
+#[test]
+fn located_errors_goldens() {
+    let (found, _) = lint_fixture("located_errors/bad/journal.rs");
+    assert_eq!(found, vec![(7, Rule::LocatedErrors)]);
+    let (found, suppressed) = lint_fixture("located_errors/allowed/journal.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn bad_escape_goldens() {
+    let (found, _) = lint_fixture("bad_escape/bad/escape.rs");
+    assert_eq!(
+        found,
+        vec![
+            (4, Rule::BadEscape), // unknown rule name
+            (7, Rule::BadEscape), // a deny verb is not an escape
+        ]
+    );
+}
+
+/// The CI self-test contract: linting the corpus as a whole (explicit
+/// path, so the `fixtures` walk-skip does not apply) must fail, and the
+/// totals must match the sum of the per-file goldens above.
+#[test]
+fn corpus_as_a_whole_fails() {
+    let files = collect_rs_files(&[corpus()]).expect("walk fixtures");
+    assert_eq!(files.len(), 11, "{files:?}");
+    let report = lint_files(&files).expect("lint fixtures");
+    assert!(!report.is_clean());
+    assert_eq!(report.files_checked, 11);
+    assert_eq!(report.diagnostics.len(), 15);
+    assert_eq!(report.suppressed, 13);
+}

@@ -1,0 +1,13 @@
+//! Fixture: the same unlocated construction, escaped (say, a document-
+//! level error where no single line is at fault).
+
+use droplens_net::ParseError;
+
+fn parse_line(s: &str) -> Result<u32, ParseError> {
+    // lint: allow(located-errors)
+    s.parse().map_err(|_| ParseError::new("U32", s, "bad value"))
+}
+
+pub fn parse_all(text: &str) -> Result<Vec<u32>, ParseError> {
+    text.lines().map(parse_line).collect()
+}

@@ -1,0 +1,12 @@
+//! Fixture: a journal parser that constructs `ParseError` in a helper
+//! whose callers never stamp a file/line location on the error.
+
+use droplens_net::ParseError;
+
+fn parse_line(s: &str) -> Result<u32, ParseError> {
+    s.parse().map_err(|_| ParseError::new("U32", s, "bad value"))
+}
+
+pub fn parse_all(text: &str) -> Result<Vec<u32>, ParseError> {
+    text.lines().map(parse_line).collect()
+}

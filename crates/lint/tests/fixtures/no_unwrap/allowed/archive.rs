@@ -1,0 +1,18 @@
+//! Fixture: the same panicking loader as `bad/archive.rs`, with every
+//! finding suppressed by a `lint: allow` escape — both the trailing and
+//! the standalone-line forms.
+
+pub fn load(bytes: &[u8]) -> u32 {
+    let s = std::str::from_utf8(bytes).unwrap(); // lint: allow(no-unwrap)
+    let n: u32 = s.trim().parse().expect("a record count"); // lint: allow(no-unwrap)
+    if n == 0 {
+        // lint: allow(no-unwrap)
+        panic!("zero records");
+    }
+    n
+}
+
+pub fn save(_records: &[u32]) -> Vec<u8> {
+    // lint: allow(no-unwrap)
+    todo!("serialization")
+}

@@ -1,0 +1,16 @@
+//! Fixture: an archive loader that panics on malformed input instead of
+//! returning located errors. Every panicking construct the rule knows
+//! appears once, so the golden test pins one diagnostic per line.
+
+pub fn load(bytes: &[u8]) -> u32 {
+    let s = std::str::from_utf8(bytes).unwrap();
+    let n: u32 = s.trim().parse().expect("a record count");
+    if n == 0 {
+        panic!("zero records");
+    }
+    n
+}
+
+pub fn save(_records: &[u32]) -> Vec<u8> {
+    todo!("serialization")
+}

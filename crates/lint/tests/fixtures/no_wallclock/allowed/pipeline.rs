@@ -1,0 +1,15 @@
+//! Fixture: direct clock reads with escapes (say, a module that is
+//! itself the sanctioned timing layer of some subtree).
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn stage() -> Duration {
+    let t0 = Instant::now(); // lint: allow(no-wallclock)
+    std::hint::black_box(());
+    t0.elapsed()
+}
+
+pub fn stamp() -> SystemTime {
+    // lint: allow(no-wallclock)
+    SystemTime::now()
+}

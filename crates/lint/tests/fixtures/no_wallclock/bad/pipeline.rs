@@ -1,0 +1,14 @@
+//! Fixture: a pipeline stage reading the wall clock directly instead of
+//! going through `droplens_obs` — timings escape the run report.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn stage() -> Duration {
+    let t0 = Instant::now();
+    std::hint::black_box(());
+    t0.elapsed()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,20 @@
+//! Fixture: hash containers in an output path, each use justified with
+//! an escape (e.g. the iteration order is re-sorted before rendering).
+
+use std::collections::HashMap; // lint: allow(ordered-output)
+
+pub fn render(counts: &HashMap<String, u64>) -> String { // lint: allow(ordered-output)
+    let mut rows: Vec<(&String, &u64)> = counts.iter().collect();
+    rows.sort();
+    let mut out = String::new();
+    for (name, n) in rows {
+        out.push_str(&format!("{name}: {n}\n"));
+    }
+    out
+}
+
+pub fn distinct(names: &[String]) -> usize {
+    // lint: allow(ordered-output)
+    let set: std::collections::HashSet<&str> = names.iter().map(|s| s.as_str()).collect();
+    set.len()
+}

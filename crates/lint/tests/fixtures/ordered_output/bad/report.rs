@@ -1,0 +1,17 @@
+//! Fixture: a report writer that iterates hash containers — output
+//! order then depends on the hasher, breaking byte-identical runs.
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, n) in counts {
+        out.push_str(&format!("{name}: {n}\n"));
+    }
+    out
+}
+
+pub fn distinct(names: &[String]) -> usize {
+    let set: std::collections::HashSet<&str> = names.iter().map(|s| s.as_str()).collect();
+    set.len()
+}

@@ -1,0 +1,20 @@
+//! Fixture: entropy-seeded RNG construction behind escapes (say, a
+//! one-off tool that genuinely wants fresh entropy).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng(); // lint: allow(seeded-rng-only)
+    rng.gen()
+}
+
+pub fn draw_seeded_badly() -> u64 {
+    // lint: allow(seeded-rng-only)
+    let mut rng = StdRng::from_entropy();
+    rng.gen()
+}
+
+pub fn draw_inline() -> u64 {
+    rand::random() // lint: allow(seeded-rng-only)
+}

@@ -1,0 +1,19 @@
+//! Fixture: entropy-seeded RNG construction — every run draws a
+//! different world, so nothing reproduces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn draw_seeded_badly() -> u64 {
+    let mut rng = StdRng::from_entropy();
+    rng.gen()
+}
+
+pub fn draw_inline() -> u64 {
+    rand::random()
+}

@@ -158,9 +158,10 @@ impl Date {
         if s.len() != 8 || !s.bytes().all(|b| b.is_ascii_digit()) {
             return Err(ParseError::new("Date", s, "expected YYYYMMDD"));
         }
-        let y: i32 = s[0..4].parse().unwrap();
-        let m: u32 = s[4..6].parse().unwrap();
-        let d: u32 = s[6..8].parse().unwrap();
+        let digits = |_| ParseError::new("Date", s, "expected YYYYMMDD");
+        let y: i32 = s[0..4].parse().map_err(digits)?;
+        let m: u32 = s[4..6].parse().map_err(digits)?;
+        let d: u32 = s[6..8].parse().map_err(digits)?;
         Date::try_from_ymd(y, m, d)
             .ok_or_else(|| ParseError::new("Date", s, "no such calendar day"))
     }
@@ -291,6 +292,14 @@ impl DateRange {
         (!self.is_empty()).then(|| self.end - 1)
     }
 
+    /// Total version of [`DateRange::last`]: the last day of the range,
+    /// or `start` itself when the range is empty. Analyses use this for
+    /// a representative "end of window" day without threading the
+    /// degenerate empty-window case through every computation.
+    pub fn last_or_start(&self) -> Date {
+        self.last().unwrap_or(self.start)
+    }
+
     /// Number of days in the range.
     pub fn len(&self) -> usize {
         (self.end - self.start).max(0) as usize
@@ -358,6 +367,7 @@ fn civil_from_days(z: i32) -> (i32, u32, u32) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -24,7 +24,6 @@
 //! no global state, and deterministic `Ord` implementations so that every
 //! downstream report is reproducible byte-for-byte.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod asn;

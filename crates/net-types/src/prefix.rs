@@ -26,7 +26,11 @@ impl Ipv4Prefix {
     /// Construct from a network address and prefix length, zeroing any set
     /// host bits. Panics if `len > 32` (use [`Ipv4Prefix::try_new`]).
     pub fn new(addr: Ipv4Addr, len: u8) -> Ipv4Prefix {
-        Self::try_new(addr, len).expect("prefix length must be <= 32")
+        assert!(len <= 32, "prefix length must be <= 32");
+        Ipv4Prefix {
+            addr: u32::from(addr) & mask(len),
+            len,
+        }
     }
 
     /// Fallible construction; returns `None` when `len > 32`.
@@ -247,6 +251,7 @@ impl FromStr for Ipv4Prefix {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -99,10 +99,14 @@ impl PrefixSet {
         // Insert and aggregate upward while our sibling is present.
         let mut cur = p;
         loop {
-            match cur.sibling() {
-                Some(sib) if self.entries.get(&sib.network_u32()) == Some(&sib.len()) => {
+            // A prefix with a sibling also has a parent (len > 0), so the
+            // chain only ends when aggregation stops or /0 is reached.
+            match (cur.sibling(), cur.parent()) {
+                (Some(sib), Some(parent))
+                    if self.entries.get(&sib.network_u32()) == Some(&sib.len()) =>
+                {
                     self.entries.remove(&sib.network_u32());
-                    cur = cur.parent().expect("sibling implies parent");
+                    cur = parent;
                 }
                 _ => break,
             }
@@ -125,9 +129,13 @@ impl PrefixSet {
                 // toward p, keeping the sibling of each step.
                 let mut cur = p;
                 while cur != e {
-                    let sib = cur.sibling().expect("cur longer than e");
+                    // cur is strictly longer than e here, so both the
+                    // sibling and the parent exist until cur reaches e.
+                    let (Some(sib), Some(parent)) = (cur.sibling(), cur.parent()) else {
+                        break;
+                    };
                     self.entries.insert(sib.network_u32(), sib.len());
-                    cur = cur.parent().expect("cur longer than e");
+                    cur = parent;
                 }
             }
             // If p covers e, dropping e is all that's needed.
@@ -219,6 +227,7 @@ impl Extend<Ipv4Prefix> for PrefixSet {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -122,6 +122,7 @@ impl fmt::Display for AddressSpace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -119,25 +119,27 @@ impl<V> PrefixTrie<V> {
 
         if common == prefix.len() {
             // node.prefix strictly extends prefix: new node becomes parent.
-            let old = slot.take().unwrap();
-            let mut new_parent = Node::new(prefix, Some(value));
-            let idx = new_parent.slot(&old.prefix);
-            new_parent.children[idx] = Some(old);
-            *slot = Some(new_parent);
+            if let Some(old) = slot.take() {
+                let mut new_parent = Node::new(prefix, Some(value));
+                let idx = new_parent.slot(&old.prefix);
+                new_parent.children[idx] = Some(old);
+                *slot = Some(new_parent);
+            }
             return None;
         }
 
         // Diverge below both: create a structural branch at the common
         // prefix with the two nodes as children.
-        let old = slot.take().unwrap();
-        let branch_prefix = prefix.truncate(common);
-        let mut branch = Node::new(branch_prefix, None);
-        let old_idx = branch.slot(&old.prefix);
-        let new_idx = branch.slot(&prefix);
-        debug_assert_ne!(old_idx, new_idx);
-        branch.children[old_idx] = Some(old);
-        branch.children[new_idx] = Some(Node::new(prefix, Some(value)));
-        *slot = Some(branch);
+        if let Some(old) = slot.take() {
+            let branch_prefix = prefix.truncate(common);
+            let mut branch = Node::new(branch_prefix, None);
+            let old_idx = branch.slot(&old.prefix);
+            let new_idx = branch.slot(&prefix);
+            debug_assert_ne!(old_idx, new_idx);
+            branch.children[old_idx] = Some(old);
+            branch.children[new_idx] = Some(Node::new(prefix, Some(value)));
+            *slot = Some(branch);
+        }
         None
     }
 
@@ -188,52 +190,55 @@ impl<V> PrefixTrie<V> {
                 }
             }
         };
+        // Every arm funnels through `Option::get_or_insert_with` /
+        // `Option::insert` rather than unwrapping the slot it just
+        // matched or filled — the fallback closures are dead when the
+        // invariants hold and keep the walk panic-free if they ever
+        // don't.
         match step {
             Step::Empty => {
                 *inserted = true;
-                *slot = Some(Node::new(prefix, Some(default())));
-                slot.as_deref_mut().unwrap().value.as_mut().unwrap()
+                slot.insert(Node::new(prefix, None))
+                    .value
+                    .get_or_insert_with(default)
             }
             Step::Here => {
-                let node = slot.as_deref_mut().unwrap();
+                let node = slot.get_or_insert_with(|| Node::new(prefix, None));
                 if node.value.is_none() {
                     *inserted = true;
-                    node.value = Some(default());
                 }
-                node.value.as_mut().unwrap()
+                node.value.get_or_insert_with(default)
             }
             Step::Descend(idx) => {
-                let node = slot.as_deref_mut().unwrap();
+                let node = slot.get_or_insert_with(|| Node::new(prefix, None));
                 Self::get_or_insert_at(&mut node.children[idx], prefix, default, inserted)
             }
             Step::NewParent => {
                 // node.prefix strictly extends prefix: new node becomes parent.
                 *inserted = true;
-                let old = slot.take().unwrap();
-                let mut new_parent = Node::new(prefix, Some(default()));
-                let idx = new_parent.slot(&old.prefix);
-                new_parent.children[idx] = Some(old);
-                *slot = Some(new_parent);
-                slot.as_deref_mut().unwrap().value.as_mut().unwrap()
+                let mut new_parent = Node::new(prefix, None);
+                if let Some(old) = slot.take() {
+                    let idx = new_parent.slot(&old.prefix);
+                    new_parent.children[idx] = Some(old);
+                }
+                slot.insert(new_parent).value.get_or_insert_with(default)
             }
             Step::Branch(common) => {
                 // Diverge below both: structural branch at the common prefix.
                 *inserted = true;
-                let old = slot.take().unwrap();
                 let branch_prefix = prefix.truncate(common);
                 let mut branch = Node::new(branch_prefix, None);
-                let old_idx = branch.slot(&old.prefix);
                 let new_idx = branch.slot(&prefix);
-                debug_assert_ne!(old_idx, new_idx);
-                branch.children[old_idx] = Some(old);
-                branch.children[new_idx] = Some(Node::new(prefix, Some(default())));
-                *slot = Some(branch);
-                slot.as_deref_mut().unwrap().children[new_idx]
-                    .as_deref_mut()
-                    .unwrap()
+                if let Some(old) = slot.take() {
+                    let old_idx = branch.slot(&old.prefix);
+                    debug_assert_ne!(old_idx, new_idx);
+                    branch.children[old_idx] = Some(old);
+                }
+                branch.children[new_idx] = Some(Node::new(prefix, None));
+                slot.insert(branch).children[new_idx]
+                    .get_or_insert_with(|| Node::new(prefix, None))
                     .value
-                    .as_mut()
-                    .unwrap()
+                    .get_or_insert_with(default)
             }
         }
     }
@@ -317,12 +322,9 @@ impl<V> PrefixTrie<V> {
         match child_count {
             0 => *slot = None,
             1 => {
-                let child = node
-                    .children
-                    .iter_mut()
-                    .find_map(|c| c.take())
-                    .expect("one child exists");
-                *slot = Some(child);
+                if let Some(child) = node.children.iter_mut().find_map(|c| c.take()) {
+                    *slot = Some(child);
+                }
             }
             _ => {}
         }
@@ -525,6 +527,7 @@ impl<'a, V> Iterator for IterMut<'a, V> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

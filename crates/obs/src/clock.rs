@@ -1,0 +1,50 @@
+//! The workspace's only sanctioned clock.
+//!
+//! `droplens lint`'s `no-wallclock` rule bans `Instant::now` /
+//! `SystemTime::now` outside this crate, so that output-affecting code
+//! can never branch on the time of day. Code that legitimately needs a
+//! duration — queue-wait measurement in `droplens-par`, experiment
+//! timing in `droplens-core` — takes it through a [`Stopwatch`], which
+//! keeps the clock read here and hands out only elapsed durations.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic stopwatch. `Copy`, so it can be captured by the
+/// many closures of a fork-join fan-out and read on any worker.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed().as_nanos() as u64 >= a);
+    }
+}

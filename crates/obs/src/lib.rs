@@ -28,9 +28,9 @@
 //! assert_eq!(report.spans["parse"].count, 1);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod json;
 pub mod metrics;
 pub mod registry;
@@ -39,6 +39,7 @@ pub mod run_report;
 pub mod span;
 pub mod trace;
 
+pub use clock::Stopwatch;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{global, ErrorLog, Registry, SpanStat, ERROR_SAMPLES_KEPT};
 pub use run_report::{RunReport, SpanRollup};

@@ -1,7 +1,7 @@
 //! The metric registry: named handles plus snapshotting.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::run_report::RunReport;
@@ -67,23 +67,19 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.inner.counters.lock().expect("counter map poisoned");
+        let mut map = lock(&self.inner.counters);
         map.entry(name.to_owned()).or_default().clone()
     }
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.inner.gauges.lock().expect("gauge map poisoned");
+        let mut map = lock(&self.inner.gauges);
         map.entry(name.to_owned()).or_default().clone()
     }
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self
-            .inner
-            .histograms
-            .lock()
-            .expect("histogram map poisoned");
+        let mut map = lock(&self.inner.histograms);
         map.entry(name.to_owned()).or_default().clone()
     }
 
@@ -107,7 +103,7 @@ impl Registry {
     /// unrecorded ancestors reliably.
     pub fn record_span(&self, path: &str, duration: std::time::Duration) {
         let path = normalize_span_path(path);
-        let mut map = self.inner.spans.lock().expect("span map poisoned");
+        let mut map = lock(&self.inner.spans);
         let stat = map.entry(path).or_default();
         stat.count += 1;
         stat.total_ns = stat
@@ -118,7 +114,7 @@ impl Registry {
     /// Record one error for `source`, retaining the first
     /// [`ERROR_SAMPLES_KEPT`] sample messages.
     pub fn error_sample(&self, source: &str, message: impl Into<String>) {
-        let mut map = self.inner.errors.lock().expect("error map poisoned");
+        let mut map = lock(&self.inner.errors);
         let log = map.entry(source.to_owned()).or_default();
         log.seen += 1;
         if log.samples.len() < ERROR_SAMPLES_KEPT {
@@ -130,65 +126,41 @@ impl Registry {
     pub fn report(&self) -> RunReport {
         RunReport {
             meta: BTreeMap::new(),
-            counters: self
-                .inner
-                .counters
-                .lock()
-                .expect("counter map poisoned")
+            counters: lock(&self.inner.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.value()))
                 .collect(),
-            gauges: self
-                .inner
-                .gauges
-                .lock()
-                .expect("gauge map poisoned")
+            gauges: lock(&self.inner.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.value()))
                 .collect(),
-            histograms: self
-                .inner
-                .histograms
-                .lock()
-                .expect("histogram map poisoned")
+            histograms: lock(&self.inner.histograms)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.summary()))
                 .collect(),
-            spans: self.inner.spans.lock().expect("span map poisoned").clone(),
-            errors: self
-                .inner
-                .errors
-                .lock()
-                .expect("error map poisoned")
-                .clone(),
+            spans: lock(&self.inner.spans).clone(),
+            errors: lock(&self.inner.errors).clone(),
         }
     }
 
     /// Discard every metric (new handles required afterwards: handles
     /// resolved before the reset keep feeding their detached atomics).
     pub fn reset(&self) {
-        self.inner
-            .counters
-            .lock()
-            .expect("counter map poisoned")
-            .clear();
-        self.inner
-            .gauges
-            .lock()
-            .expect("gauge map poisoned")
-            .clear();
-        self.inner
-            .histograms
-            .lock()
-            .expect("histogram map poisoned")
-            .clear();
-        self.inner.spans.lock().expect("span map poisoned").clear();
-        self.inner
-            .errors
-            .lock()
-            .expect("error map poisoned")
-            .clear();
+        lock(&self.inner.counters).clear();
+        lock(&self.inner.gauges).clear();
+        lock(&self.inner.histograms).clear();
+        lock(&self.inner.spans).clear();
+        lock(&self.inner.errors).clear();
     }
+}
+
+/// Lock `m`, continuing with the data even if another thread panicked
+/// while holding the guard. Every critical section here leaves the map
+/// structurally valid (entry insertion, clone, clear), and the
+/// instrumentation layer must never turn one panicking worker into a
+/// cascade across every thread that touches a metric.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Collapse empty path segments (`a//b`, `/a/b/` → `a/b`) so explicit

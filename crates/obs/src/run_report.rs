@@ -183,7 +183,9 @@ impl RunReport {
                 })
                 .map(|(_, c)| c.rollup_ns)
                 .sum();
-            out.get_mut(path).expect("path present").rollup_ns = sum;
+            if let Some(r) = out.get_mut(path) {
+                r.rollup_ns = sum;
+            }
         }
         out
     }
@@ -339,6 +341,7 @@ impl RunReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

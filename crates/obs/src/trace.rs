@@ -287,25 +287,20 @@ impl Tracer {
     fn register_thread(&self) -> u64 {
         LOCAL_BUF.with(|cell| {
             let mut cell = cell.borrow_mut();
-            let reuse = matches!(
-                &*cell,
-                Some(buf) if Arc::ptr_eq(&buf.tracer, &self.inner)
-            );
-            if !reuse {
-                let tid = self.inner.next_tid.fetch_add(1, Ordering::Relaxed);
-                let shard: Shard = Arc::new(Mutex::new(Vec::with_capacity(256)));
-                self.inner
-                    .shards
-                    .lock()
-                    .expect("shard list poisoned")
-                    .push(Arc::clone(&shard));
-                *cell = Some(LocalBuf {
-                    tracer: Arc::clone(&self.inner),
-                    tid,
-                    shard,
-                });
+            if let Some(buf) = cell.as_ref() {
+                if Arc::ptr_eq(&buf.tracer, &self.inner) {
+                    return buf.tid;
+                }
             }
-            cell.as_ref().expect("buffer just installed").tid
+            let tid = self.inner.next_tid.fetch_add(1, Ordering::Relaxed);
+            let shard: Shard = Arc::new(Mutex::new(Vec::with_capacity(256)));
+            crate::registry::lock(&self.inner.shards).push(Arc::clone(&shard));
+            *cell = Some(LocalBuf {
+                tracer: Arc::clone(&self.inner),
+                tid,
+                shard,
+            });
+            tid
         })
     }
 
@@ -316,9 +311,10 @@ impl Tracer {
         let tid = self.register_thread();
         LOCAL_BUF.with(|cell| {
             let cell = cell.borrow();
-            let buf = cell.as_ref().expect("buffer just registered");
-            event.tid = tid;
-            buf.shard.lock().expect("trace shard poisoned").push(event);
+            if let Some(buf) = cell.as_ref() {
+                event.tid = tid;
+                crate::registry::lock(&buf.shard).push(event);
+            }
         });
     }
 
@@ -326,15 +322,10 @@ impl Tracer {
     /// Safe to call while workers are gone or idle; events pushed after
     /// the drain accumulate toward the next one.
     pub fn drain(&self) -> Trace {
-        let shards: Vec<Shard> = self
-            .inner
-            .shards
-            .lock()
-            .expect("shard list poisoned")
-            .clone();
+        let shards: Vec<Shard> = crate::registry::lock(&self.inner.shards).clone();
         let mut events = Vec::new();
         for shard in shards {
-            events.append(&mut shard.lock().expect("trace shard poisoned"));
+            events.append(&mut crate::registry::lock(&shard));
         }
         events.sort_by_key(|e| (e.ts_ns, e.id));
         Trace { events }
@@ -660,6 +651,7 @@ fn duration_bucket(ns: u64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

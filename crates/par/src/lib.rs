@@ -43,9 +43,8 @@
 use std::num::NonZeroUsize;
 use std::panic::resume_unwind;
 use std::thread;
-use std::time::Instant;
 
-use droplens_obs::trace;
+use droplens_obs::{trace, Stopwatch};
 
 /// A boxed heterogeneous task for [`par_join`].
 pub type Task<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
@@ -88,7 +87,7 @@ pub fn par_map_with<T: Sync, R: Send>(
     let chunk = items.len().div_ceil(workers);
     let tracer = trace::global();
     let parent = tracer.current();
-    let queued = Instant::now();
+    let queued = Stopwatch::start();
     let f = &f;
     let chunks: Vec<Vec<R>> = thread::scope(|s| {
         let handles: Vec<_> = items
@@ -128,7 +127,7 @@ pub fn par_for_each_mut_with<T: Send>(workers: usize, items: &mut [T], f: impl F
     let chunk = items.len().div_ceil(workers);
     let tracer = trace::global();
     let parent = tracer.current();
-    let queued = Instant::now();
+    let queued = Stopwatch::start();
     let f = &f;
     thread::scope(|s| {
         let handles: Vec<_> = items
@@ -252,7 +251,7 @@ pub fn par_join_with<R: Send>(workers: usize, tasks: Vec<Task<'_, R>>) -> Vec<R>
     batches.push(rest);
     let tracer = trace::global();
     let parent = tracer.current();
-    let queued = Instant::now();
+    let queued = Stopwatch::start();
     let results: Vec<Vec<R>> = thread::scope(|s| {
         let handles: Vec<_> = batches
             .into_iter()
@@ -272,12 +271,9 @@ pub fn par_join_with<R: Send>(workers: usize, tasks: Vec<Task<'_, R>>) -> Vec<R>
 /// Open the per-chunk `task` trace span on the worker: linked under the
 /// calling thread's span, stamped with the spawn-to-start queue wait.
 /// A no-op guard when tracing is disabled.
-fn task_span(tracer: &trace::Tracer, parent: u64, queued: Instant) -> trace::TraceGuard {
+fn task_span(tracer: &trace::Tracer, parent: u64, queued: Stopwatch) -> trace::TraceGuard {
     let mut span = tracer.span_under(parent, "task", "par");
-    span.arg_u64(
-        "queue_wait_ns",
-        u64::try_from(queued.elapsed().as_nanos()).unwrap_or(u64::MAX),
-    );
+    span.arg_u64("queue_wait_ns", queued.elapsed_ns());
     span
 }
 

@@ -1,7 +1,5 @@
 //! Temporal allocation database over stats-file snapshots.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use std::collections::BTreeMap;
 
 use droplens_net::{AddressSpace, Date, Ipv4Prefix, ParseError, PrefixTrie};
@@ -78,6 +76,9 @@ impl RirStatsArchive {
     /// order; panics otherwise (archives are built by one writer).
     pub fn add_snapshot(&mut self, date: Date, files: &[StatsFile]) {
         if let Err(e) = self.try_add_snapshot(date, files) {
+            // Documented invariant of this infallible wrapper; ingestion
+            // paths go through `try_add_snapshot` instead.
+            // lint: allow(no-unwrap)
             panic!("snapshots must be added in chronological order: {e}");
         }
     }
@@ -245,6 +246,7 @@ impl RirStatsArchive {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use crate::DelegationRecord;

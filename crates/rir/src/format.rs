@@ -12,8 +12,6 @@
 //! `ipv6` rows and summary lines are tolerated and skipped on parse, and
 //! a correct summary line is emitted on write.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use std::fmt::Write as _;
 use std::net::Ipv4Addr;
 
@@ -140,7 +138,8 @@ pub fn parse_stats_file(text: &str) -> Result<StatsFile, ParseError> {
     match parse_stats_file_with(text, &mut quarantine)? {
         Some(file) => Ok(file),
         // Unreachable in strict mode — the structural error propagates.
-        None => Err(ParseError::new("StatsFile", "", "missing version line")),
+        None => Err(ParseError::new("StatsFile", "", "missing version line")
+            .with_location(quarantine.source(), 1)),
     }
 }
 
@@ -300,6 +299,7 @@ pub fn repair_flickers(snapshots: &mut [(Date, Vec<StatsFile>)], partial: &[bool
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

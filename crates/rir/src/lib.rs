@@ -15,7 +15,6 @@
 //!   longest-match "status of prefix P on day D" queries, deallocation
 //!   detection, and free-pool accounting.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod archive;

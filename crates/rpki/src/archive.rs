@@ -1,7 +1,5 @@
 //! Temporal ROA archive.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use std::collections::BTreeMap;
 
 use droplens_net::{Asn, Date, Ipv4Prefix, PrefixTrie};
@@ -167,6 +165,7 @@ impl RoaArchive {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
 

@@ -12,8 +12,6 @@
 //! 2021-06-16,DEL,lacnic,AS263692,132.255.0.0/22,
 //! ```
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
-
 use droplens_net::{Asn, Date, ParseError, Quarantine};
 
 use crate::{Roa, Tal};
@@ -167,6 +165,7 @@ pub fn parse_events_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use droplens_net::Ipv4Prefix;

@@ -16,7 +16,6 @@
 //!   signing-date, and ROA-ASN-history queries.
 //! * [`mod@format`] — the CSV journal format used by the synthetic archives.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod archive;

@@ -34,7 +34,9 @@ impl BlockAllocator {
     /// prefixes so the bulk allocator cannot hand them out). Returns
     /// `false` if the space was already taken.
     pub fn reserve(&mut self, rir: Rir, prefix: Ipv4Prefix) -> bool {
-        let set = self.free.get_mut(&rir).expect("all RIRs present");
+        let Some(set) = self.free.get_mut(&rir) else {
+            return false;
+        };
         if !set.contains_prefix(&prefix) {
             return false;
         }
@@ -45,7 +47,7 @@ impl BlockAllocator {
     /// Allocate the first available aligned block of length `len` from
     /// `rir`'s pool.
     pub fn allocate(&mut self, rir: Rir, len: u8) -> Option<Ipv4Prefix> {
-        let set = self.free.get_mut(&rir).expect("all RIRs present");
+        let set = self.free.get_mut(&rir)?;
         // First-fit: the canonical iteration is in address order; a free
         // prefix of length <= len contains an aligned block at its start.
         let candidate = set.iter().find(|p| p.len() <= len)?;
@@ -96,6 +98,7 @@ pub fn plan_slash8s(rir: Rir) -> &'static [u8] {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {
     use super::*;
     use droplens_net::AddressSpace;

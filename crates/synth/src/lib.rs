@@ -27,7 +27,6 @@
 //!   pipeline against what the generator actually did.
 //! * [`TextArchives`] — the datasets serialized into their wire formats.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod alloc;

@@ -367,7 +367,7 @@ impl Builder {
     /// pattern; the /22 and three of the six get DROP-listed on the
     /// paper's date, 2022-03-04.
     fn gen_case_study(&mut self) {
-        let case: Ipv4Prefix = "132.255.0.0/22".parse().unwrap();
+        let case: Ipv4Prefix = lit_prefix("132.255.0.0/22");
         let pattern: Vec<Ipv4Prefix> = [
             "187.19.64.0/20",
             "187.110.192.0/20",
@@ -377,7 +377,7 @@ impl Builder {
             "200.202.80.0/20",
         ]
         .iter()
-        .map(|s| s.parse().unwrap())
+        .map(|s| lit_prefix(s))
         .collect();
 
         // The victim: a Peruvian network with one RPKI-signed prefix.
@@ -480,7 +480,7 @@ impl Builder {
     /// (45.65.112.0/22: listed 2020-01-28, AS0-signed 2021-05-05, removed
     /// 2021-06-16).
     fn gen_operator_as0(&mut self) {
-        let p: Ipv4Prefix = "45.65.112.0/22".parse().unwrap();
+        let p: Ipv4Prefix = lit_prefix("45.65.112.0/22");
         self.allocate_specific(
             Rir::Lacnic,
             p,
@@ -1041,11 +1041,9 @@ impl Builder {
                     // happens (dropping late draws would halve the
                     // effective rate for late listings).
                     let dd = (listed + self.rng.gen_range(100..300)).min(self.cfg.study_end - 5);
-                    self.allocations
-                        .iter_mut()
-                        .find(|a| a.block == block)
-                        .expect("just allocated")
-                        .dealloc = Some(dd);
+                    if let Some(a) = self.allocations.iter_mut().find(|a| a.block == block) {
+                        a.dealloc = Some(dd);
+                    }
                     self.truth.listed[idx].deallocated = Some(dd);
                 }
                 // Table 1 "Present on DROP" signing.
@@ -1208,11 +1206,9 @@ impl Builder {
                     } else {
                         (removed + self.rng.gen_range(30..120)).min(self.cfg.study_end - 1)
                     };
-                    self.allocations
-                        .iter_mut()
-                        .find(|a| a.block == block)
-                        .expect("just allocated")
-                        .dealloc = Some(dd);
+                    if let Some(a) = self.allocations.iter_mut().find(|a| a.block == block) {
+                        a.dealloc = Some(dd);
+                    }
                     self.truth.listed[idx].deallocated = Some(dd);
                 }
             }
@@ -1254,7 +1250,9 @@ impl Builder {
     /// under the RIR's *separate* AS0 TAL.
     fn gen_rir_as0_tals(&mut self) {
         for (rir, tal) in [(Rir::Apnic, Tal::ApnicAs0), (Rir::Lacnic, Tal::LacnicAs0)] {
-            let date = rir.as0_policy_date().expect("both have policies");
+            let Some(date) = rir.as0_policy_date() else {
+                continue;
+            };
             for prefix in self.available_at(rir, date).iter() {
                 self.add_roa(date, prefix, Asn::AS0, tal);
             }
@@ -1385,6 +1383,16 @@ impl Builder {
         }
         records.sort_by_key(|r| u32::from(r.start));
         StatsFile { rir, date, records }
+    }
+}
+
+/// Parse one of the paper's scripted prefix literals. A failure is a
+/// typo in the generator itself, not bad input, so it aborts loudly
+/// with the offending literal.
+fn lit_prefix(s: &str) -> Ipv4Prefix {
+    match s.parse() {
+        Ok(p) => p,
+        Err(_) => panic!("bad prefix literal in generator: {s}"),
     }
 }
 

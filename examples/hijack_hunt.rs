@@ -8,6 +8,7 @@
 //! cargo run --release --example hijack_hunt [seed]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 use droplens_core::{experiments::fig4, Study};
 use droplens_synth::{World, WorldConfig};
 

@@ -11,6 +11,7 @@
 //! cargo run --release --example irr_forgery_scan [seed]
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 use std::collections::BTreeMap;
 
 use droplens_bgp::BgpArchive;

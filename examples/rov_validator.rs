@@ -10,6 +10,7 @@
 //! cargo run --release --example rov_validator
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 use droplens_net::{Asn, Date, Ipv4Prefix};
 use droplens_rpki::format::parse_events;
 use droplens_rpki::{RoaArchive, RovOutcome, Tal};
