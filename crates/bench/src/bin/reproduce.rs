@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p droplens-bench --bin reproduce [seed]
-//!     [--metrics-json PATH] [--trace PATH]
+//!     [--metrics-json PATH] [--trace PATH] [--mem[=PATH]]
 //!     [--chaos SEED] [--ingest strict|permissive] [--quarantine PATH]
 //! ```
 //!
@@ -28,6 +28,14 @@
 //! quarantine instants — and writes it as Chrome trace-event JSON
 //! loadable in Perfetto. Tracing never touches stdout: the reproduction
 //! output stays byte-identical with or without it.
+//!
+//! `--mem` prints the allocation summary (bytes/ops allocated and
+//! freed, peak, peak RSS) to stderr; `--mem=PATH` instead folds the
+//! `mem.*` gauges into the run report and writes it as JSON to PATH —
+//! the file `droplens mem diff` compares and CI's mem-gate commits as
+//! `BENCH_<date>_mem.json`. The binary carries the tracking allocator
+//! unconditionally (a few relaxed atomics per allocation); the flags
+//! only control reporting, and stdout stays byte-identical either way.
 
 use std::fmt::Display;
 use std::path::PathBuf;
@@ -36,10 +44,24 @@ use droplens_core::{paper, Study, StudyConfig};
 use droplens_net::{DateRange, IngestPolicy};
 use droplens_synth::{World, WorldConfig};
 
+/// Always-on allocation tracking (see the module docs): collection is
+/// cheap enough to leave compiled in, `--mem` only controls reporting.
+#[global_allocator]
+static ALLOC: droplens_obs::alloc::TrackingAlloc = droplens_obs::alloc::TrackingAlloc::system();
+
+/// Where `--mem` reporting goes.
+enum MemSink {
+    /// One-line summary on stderr.
+    Stderr,
+    /// Full run report (with `mem.*` gauges) as JSON.
+    Json(PathBuf),
+}
+
 fn main() {
     let mut seed = 42u64;
     let mut metrics_json: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut mem: Option<MemSink> = None;
     let mut chaos: Option<u64> = None;
     let mut policy = IngestPolicy::Strict;
     let mut quarantine: Option<PathBuf> = None;
@@ -55,6 +77,12 @@ fn main() {
             "--trace" => {
                 let path = args.next().unwrap_or_else(|| die("--trace wants a path"));
                 trace_out = Some(PathBuf::from(path));
+            }
+            // `--mem=PATH` (not a separate value argument) keeps the
+            // positional seed unambiguous.
+            "--mem" => mem = Some(MemSink::Stderr),
+            a if a.starts_with("--mem=") => {
+                mem = Some(MemSink::Json(PathBuf::from(&a["--mem=".len()..])));
             }
             "--chaos" => {
                 let s = args.next().unwrap_or_else(|| die("--chaos wants a seed"));
@@ -215,6 +243,12 @@ fn main() {
         }
     }
 
+    // Fold mem.* gauges in before any report snapshot, so
+    // `--metrics-json` + `--mem` produce one consistent document.
+    if mem.is_some() {
+        droplens_obs::alloc::record_gauges(obs);
+    }
+
     if let Some(path) = metrics_json {
         let mut report = obs.report();
         report.meta.insert("bin".to_owned(), "reproduce".to_owned());
@@ -227,6 +261,25 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    match mem {
+        Some(MemSink::Stderr) => eprintln!("{}", droplens_obs::alloc::snapshot().summary()),
+        Some(MemSink::Json(path)) => {
+            let mut report = obs.report();
+            report.meta.insert("bin".to_owned(), "reproduce".to_owned());
+            report.meta.insert("seed".to_owned(), seed.to_string());
+            report.meta.insert("scale".to_owned(), "paper".to_owned());
+            report.meta.insert("mem".to_owned(), "on".to_owned());
+            match std::fs::write(&path, report.to_json()) {
+                Ok(()) => eprintln!("mem report written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write mem report to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {}
     }
 }
 

@@ -31,9 +31,10 @@ pub enum CliError {
     Ingest(droplens_net::IngestError),
     /// Bad usage (unknown flag, missing argument, ...).
     Usage(String),
-    /// A perf gate tripped: the carried string is the full diff
-    /// rendering, which the binary prints before exiting nonzero
-    /// (no usage text — the invocation was fine, the numbers weren't).
+    /// A perf or mem regression gate tripped: the carried string is the
+    /// full diff rendering, which the binary prints before exiting
+    /// nonzero (no usage text — the invocation was fine, the numbers
+    /// weren't).
     Gate(String),
     /// `droplens lint` found violations: the carried string is the full
     /// report (text or JSON as requested), printed before exiting
@@ -48,7 +49,7 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "{e}"),
             CliError::Ingest(e) => write!(f, "{e}"),
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
-            CliError::Gate(_) => write!(f, "perf gate failed"),
+            CliError::Gate(_) => write!(f, "regression gate failed"),
             CliError::Lint(_) => write!(f, "lint failed"),
         }
     }
@@ -79,12 +80,16 @@ USAGE:
     droplens classify [FILE]            (stdin when no file)
     droplens validate --roas FILE --date YYYY-MM-DD [--all-tals] PREFIX ASN
     droplens perf diff BASE HEAD [--gate PCT] [--floor-ms MS]
+    droplens mem diff BASE HEAD [--gate PCT] [--floor-bytes N]
     droplens lint [--format text|json] [PATHS...]
     droplens help
 
 GLOBAL FLAGS:
     --metrics           print the instrumentation summary to stderr
     --metrics=PATH      write the run report as JSON to PATH
+    --mem               print the allocation summary to stderr
+    --mem=PATH          fold mem.* gauges into the run report and write
+                        it as JSON to PATH (stdout stays untouched)
     --trace=PATH        record a hierarchical trace of the run and write
                         it as Chrome trace-event JSON to PATH (open in
                         Perfetto or chrome://tracing)
@@ -97,11 +102,21 @@ PERF (compare run reports, gate regressions):
     --floor-ms MS       spans faster than MS on the base side are never
                         gated (default 5)
 
+MEM (compare memory reports, gate regressions):
+    BASE and HEAD are comma-separated lists of --mem=PATH JSON files;
+    compares every mem.* gauge (peak RSS, bytes/ops allocated) and each
+    span's alloc_bytes column, collapsed best-of-N like perf diff.
+    --gate PCT          exit nonzero when any metric regresses more than
+                        PCT percent (default: report only)
+    --floor-bytes N     metrics under N bytes on the base side are never
+                        gated (default 1048576)
+
 LINT (check the workspace's own invariants; see DESIGN.md §9):
     PATHS are files or directories to scan (default: the current
     directory; `target/`, `vendor/`, and fixture corpora are skipped,
     explicitly named files are always linted). Rules: no-unwrap,
-    ordered-output, no-wallclock, seeded-rng-only, located-errors.
+    ordered-output, no-wallclock, seeded-rng-only, located-errors,
+    no-unbounded-collect.
     Suppress one finding with a trailing `// lint: allow(<rule>)`.
     --format text|json      diagnostic rendering (default text);
                             exits nonzero when violations survive

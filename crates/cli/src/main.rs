@@ -7,7 +7,14 @@ use droplens_cli::commands::IngestOptions;
 use droplens_cli::{commands, CliError, USAGE};
 use droplens_net::{Asn, Date, IngestPolicy, Ipv4Prefix};
 
-/// The global `--metrics[=PATH]` flag: where the run report should go.
+/// Allocation tracking is always compiled in (collection is a few
+/// relaxed atomics on the allocating thread's own cache line); the
+/// `--mem` flags only control reporting, never collection.
+#[global_allocator]
+static ALLOC: droplens_obs::alloc::TrackingAlloc = droplens_obs::alloc::TrackingAlloc::system();
+
+/// The global `--metrics[=PATH]` / `--mem[=PATH]` flags: where the run
+/// report (or memory summary) should go.
 enum MetricsSink {
     /// Human summary on stderr.
     Stderr,
@@ -17,6 +24,7 @@ enum MetricsSink {
 
 fn main() -> ExitCode {
     let mut metrics: Option<MetricsSink> = None;
+    let mut mem: Option<MetricsSink> = None;
     let mut trace_out: Option<PathBuf> = None;
     let args: Vec<String> = std::env::args()
         .skip(1)
@@ -26,6 +34,12 @@ fn main() -> ExitCode {
                 false
             } else if let Some(path) = a.strip_prefix("--metrics=") {
                 metrics = Some(MetricsSink::Json(PathBuf::from(path)));
+                false
+            } else if a == "--mem" {
+                mem = Some(MetricsSink::Stderr);
+                false
+            } else if let Some(path) = a.strip_prefix("--mem=") {
+                mem = Some(MetricsSink::Json(PathBuf::from(path)));
                 false
             } else if let Some(path) = a.strip_prefix("--trace=") {
                 trace_out = Some(PathBuf::from(path));
@@ -47,6 +61,11 @@ fn main() -> ExitCode {
             eprintln!("droplens: cannot write trace to {}: {e}", path.display());
         }
     }
+    // Fold mem.* gauges into the registry before any report snapshot,
+    // so `--metrics --mem` sees one consistent document.
+    if mem.is_some() {
+        droplens_obs::alloc::record_gauges(droplens_obs::global());
+    }
     if let Some(sink) = metrics {
         let mut report = droplens_obs::global().report();
         report.meta.insert("command".to_owned(), args.join(" "));
@@ -59,16 +78,32 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(sink) = mem {
+        match sink {
+            MetricsSink::Stderr => eprintln!("{}", droplens_obs::alloc::snapshot().summary()),
+            MetricsSink::Json(path) => {
+                let mut report = droplens_obs::global().report();
+                report.meta.insert("command".to_owned(), args.join(" "));
+                report.meta.insert("mem".to_owned(), "on".to_owned());
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!(
+                        "droplens: cannot write mem report to {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
     match result {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        // A tripped perf gate still prints its diff table; the failure
-        // is in the measured numbers, not the invocation.
+        // A tripped perf/mem gate still prints its diff table; the
+        // failure is in the measured numbers, not the invocation.
         Err(CliError::Gate(output)) => {
             print!("{output}");
-            eprintln!("droplens: perf gate failed");
+            eprintln!("droplens: regression gate failed");
             ExitCode::FAILURE
         }
         // Same shape for lint: the report is the payload, the failure
@@ -247,6 +282,41 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 ));
             };
             droplens_cli::perf::diff(base, head, &opts)
+        }
+        Some("mem") => {
+            let Some("diff") = it.next() else {
+                return Err(CliError::Usage("mem needs the diff subcommand".into()));
+            };
+            let mut opts = droplens_cli::perf::MemDiffOptions::default();
+            let mut positional: Vec<&str> = Vec::new();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--gate" => {
+                        let raw = value(&rest, &mut i)?;
+                        opts.gate_pct = Some(raw.parse().map_err(|_| {
+                            CliError::Usage(format!("--gate wants a percentage, got {raw:?}"))
+                        })?);
+                    }
+                    "--floor-bytes" => {
+                        let raw = value(&rest, &mut i)?;
+                        opts.floor_bytes = raw.parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "--floor-bytes wants a byte count, got {raw:?}"
+                            ))
+                        })?;
+                    }
+                    other => positional.push(other),
+                }
+                i += 1;
+            }
+            let [base, head] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "mem diff needs BASE and HEAD report lists".into(),
+                ));
+            };
+            droplens_cli::perf::mem_diff(base, head, &opts)
         }
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),

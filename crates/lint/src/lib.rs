@@ -7,7 +7,7 @@
 //! over the workspace's own sources, run as `droplens lint` locally and
 //! as a CI gate.
 //!
-//! Five rules, each scoped to the modules where its invariant bites
+//! Six rules, each scoped to the modules where its invariant bites
 //! (see [`rules_for_path`] and DESIGN.md §9):
 //!
 //! | rule | scope | bans |
@@ -17,6 +17,7 @@
 //! | `no-wallclock` | everything outside `crates/obs` | `Instant::now`, `SystemTime::now` |
 //! | `seeded-rng-only` | everywhere | `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`, `rand::random` |
 //! | `located-errors` | parser modules (format/journal/list) | `ParseError::new` with no `.with_location` on any intra-file caller path |
+//! | `no-unbounded-collect` | parser/writer hot paths (format/archive) | `.collect` without an acknowledging escape |
 //!
 //! A finding can be suppressed per line with a trailing
 //! `// lint: allow(<rule>)` comment (or one on its own line directly
@@ -50,6 +51,10 @@ pub enum Rule {
     SeededRngOnly,
     /// Every `ParseError` construction in a parser module is located.
     LocatedErrors,
+    /// No `.collect` on format/archive hot paths without an explicit
+    /// acknowledging escape — materializing an unbounded intermediate
+    /// Vec is how 10–100× worlds run out of memory.
+    NoUnboundedCollect,
     /// A `// lint: allow(...)` escape that names an unknown rule.
     BadEscape,
 }
@@ -57,12 +62,13 @@ pub enum Rule {
 impl Rule {
     /// Every scannable rule (excludes [`Rule::BadEscape`], which is
     /// emitted by the escape parser, not scanned for).
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoUnwrap,
         Rule::OrderedOutput,
         Rule::NoWallclock,
         Rule::SeededRngOnly,
         Rule::LocatedErrors,
+        Rule::NoUnboundedCollect,
     ];
 
     /// The kebab-case name used in diagnostics and escapes.
@@ -73,6 +79,7 @@ impl Rule {
             Rule::NoWallclock => "no-wallclock",
             Rule::SeededRngOnly => "seeded-rng-only",
             Rule::LocatedErrors => "located-errors",
+            Rule::NoUnboundedCollect => "no-unbounded-collect",
             Rule::BadEscape => "bad-escape",
         }
     }
@@ -197,7 +204,9 @@ fn json_escape(s: &str) -> String {
 /// * file-stem scopes: `no-unwrap` on format/archive/journal/list/
 ///   ingest, `located-errors` on format/journal/list, `ordered-output`
 ///   on the output writers (format, layout, sbltext, report,
-///   run_report, json, trace, registry, perf, paper, experiments/*).
+///   run_report, json, trace, registry, perf, paper, experiments/*),
+///   `no-unbounded-collect` on the per-record hot paths (format,
+///   archive).
 pub fn rules_for_path(path: &str) -> Vec<Rule> {
     let norm = path.replace('\\', "/");
     let comps: Vec<&str> = norm
@@ -224,6 +233,7 @@ pub fn rules_for_path(path: &str) -> Vec<Rule> {
     }
     const UNWRAP_STEMS: [&str; 5] = ["format", "archive", "journal", "list", "ingest"];
     const LOCATED_STEMS: [&str; 3] = ["format", "journal", "list"];
+    const COLLECT_STEMS: [&str; 2] = ["format", "archive"];
     const ORDERED_STEMS: [&str; 10] = [
         "format",
         "layout",
@@ -244,6 +254,9 @@ pub fn rules_for_path(path: &str) -> Vec<Rule> {
     }
     if LOCATED_STEMS.contains(&stem) {
         rules.push(Rule::LocatedErrors);
+    }
+    if COLLECT_STEMS.contains(&stem) {
+        rules.push(Rule::NoUnboundedCollect);
     }
     rules.sort();
     rules
@@ -434,6 +447,12 @@ mod tests {
         assert!(r.contains(&Rule::OrderedOutput));
         assert!(r.contains(&Rule::LocatedErrors));
         assert!(r.contains(&Rule::NoWallclock));
+        assert!(r.contains(&Rule::NoUnboundedCollect));
+
+        let r = rules_for_path("crates/bgp/src/archive.rs");
+        assert!(r.contains(&Rule::NoUnboundedCollect));
+        let r = rules_for_path("crates/core/src/study.rs");
+        assert!(!r.contains(&Rule::NoUnboundedCollect), "cold paths exempt");
 
         let r = rules_for_path("crates/obs/src/trace.rs");
         assert!(!r.contains(&Rule::NoWallclock), "obs owns the clock");
@@ -526,7 +545,11 @@ fn parse_line(s: &str) -> Result<u32, ParseError> {
     s.parse().map_err(|_| ParseError::new("U32", s, "bad"))
 }
 pub fn parse_all(text: &str) -> Result<Vec<u32>, ParseError> {
-    text.lines().map(parse_line).collect()
+    let mut out = Vec::new();
+    for line in text.lines() {
+        out.push(parse_line(line)?);
+    }
+    Ok(out)
 }
 "#;
         let (diags, _) = lint_source("crates/x/src/format.rs", src);

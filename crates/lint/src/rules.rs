@@ -1,4 +1,4 @@
-//! The five project-specific rules, run over the significant-token
+//! The six project-specific rules, run over the significant-token
 //! stream of one file.
 //!
 //! Every rule is a local pattern over [`lexer`] tokens — no type
@@ -158,6 +158,7 @@ pub(crate) fn check(rule: Rule, view: &FileView<'_>, hits: &mut Vec<Hit>) {
         Rule::NoWallclock => no_wallclock(view, hits),
         Rule::SeededRngOnly => seeded_rng_only(view, hits),
         Rule::LocatedErrors => located_errors(view, hits),
+        Rule::NoUnboundedCollect => no_unbounded_collect(view, hits),
         // Emitted during escape parsing, never scanned for.
         Rule::BadEscape => {}
     }
@@ -267,6 +268,35 @@ fn seeded_rng_only(view: &FileView<'_>, hits: &mut Vec<Hit>) {
                 rule: Rule::SeededRngOnly,
                 message: "`rand::random` draws from the thread RNG — derive every RNG from an \
                           explicit seed"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// `no-unbounded-collect`: `.collect` (plain or turbofish) on a
+/// format/archive hot path materializes an intermediate collection
+/// whose size scales with the input. The size-of tests pin per-record
+/// costs; this rule makes whole-archive materialization a conscious
+/// decision — every legitimate site carries a
+/// `// lint: allow(no-unbounded-collect)` escape saying why the bound
+/// is acceptable.
+fn no_unbounded_collect(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    for i in 0..view.len() {
+        if view.is_test_code(i) || view.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        if view.text(i) == "collect"
+            && i > 0
+            && view.text(i - 1) == "."
+            && (view.text(i + 1) == "(" || view.matches(i + 1, &[":", ":"]))
+        {
+            hits.push(Hit {
+                line: view.line(i),
+                rule: Rule::NoUnboundedCollect,
+                message: "`.collect` on a format/archive hot path materializes an input-sized \
+                          collection — stream instead, or escape with a comment saying why the \
+                          size is bounded"
                     .to_owned(),
             });
         }

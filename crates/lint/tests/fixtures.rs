@@ -6,6 +6,8 @@
 //! which the workspace walk skips — CI lints it explicitly as the
 //! self-test that the gate still fails on bad code.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
 use std::path::{Path, PathBuf};
 
 use droplens_lint::{collect_rs_files, lint_files, lint_source, Rule};
@@ -101,6 +103,21 @@ fn located_errors_goldens() {
 }
 
 #[test]
+fn no_unbounded_collect_goldens() {
+    let (found, _) = lint_fixture("no_unbounded_collect/bad/format.rs");
+    assert_eq!(
+        found,
+        vec![
+            (7, Rule::NoUnboundedCollect),  // plain .collect()
+            (12, Rule::NoUnboundedCollect), // turbofish .collect::<_>()
+        ]
+    );
+    let (found, suppressed) = lint_fixture("no_unbounded_collect/allowed/format.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
 fn bad_escape_goldens() {
     let (found, _) = lint_fixture("bad_escape/bad/escape.rs");
     assert_eq!(
@@ -118,10 +135,10 @@ fn bad_escape_goldens() {
 #[test]
 fn corpus_as_a_whole_fails() {
     let files = collect_rs_files(&[corpus()]).expect("walk fixtures");
-    assert_eq!(files.len(), 11, "{files:?}");
+    assert_eq!(files.len(), 13, "{files:?}");
     let report = lint_files(&files).expect("lint fixtures");
     assert!(!report.is_clean());
-    assert_eq!(report.files_checked, 11);
-    assert_eq!(report.diagnostics.len(), 15);
-    assert_eq!(report.suppressed, 13);
+    assert_eq!(report.files_checked, 13);
+    assert_eq!(report.diagnostics.len(), 17);
+    assert_eq!(report.suppressed, 15);
 }

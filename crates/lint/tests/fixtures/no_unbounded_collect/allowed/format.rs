@@ -1,0 +1,14 @@
+//! Fixture: the same materializing formatter as `bad/format.rs`, with
+//! every finding suppressed by a `lint: allow` escape — both the
+//! trailing and the standalone-line forms — each stating why the size
+//! is bounded.
+
+pub fn render(lines: &[&str]) -> String {
+    // lint: allow(no-unbounded-collect) — bounded by the report's fixed line count
+    let upper: Vec<String> = lines.iter().map(|l| l.to_uppercase()).collect();
+    upper.join("\n")
+}
+
+pub fn widths(lines: &[&str]) -> Vec<usize> {
+    lines.iter().map(|l| l.len()).collect::<Vec<usize>>() // lint: allow(no-unbounded-collect) — one usize per line
+}

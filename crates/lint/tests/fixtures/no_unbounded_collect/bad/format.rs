@@ -1,0 +1,13 @@
+//! Fixture: a formatter that materializes input-sized intermediate
+//! vectors on the hot path. Both call forms the rule knows — plain
+//! `.collect()` and the turbofish — appear once each, so the golden
+//! test pins one diagnostic per line.
+
+pub fn render(lines: &[&str]) -> String {
+    let upper: Vec<String> = lines.iter().map(|l| l.to_uppercase()).collect();
+    upper.join("\n")
+}
+
+pub fn widths(lines: &[&str]) -> Vec<usize> {
+    lines.iter().map(|l| l.len()).collect::<Vec<usize>>()
+}

@@ -16,6 +16,13 @@
 //! and a deterministic text tree for test assertions. It is off by
 //! default and costs one atomic load per span when disabled.
 //!
+//! The third observability axis is memory: [`alloc`] provides an
+//! allocation-tracking `#[global_allocator]` wrapper ([`TrackingAlloc`])
+//! with per-thread shard counters and per-span attribution — when it is
+//! installed, every span and trace event additionally carries
+//! `alloc_bytes`/`freed_bytes`/`peak_delta`, traces grow per-worker
+//! `live_bytes` counter timelines, and run reports gain `mem.*` gauges.
+//!
 //! ```
 //! let reg = droplens_obs::Registry::new();
 //! let parsed = reg.counter("bgp.records.parsed");
@@ -30,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod clock;
 pub mod json;
 pub mod metrics;
@@ -39,6 +47,7 @@ pub mod run_report;
 pub mod span;
 pub mod trace;
 
+pub use alloc::{MemCounts, MemDelta, MemMark, MemSnapshot, TrackingAlloc};
 pub use clock::Stopwatch;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{global, ErrorLog, Registry, SpanStat, ERROR_SAMPLES_KEPT};

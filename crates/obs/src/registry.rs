@@ -10,13 +10,19 @@ use crate::span::Span;
 /// How many error samples each source retains (the first N seen).
 pub const ERROR_SAMPLES_KEPT: usize = 5;
 
-/// Accumulated timing of one span path.
+/// Accumulated timing (and, with a tracking allocator installed,
+/// allocation) of one span path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStat {
     /// Number of completed spans on this path.
     pub count: u64,
     /// Total wall-clock across them, nanoseconds.
     pub total_ns: u64,
+    /// Bytes allocated on the recording threads inside these spans
+    /// (0 without a tracking allocator).
+    pub alloc_bytes: u64,
+    /// Bytes freed on the recording threads inside these spans.
+    pub freed_bytes: u64,
 }
 
 impl SpanStat {
@@ -102,6 +108,19 @@ impl Registry {
     /// report's rollup view ([`RunReport::span_rollups`]) can synthesize
     /// unrecorded ancestors reliably.
     pub fn record_span(&self, path: &str, duration: std::time::Duration) {
+        self.record_span_alloc(path, duration, 0, 0);
+    }
+
+    /// Record a completed span together with its allocation delta (used
+    /// by [`Span`] when a tracking allocator is active; the byte columns
+    /// stay zero otherwise). Path normalization as [`Registry::record_span`].
+    pub fn record_span_alloc(
+        &self,
+        path: &str,
+        duration: std::time::Duration,
+        alloc_bytes: u64,
+        freed_bytes: u64,
+    ) {
         let path = normalize_span_path(path);
         let mut map = lock(&self.inner.spans);
         let stat = map.entry(path).or_default();
@@ -109,6 +128,8 @@ impl Registry {
         stat.total_ns = stat
             .total_ns
             .saturating_add(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+        stat.alloc_bytes = stat.alloc_bytes.saturating_add(alloc_bytes);
+        stat.freed_bytes = stat.freed_bytes.saturating_add(freed_bytes);
     }
 
     /// Record one error for `source`, retaining the first

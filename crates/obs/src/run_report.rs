@@ -25,6 +25,12 @@ pub struct SpanRollup {
     pub own: SpanStat,
     /// Own total when recorded, else the sum of direct children rollups.
     pub rollup_ns: u64,
+    /// Bytes allocated: own when recorded, else the sum of direct
+    /// children rollups (same rule as `rollup_ns` — a recorded RAII
+    /// span's counters already include its children's).
+    pub rollup_alloc_bytes: u64,
+    /// Bytes freed, aggregated like `rollup_alloc_bytes`.
+    pub rollup_freed_bytes: u64,
 }
 
 /// Everything a registry knew at snapshot time.
@@ -74,7 +80,7 @@ impl RunReport {
             out.push('\n');
         }
         if !self.spans.is_empty() {
-            let mut t = TextTable::new(vec!["span", "count", "total", "mean", "rollup"]);
+            let mut t = TextTable::new(vec!["span", "count", "total", "mean", "rollup", "alloc"]);
             for (path, r) in self.span_rollups() {
                 let (count, total, mean) = if r.own.count > 0 {
                     (
@@ -86,7 +92,14 @@ impl RunReport {
                     // Synthesized interior node: no direct recordings.
                     ("-".to_owned(), "-".to_owned(), "-".to_owned())
                 };
-                t.row(vec![path, count, total, mean, ns(r.rollup_ns)]);
+                // Byte column only when a tracking allocator recorded
+                // anything — timing-only reports keep a quiet table.
+                let alloc = if r.rollup_alloc_bytes > 0 {
+                    crate::alloc::format_bytes(r.rollup_alloc_bytes)
+                } else {
+                    "-".to_owned()
+                };
+                t.row(vec![path, count, total, mean, ns(r.rollup_ns), alloc]);
             }
             out.push_str(&t.render());
             out.push('\n');
@@ -157,6 +170,8 @@ impl RunReport {
                 SpanRollup {
                     own: *stat,
                     rollup_ns: stat.total_ns,
+                    rollup_alloc_bytes: stat.alloc_bytes,
+                    rollup_freed_bytes: stat.freed_bytes,
                 },
             );
             // Synthesize every missing ancestor.
@@ -175,16 +190,23 @@ impl RunReport {
                 continue; // recorded totals already include descendants
             }
             let prefix = format!("{path}/");
-            let sum: u64 = out
+            let (sum_ns, sum_alloc, sum_freed) = out
                 .iter()
                 .filter(|(p, _)| {
                     p.strip_prefix(&prefix)
                         .is_some_and(|rest| !rest.contains('/'))
                 })
-                .map(|(_, c)| c.rollup_ns)
-                .sum();
+                .fold((0u64, 0u64, 0u64), |(ns, ab, fb), (_, c)| {
+                    (
+                        ns + c.rollup_ns,
+                        ab + c.rollup_alloc_bytes,
+                        fb + c.rollup_freed_bytes,
+                    )
+                });
             if let Some(r) = out.get_mut(path) {
-                r.rollup_ns = sum;
+                r.rollup_ns = sum_ns;
+                r.rollup_alloc_bytes = sum_alloc;
+                r.rollup_freed_bytes = sum_freed;
             }
         }
         out
@@ -243,6 +265,12 @@ impl RunReport {
             o.field_u64("count", s.count)
                 .field_u64("total_ns", s.total_ns)
                 .field_u64("mean_ns", s.mean_ns());
+            // Byte columns appear only when recorded, so timing-only
+            // documents stay byte-identical to pre-mem reports.
+            if s.alloc_bytes > 0 || s.freed_bytes > 0 {
+                o.field_u64("alloc_bytes", s.alloc_bytes)
+                    .field_u64("freed_bytes", s.freed_bytes);
+            }
             spans.field_object(k, o);
         }
         root.field_object("spans", spans);
@@ -319,7 +347,18 @@ impl RunReport {
         for (k, v) in section("spans") {
             let count = need_u64(v.get("count").unwrap_or(&Value::Null), "span", k)?;
             let total_ns = need_u64(v.get("total_ns").unwrap_or(&Value::Null), "span", k)?;
-            report.spans.insert(k.clone(), SpanStat { count, total_ns });
+            // Optional: absent in timing-only documents.
+            let alloc_bytes = v.get("alloc_bytes").and_then(Value::as_u64).unwrap_or(0);
+            let freed_bytes = v.get("freed_bytes").and_then(Value::as_u64).unwrap_or(0);
+            report.spans.insert(
+                k.clone(),
+                SpanStat {
+                    count,
+                    total_ns,
+                    alloc_bytes,
+                    freed_bytes,
+                },
+            );
         }
         for (k, v) in section("errors") {
             let seen = need_u64(v.get("seen").unwrap_or(&Value::Null), "error", k)?;
@@ -354,7 +393,20 @@ mod tests {
     }
 
     fn stat(count: u64, total_ns: u64) -> SpanStat {
-        SpanStat { count, total_ns }
+        SpanStat {
+            count,
+            total_ns,
+            ..SpanStat::default()
+        }
+    }
+
+    fn stat_mem(count: u64, total_ns: u64, alloc_bytes: u64, freed_bytes: u64) -> SpanStat {
+        SpanStat {
+            count,
+            total_ns,
+            alloc_bytes,
+            freed_bytes,
+        }
     }
 
     #[test]
@@ -387,6 +439,65 @@ mod tests {
         let rollups = r.span_rollups();
         assert_eq!(rollups["study"].rollup_ns, 1000);
         assert_eq!(rollups["study"].own.count, 1);
+    }
+
+    #[test]
+    fn rollups_aggregate_byte_columns() {
+        // Synthesized ancestors sum the byte columns of their direct
+        // children — rollup totals equal the sum of the leaf spans.
+        let mut r = RunReport::default();
+        r.spans
+            .insert("run/exp/fig1".into(), stat_mem(1, 100, 4096, 1024));
+        r.spans
+            .insert("run/exp/fig2".into(), stat_mem(2, 300, 8192, 2048));
+        r.spans.insert("run/load".into(), stat_mem(1, 50, 512, 0));
+        let rollups = r.span_rollups();
+        let leaves_alloc = 4096 + 8192;
+        let leaves_freed = 1024 + 2048;
+        assert_eq!(rollups["run/exp"].rollup_alloc_bytes, leaves_alloc);
+        assert_eq!(rollups["run/exp"].rollup_freed_bytes, leaves_freed);
+        assert_eq!(rollups["run"].rollup_alloc_bytes, leaves_alloc + 512);
+        assert_eq!(rollups["run"].rollup_freed_bytes, leaves_freed);
+        // A recorded parent keeps its own bytes (they already include
+        // the children's) instead of double-counting.
+        let mut r2 = RunReport::default();
+        r2.spans
+            .insert("study".into(), stat_mem(1, 1000, 10_000, 0));
+        r2.spans
+            .insert("study/load".into(), stat_mem(1, 400, 6_000, 0));
+        assert_eq!(r2.span_rollups()["study"].rollup_alloc_bytes, 10_000);
+    }
+
+    #[test]
+    fn span_table_shows_alloc_column() {
+        let mut r = RunReport::default();
+        r.spans
+            .insert("run/a".into(), stat_mem(1, 1_000_000, 3 << 20, 1 << 20));
+        r.spans.insert("run/b".into(), stat(1, 1_000));
+        let text = r.to_text();
+        assert!(text.contains("alloc"), "{text}");
+        assert!(text.contains("3.0MiB"), "{text}");
+        // Timing-only rows show a dash, not 0B.
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("run/b") && l.ends_with('-')),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_byte_columns() {
+        let mut r = RunReport::default();
+        r.spans
+            .insert("run/load".into(), stat_mem(1, 500, 2048, 1024));
+        r.spans.insert("run/plain".into(), stat(1, 100));
+        let json = r.to_json();
+        assert!(json.contains("\"alloc_bytes\":2048"), "{json}");
+        // Timing-only spans omit the byte fields entirely.
+        assert!(!json.contains("\"alloc_bytes\":0"), "{json}");
+        let back = RunReport::from_json(&json).expect("parses");
+        assert_eq!(back.spans, r.spans);
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

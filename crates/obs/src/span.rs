@@ -33,6 +33,13 @@ pub struct Span {
     start: Instant,
     recorded: bool,
     trace: TraceGuard,
+    /// This thread's cumulative allocation counters at open (`None`
+    /// without a tracking allocator); subtracted at record time so the
+    /// span's registry row gains byte columns. A plain counter read —
+    /// not a [`crate::alloc::MemMark`] — because registry spans may
+    /// close out of LIFO order, which would corrupt the mark's peak
+    /// save/restore stack.
+    mem: Option<crate::alloc::MemCounts>,
 }
 
 impl Span {
@@ -52,6 +59,7 @@ impl Span {
             start: Instant::now(),
             recorded: false,
             trace,
+            mem: crate::alloc::thread_counts(),
         }
     }
 
@@ -95,7 +103,15 @@ impl Span {
             return;
         }
         self.recorded = true;
-        self.registry.record_span(&self.path, self.start.elapsed());
+        let (alloc_bytes, freed_bytes) = match (self.mem, crate::alloc::thread_counts()) {
+            (Some(base), Some(now)) => (
+                now.alloc_bytes.saturating_sub(base.alloc_bytes),
+                now.freed_bytes.saturating_sub(base.freed_bytes),
+            ),
+            _ => (0, 0),
+        };
+        self.registry
+            .record_span_alloc(&self.path, self.start.elapsed(), alloc_bytes, freed_bytes);
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // LIFO in well-formed use; truncating self-heals if an outer

@@ -81,6 +81,10 @@ pub enum EventKind {
     Span,
     /// A point-in-time marker (quarantine hit, repair applied).
     Instant,
+    /// A sampled counter value (per-worker `live_bytes` timelines) —
+    /// exported as a Chrome `ph:"C"` counter track, excluded from the
+    /// text tree and coverage.
+    Counter,
 }
 
 /// One recorded trace event.
@@ -235,6 +239,9 @@ impl Tracer {
                 start: Instant::now(),
                 depth,
                 args: Vec::new(),
+                // When a tracking allocator is installed, every trace
+                // span doubles as a memory attribution region.
+                mem: crate::alloc::mark(),
             }),
         }
     }
@@ -354,6 +361,10 @@ struct GuardState {
     start: Instant,
     depth: usize,
     args: Vec<(&'static str, ArgValue)>,
+    /// Open memory attribution region (`None` without a tracking
+    /// allocator); closed on drop into `alloc_bytes`/`freed_bytes`/
+    /// `peak_delta` args plus a `live_bytes` counter sample.
+    mem: Option<crate::alloc::MemMark>,
 }
 
 /// An open trace span: records a [`TraceEvent`] when dropped (or on
@@ -417,6 +428,17 @@ impl Drop for TraceGuard {
             // guard drops before an inner one.
             stack.borrow_mut().truncate(s.depth);
         });
+        let mut args = s.args;
+        let sampled_mem = s.mem.is_some();
+        if let Some(mark) = s.mem {
+            // Guards drop innermost-first, which is exactly the LIFO
+            // discipline the mark's peak save/restore needs.
+            let d = mark.finish();
+            args.push(("alloc_bytes", ArgValue::U64(d.alloc_bytes)));
+            args.push(("freed_bytes", ArgValue::U64(d.freed_bytes)));
+            args.push(("peak_delta", ArgValue::U64(d.peak_delta)));
+        }
+        let end_ns = ts_ns.saturating_add(dur_ns);
         s.tracer.push(TraceEvent {
             id: s.id,
             parent: s.parent,
@@ -426,8 +448,27 @@ impl Drop for TraceGuard {
             ts_ns,
             dur_ns,
             kind: EventKind::Span,
-            args: s.args,
+            args,
         });
+        if sampled_mem {
+            // Sample this worker's live bytes at every span close: a
+            // timeline dense exactly where the run is busy.
+            let id = s.tracer.inner.next_id.fetch_add(1, Ordering::Relaxed);
+            s.tracer.push(TraceEvent {
+                id,
+                parent: s.parent,
+                name: "live_bytes".to_owned(),
+                cat: "mem",
+                tid: 0, // filled by push
+                ts_ns: end_ns,
+                dur_ns: 0,
+                kind: EventKind::Counter,
+                args: vec![(
+                    "live_bytes",
+                    ArgValue::I64(crate::alloc::thread_live_bytes()),
+                )],
+            });
+        }
     }
 }
 
@@ -466,14 +507,7 @@ impl Trace {
         tids.dedup();
         for tid in &tids {
             let mut name_args = JsonObject::new();
-            name_args.field_str(
-                "name",
-                &if *tid == 0 {
-                    "main".to_owned()
-                } else {
-                    format!("worker-{tid}")
-                },
-            );
+            name_args.field_str("name", &thread_label(*tid));
             let mut meta = JsonObject::new();
             meta.field_str("name", "thread_name")
                 .field_str("ph", "M")
@@ -484,7 +518,11 @@ impl Trace {
         }
         for e in &self.events {
             let mut args = JsonObject::new();
-            args.field_u64("id", e.id).field_u64("parent", e.parent);
+            if e.kind != EventKind::Counter {
+                // Counter args are pure series values; ids would render
+                // as extra (meaningless) counter tracks.
+                args.field_u64("id", e.id).field_u64("parent", e.parent);
+            }
             for (k, v) in &e.args {
                 match v {
                     ArgValue::U64(n) => args.field_u64(k, *n),
@@ -494,7 +532,15 @@ impl Trace {
                 };
             }
             let mut o = JsonObject::new();
-            o.field_str("name", &e.name).field_str("cat", e.cat);
+            match e.kind {
+                // Chrome keys counter tracks by (pid, name): suffix the
+                // worker label so every thread gets its own track.
+                EventKind::Counter => {
+                    o.field_str("name", &format!("{} ({})", e.name, thread_label(e.tid)))
+                }
+                _ => o.field_str("name", &e.name),
+            };
+            o.field_str("cat", e.cat);
             match e.kind {
                 EventKind::Span => {
                     o.field_str("ph", "X")
@@ -505,6 +551,10 @@ impl Trace {
                     o.field_str("ph", "i")
                         .field_f64("ts", e.ts_ns as f64 / 1000.0)
                         .field_str("s", "t");
+                }
+                EventKind::Counter => {
+                    o.field_str("ph", "C")
+                        .field_f64("ts", e.ts_ns as f64 / 1000.0);
                 }
             }
             o.field_u64("pid", 1)
@@ -533,6 +583,9 @@ impl Trace {
         let mut children: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
         let ids: std::collections::BTreeSet<u64> = self.events.iter().map(|e| e.id).collect();
         for e in &self.events {
+            if e.kind == EventKind::Counter {
+                continue; // timeline samples, not structure
+            }
             // Events whose parent was never recorded (opened before
             // enable, or parented to a disabled guard) are roots.
             let parent = if ids.contains(&e.parent) { e.parent } else { 0 };
@@ -576,6 +629,20 @@ impl Trace {
     }
 }
 
+/// Per-span memory attribution keys appended by the tracking allocator:
+/// handled specially by the text tree (summed bucket, not raw values).
+const MEM_ARG_KEYS: [&str; 3] = ["alloc_bytes", "freed_bytes", "peak_delta"];
+
+/// The human label of a worker timeline (`main` / `worker-N`), used for
+/// thread metadata and per-worker counter track names.
+fn thread_label(tid: u64) -> String {
+    if tid == 0 {
+        "main".to_owned()
+    } else {
+        format!("worker-{tid}")
+    }
+}
+
 /// Render one level of the merged tree (children of `parent`), indented.
 fn render_level(
     children: &BTreeMap<u64, Vec<&TraceEvent>>,
@@ -616,9 +683,28 @@ fn render_level(
         if cat != "span" && cat != "stage" {
             let _ = write!(out, " <{cat}>");
         }
-        // Attributes every merged event agrees on.
+        // Allocation attribution is run-varying byte-for-byte but stable
+        // in magnitude: render the *summed* power-of-two bucket instead
+        // of the per-event agreement rule below.
+        let alloc_total: u64 = group
+            .iter()
+            .flat_map(|e| &e.args)
+            .filter(|(k, _)| *k == "alloc_bytes")
+            .map(|(_, v)| match v {
+                ArgValue::U64(n) => *n,
+                _ => 0,
+            })
+            .sum();
+        if alloc_total > 0 {
+            let _ = write!(out, " alloc[{})", crate::alloc::byte_bucket(alloc_total));
+        }
+        // Attributes every merged event agrees on (memory attribution is
+        // handled above and excluded here).
         if let Some(first) = group.first() {
             for (k, v) in &first.args {
+                if MEM_ARG_KEYS.contains(k) {
+                    continue;
+                }
                 if group
                     .iter()
                     .all(|e| e.args.iter().any(|(ek, ev)| ek == k && ev == v))
@@ -706,7 +792,14 @@ mod tests {
         }
         assert_eq!(t.current(), 0);
         let trace = t.drain();
-        assert_eq!(trace.events.len(), 2);
+        // Sibling alloc tests may flip the process-wide ACTIVE flag,
+        // adding live_bytes counter samples: count spans only.
+        let spans = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .count();
+        assert_eq!(spans, 2);
         let outer = trace.events.iter().find(|e| e.name == "outer").unwrap();
         let inner = trace.events.iter().find(|e| e.name == "inner").unwrap();
         assert_eq!(outer.parent, 0);
@@ -865,5 +958,96 @@ mod tests {
         assert_eq!(duration_bucket(0), "0");
         assert_eq!(duration_bucket(1), "1ns..2ns");
         assert_eq!(duration_bucket(1500), "1.024µs..2.048µs");
+    }
+
+    fn counter_ev(id: u64, tid: u64, ts: u64, live: i64) -> TraceEvent {
+        TraceEvent {
+            id,
+            parent: 0,
+            name: "live_bytes".to_owned(),
+            cat: "mem",
+            tid,
+            ts_ns: ts,
+            dur_ns: 0,
+            kind: EventKind::Counter,
+            args: vec![("live_bytes", ArgValue::I64(live))],
+        }
+    }
+
+    #[test]
+    fn counter_events_render_as_per_worker_chrome_tracks() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, "root", "stage", 0, 2_000, vec![]),
+                counter_ev(2, 0, 100, 4096),
+                counter_ev(3, 1, 200, 8192),
+            ],
+        };
+        let json = trace.to_chrome_json();
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"name\":\"live_bytes (main)\""), "{json}");
+        assert!(
+            json.contains("\"name\":\"live_bytes (worker-1)\""),
+            "{json}"
+        );
+        assert!(json.contains("\"live_bytes\":4096"), "{json}");
+        // Counter args must carry only series values — an `id` field
+        // would render as a bogus extra counter series in Perfetto.
+        let counter_start = json.find("\"ph\":\"C\"").unwrap();
+        let counter_args = &json[counter_start..];
+        let args_field = counter_args.find("\"args\":{").unwrap();
+        let close = counter_args[args_field..].find('}').unwrap();
+        let args_body = &counter_args[args_field..args_field + close];
+        assert!(!args_body.contains("\"id\""), "{args_body}");
+        assert!(!args_body.contains("\"parent\""), "{args_body}");
+    }
+
+    #[test]
+    fn counter_events_stay_out_of_text_tree() {
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, "root", "stage", 0, 2_000, vec![]),
+                counter_ev(2, 0, 100, 4096),
+            ],
+        };
+        let tree = trace.to_text_tree();
+        assert!(!tree.contains("live_bytes"), "{tree}");
+        assert_eq!(tree.lines().count(), 1);
+    }
+
+    #[test]
+    fn text_tree_buckets_alloc_bytes() {
+        let mem_args = |b: u64| {
+            vec![
+                ("alloc_bytes", ArgValue::U64(b)),
+                ("freed_bytes", ArgValue::U64(b / 2)),
+                ("peak_delta", ArgValue::U64(b / 4)),
+            ]
+        };
+        let trace = Trace {
+            events: vec![
+                ev(1, 0, "root", "stage", 0, 4_000, mem_args(100)),
+                ev(2, 1, "task", "par", 0, 1_000, mem_args(600)),
+                ev(3, 1, "task", "par", 10, 1_000, mem_args(600)),
+            ],
+        };
+        let tree = trace.to_text_tree();
+        // Merged siblings sum to 1200B → the [1.0KiB..2.0KiB) bucket;
+        // the raw per-event byte values never appear.
+        assert!(tree.contains("task ×2"), "{tree}");
+        assert!(tree.contains("alloc[1.0KiB..2.0KiB)"), "{tree}");
+        assert!(!tree.contains("alloc_bytes="), "{tree}");
+        assert!(!tree.contains("freed_bytes="), "{tree}");
+        assert!(!tree.contains("peak_delta="), "{tree}");
+    }
+
+    #[test]
+    fn coverage_of_zero_duration_root_is_none() {
+        let trace = Trace {
+            events: vec![ev(1, 0, "root", "stage", 0, 0, vec![])],
+        };
+        assert_eq!(trace.coverage("root"), None);
+        // Zero-span trace: nothing to cover at all.
+        assert_eq!(Trace::default().coverage("root"), None);
     }
 }

@@ -39,6 +39,12 @@
 //! spawned side so spans opened inside nest correctly across threads.
 //! Disabled tracing costs one atomic load per spawned chunk; the
 //! sequential paths are untouched.
+//!
+//! When the running binary additionally installs the tracking allocator
+//! ([`droplens_obs::alloc::TrackingAlloc`]), each `task` span also
+//! carries `alloc_bytes`/`freed_bytes`/`peak_delta` next to
+//! `queue_wait_ns` — the bytes a chunk allocated on its worker roll up
+//! under the adopting stage span exactly like its wall-clock does.
 
 use std::num::NonZeroUsize;
 use std::panic::resume_unwind;

@@ -145,7 +145,7 @@ impl RirStatsArchive {
 
     /// Dates of all snapshots, ascending.
     pub fn snapshot_dates(&self) -> Vec<Date> {
-        self.snapshots.iter().map(|s| s.date).collect()
+        self.snapshots.iter().map(|s| s.date).collect() // lint: allow(no-unbounded-collect) — one Date per snapshot (a few hundred)
     }
 
     /// The snapshot in force on `date` (the latest snapshot at or before
@@ -241,7 +241,7 @@ impl RirStatsArchive {
     pub fn delegated_prefixes_at(&self, date: Date) -> Vec<(Ipv4Prefix, Rir, String)> {
         self.delegated_prefixes(date)
             .map(|(p, r, o)| (p, r, o.to_owned()))
-            .collect()
+            .collect() // lint: allow(no-unbounded-collect) — the materialized view is the return value itself
     }
 }
 

@@ -239,9 +239,9 @@ pub fn repair_flickers(snapshots: &mut [(Date, Vec<StatsFile>)], partial: &[bool
             files
                 .iter()
                 .flat_map(|f| f.records.iter().map(key))
-                .collect()
+                .collect() // lint: allow(no-unbounded-collect) — backfill needs each snapshot's full key set
         })
-        .collect();
+        .collect(); // lint: allow(no-unbounded-collect) — one key set per snapshot, dropped after the pass
     for i in 1..snapshots.len() {
         if !partial[i] {
             continue;
@@ -250,7 +250,7 @@ pub fn repair_flickers(snapshots: &mut [(Date, Vec<StatsFile>)], partial: &[bool
             .1
             .iter()
             .flat_map(|f| f.records.iter().cloned())
-            .collect();
+            .collect(); // lint: allow(no-unbounded-collect) — one predecessor snapshot, only for flagged-partial gaps
         for record in prev {
             let k = key(&record);
             if keys[i].contains(&k) {

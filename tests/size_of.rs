@@ -1,0 +1,55 @@
+//! Size-of regression tests for the hot data-model types.
+//!
+//! ROADMAP item 3 (10–100× worlds) is gated on a columnar diet of the
+//! per-record structs; these tests pin today's sizes so the diet has a
+//! measured starting line and accidental struct growth — a new field on
+//! a type instantiated millions of times — fails CI instead of landing
+//! silently. If a size change is *intentional*, update the constant
+//! here in the same commit and say why in the message.
+
+use std::mem::size_of;
+
+use droplens_bgp::{AsPath, Interval, PeerId, RibEntry};
+use droplens_drop::{DropEntry, SblId};
+use droplens_net::{Asn, Date, Ipv4Prefix};
+
+/// Interned/compact ids are a single u32 — the whole point of interning.
+#[test]
+fn interned_ids_are_four_bytes() {
+    assert_eq!(size_of::<Asn>(), 4);
+    assert_eq!(size_of::<PeerId>(), 4);
+    assert_eq!(size_of::<SblId>(), 4);
+    assert_eq!(size_of::<Date>(), 4);
+}
+
+/// A prefix is addr + len, padded to one word-half: 8 bytes, copyable.
+#[test]
+fn prefix_is_eight_bytes() {
+    assert_eq!(size_of::<Ipv4Prefix>(), 8);
+    // The Option costs nothing extra only when a niche exists; today it
+    // doesn't (all 2^32 addrs and 0..=32 lens are in use at u8 width is
+    // not a niche the compiler exploits across the pair) — record the
+    // real cost so a future niche optimization shows up as a *failure
+    // to shrink* here, prompting the constant to be lowered.
+    assert!(size_of::<Option<Ipv4Prefix>>() <= 12);
+}
+
+/// One route in a RIB: prefix + path vec. Instantiated once per
+/// (peer, prefix) — the largest in-memory population in the pipeline.
+#[test]
+fn rib_entry_stays_compact() {
+    assert_eq!(size_of::<AsPath>(), size_of::<Vec<Asn>>()); // no overhead over its Vec
+    assert_eq!(size_of::<RibEntry>(), 32);
+}
+
+/// A visibility interval: start + optional end + path.
+#[test]
+fn visibility_interval_stays_compact() {
+    assert_eq!(size_of::<Interval>(), 40);
+}
+
+/// One DROP listing episode.
+#[test]
+fn drop_entry_stays_compact() {
+    assert_eq!(size_of::<DropEntry>(), 28);
+}
