@@ -1,0 +1,89 @@
+//! Scaling benches: the arena trie and the binary sidecar fast path,
+//! measured at workload scale 1 and scale 10 so the BENCH trajectory
+//! records how both degrade as worlds grow toward internet size.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use droplens_core::{Study, StudyConfig};
+use droplens_net::{DateRange, Ipv4Prefix, PrefixTrie};
+use droplens_synth::{World, WorldConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic prefix population: length-diverse (/8–/24) random
+/// networks, the shape the allocation and routing tries hold.
+fn prefix_set(n: usize, seed: u64) -> Vec<Ipv4Prefix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Ipv4Prefix::from_u32(rng.gen::<u32>(), rng.gen_range(8..=24)))
+        .collect()
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trie_scaling");
+    g.measurement_time(Duration::from_secs(5));
+    for scale in [1usize, 10] {
+        let pfx = prefix_set(20_000 * scale, 42);
+        let probes = prefix_set(20_000, 43);
+        g.throughput(Throughput::Elements(pfx.len() as u64));
+        g.bench_function(&format!("insert/{scale}"), |b| {
+            b.iter_batched(
+                || pfx.clone(),
+                |ps| {
+                    let mut t = PrefixTrie::new();
+                    for (i, p) in ps.into_iter().enumerate() {
+                        t.insert(p, i as u32);
+                    }
+                    t
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        let mut trie = PrefixTrie::new();
+        for (i, p) in pfx.iter().enumerate() {
+            trie.insert(*p, i as u32);
+        }
+        g.throughput(Throughput::Elements(probes.len() as u64));
+        g.bench_function(&format!("longest_match/{scale}"), |b| {
+            b.iter(|| probes.iter().filter_map(|p| trie.longest_match(p)).count())
+        });
+    }
+    g.finish();
+}
+
+fn study_config(w: &World) -> StudyConfig {
+    let mut cfg = StudyConfig::new(DateRange::inclusive(
+        w.config.study_start,
+        w.config.study_end,
+    ));
+    cfg.manual_labels = w.manual_labels();
+    cfg
+}
+
+fn bench_archive_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archive_load");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for scale in [1usize, 10] {
+        let world = World::generate(42, &WorldConfig::small().scaled(scale));
+        let records = world.bgp_updates.len() as u64;
+        let text = world.to_text_archives();
+        let bin = world.to_binary_archives();
+        g.throughput(Throughput::Elements(records));
+        g.bench_function(&format!("text/{scale}"), |b| {
+            b.iter(|| {
+                Study::from_text(study_config(&world), world.peers.clone(), &text).expect("loads")
+            })
+        });
+        g.bench_function(&format!("binary/{scale}"), |b| {
+            b.iter(|| {
+                Study::from_binary(study_config(&world), world.peers.clone(), &bin).expect("loads")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trie, bench_archive_load);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p droplens-bench --bin reproduce [seed]
+//!     [--scale N] [--format text|binary]
 //!     [--metrics-json PATH] [--trace PATH] [--mem[=PATH]]
 //!     [--chaos SEED] [--ingest strict|permissive] [--quarantine PATH]
 //! ```
@@ -17,11 +18,24 @@
 //! record counters) as stable JSON — the file committed as
 //! `BENCH_<date>.json`.
 //!
+//! `--scale N` multiplies the record-producing populations
+//! ([`WorldConfig::paper_scaled`]): N× the routed prefixes, listings,
+//! journal entries and ROA events, over the same study window. The
+//! stderr summary and the run report gain total-record and records/sec
+//! ingest-throughput figures — `--scale N --mem=PATH` is how the
+//! committed `BENCH_<date>_scale.json` trajectory is measured.
+//!
+//! `--format binary` round-trips the world through the `droplens-bin/1`
+//! columnar sidecars instead of the text archives. Stdout is
+//! byte-identical either way (core tests prove the studies equal); the
+//! study-stage wall clock is the point of comparison.
+//!
 //! `--chaos SEED` corrupts the serialized archives with a seeded
 //! `droplens-faults` injector (0.5% of lines, all classes) before the
 //! pipeline re-parses them — pair it with `--ingest permissive`. CI's
 //! chaos-smoke job runs this at 1 and 8 workers and byte-compares the
-//! stdout. `--quarantine PATH` writes the per-source ingest ledger.
+//! stdout. The corruptor speaks text, so `--chaos` rejects `--format
+//! binary`. `--quarantine PATH` writes the per-source ingest ledger.
 //!
 //! `--trace PATH` records a hierarchical trace of the whole run — stage
 //! spans, per-worker `par` task spans with queue-wait, parser spans,
@@ -57,8 +71,19 @@ enum MemSink {
     Json(PathBuf),
 }
 
+/// Which serialization the world round-trips through before ingestion.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// The canonical text archives.
+    Text,
+    /// The `droplens-bin/1` columnar sidecars.
+    Binary,
+}
+
 fn main() {
     let mut seed = 42u64;
+    let mut scale = 1usize;
+    let mut format = Format::Text;
     let mut metrics_json: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
     let mut mem: Option<MemSink> = None;
@@ -68,6 +93,22 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--scale" => {
+                let s = args.next().unwrap_or_else(|| die("--scale wants a count"));
+                scale = s
+                    .parse()
+                    .unwrap_or_else(|_| die("--scale wants a positive integer"));
+                if scale == 0 {
+                    die("--scale wants a positive integer");
+                }
+            }
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("binary") => Format::Binary,
+                    other => die(&format!("--format wants text|binary, got {other:?}")),
+                };
+            }
             "--metrics-json" => {
                 let path = args
                     .next()
@@ -108,6 +149,10 @@ fn main() {
         }
     }
 
+    if chaos.is_some() && format == Format::Binary {
+        die("--chaos corrupts text archives; drop it or use --format text");
+    }
+
     if trace_out.is_some() {
         droplens_obs::trace::global().enable();
     }
@@ -116,7 +161,7 @@ fn main() {
     let run_span = obs.span("reproduce");
 
     let gen_span = obs.span("generate");
-    let config = WorldConfig::paper();
+    let config = WorldConfig::paper_scaled(scale);
     let world = World::generate(seed, &config);
     let generated_in = gen_span.finish();
     eprintln!(
@@ -128,31 +173,61 @@ fn main() {
         world.truth.listed.len(),
     );
 
+    // Every record the study stage will parse back in — the throughput
+    // denominator for the records/sec figure.
+    let total_records = world.bgp_updates.len()
+        + world.irr_journal.len()
+        + world.roa_events.len()
+        + world
+            .rir_snapshots
+            .iter()
+            .map(|(_, files)| files.iter().map(|f| f.records.len()).sum::<usize>())
+            .sum::<usize>()
+        + world
+            .drop_snapshots
+            .iter()
+            .map(|s| s.entries.len())
+            .sum::<usize>()
+        + world.sbl_db.len();
+
     // Round-trip through the wire formats so the run report counts every
     // parsed record — the same path a deployment against real feeds uses.
-    // (`Study::from_text` and `Study::from_world` produce identical
-    // studies; the round trip is covered by core's tests.)
+    // (`Study::from_text`, `Study::from_binary` and `Study::from_world`
+    // produce identical studies; the round trips are covered by core's
+    // tests.)
     let study_span = obs.span("study");
-    let mut text = {
-        let _span = obs.span("serialize");
-        world.to_text_archives()
-    };
-    if let Some(chaos_seed) = chaos {
-        let log = droplens_faults::Corruptor::new(chaos_seed)
-            .with_rate(0.005)
-            .corrupt_archives(&mut text);
-        eprintln!(
-            "chaos: injected {} corruption events (seed {chaos_seed}, rate 0.5%)",
-            log.total()
-        );
-    }
     let mut study_config = StudyConfig::new(DateRange::inclusive(
         world.config.study_start,
         world.config.study_end,
     ));
     study_config.ingest = policy;
     study_config.manual_labels = world.manual_labels();
-    let study = match Study::from_text(study_config, world.peers.clone(), &text) {
+    let loaded = match format {
+        Format::Text => {
+            let mut text = {
+                let _span = obs.span("serialize");
+                world.to_text_archives()
+            };
+            if let Some(chaos_seed) = chaos {
+                let log = droplens_faults::Corruptor::new(chaos_seed)
+                    .with_rate(0.005)
+                    .corrupt_archives(&mut text);
+                eprintln!(
+                    "chaos: injected {} corruption events (seed {chaos_seed}, rate 0.5%)",
+                    log.total()
+                );
+            }
+            Study::from_text(study_config, world.peers.clone(), &text)
+        }
+        Format::Binary => {
+            let bin = {
+                let _span = obs.span("serialize");
+                world.to_binary_archives()
+            };
+            Study::from_binary(study_config, world.peers.clone(), &bin)
+        }
+    };
+    let study = match loaded {
         Ok(study) => study,
         Err(e) => {
             eprintln!("ingestion failed: {e}");
@@ -168,7 +243,11 @@ fn main() {
             }
         }
     }
-    eprintln!("study built in {:?}\n", study_span.finish());
+    let built_in = study_span.finish();
+    let records_per_sec = total_records as f64 / built_in.as_secs_f64().max(f64::EPSILON);
+    eprintln!(
+        "study built in {built_in:?} ({total_records} records, {records_per_sec:.0} records/sec)\n"
+    );
 
     println!("=== droplens reproduction (seed {seed}) ===\n");
 
@@ -249,11 +328,31 @@ fn main() {
         droplens_obs::alloc::record_gauges(obs);
     }
 
-    if let Some(path) = metrics_json {
-        let mut report = obs.report();
+    // Shared report stamp: workload identity plus the ingest-throughput
+    // figures the scale trajectory tracks.
+    let stamp = |report: &mut droplens_obs::RunReport| {
         report.meta.insert("bin".to_owned(), "reproduce".to_owned());
         report.meta.insert("seed".to_owned(), seed.to_string());
-        report.meta.insert("scale".to_owned(), "paper".to_owned());
+        report.meta.insert("scale".to_owned(), scale.to_string());
+        report.meta.insert(
+            "format".to_owned(),
+            match format {
+                Format::Text => "text".to_owned(),
+                Format::Binary => "binary".to_owned(),
+            },
+        );
+        report
+            .meta
+            .insert("records_total".to_owned(), total_records.to_string());
+        report.meta.insert(
+            "records_per_sec".to_owned(),
+            format!("{records_per_sec:.0}"),
+        );
+    };
+
+    if let Some(path) = metrics_json {
+        let mut report = obs.report();
+        stamp(&mut report);
         match std::fs::write(&path, report.to_json()) {
             Ok(()) => eprintln!("metrics written to {}", path.display()),
             Err(e) => {
@@ -267,9 +366,7 @@ fn main() {
         Some(MemSink::Stderr) => eprintln!("{}", droplens_obs::alloc::snapshot().summary()),
         Some(MemSink::Json(path)) => {
             let mut report = obs.report();
-            report.meta.insert("bin".to_owned(), "reproduce".to_owned());
-            report.meta.insert("seed".to_owned(), seed.to_string());
-            report.meta.insert("scale".to_owned(), "paper".to_owned());
+            stamp(&mut report);
             report.meta.insert("mem".to_owned(), "on".to_owned());
             match std::fs::write(&path, report.to_json()) {
                 Ok(()) => eprintln!("mem report written to {}", path.display()),

@@ -7,23 +7,60 @@
 //! lookups are binary searches, so the whole-study correlations stay fast
 //! even with hundreds of peers and thousands of prefixes.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use droplens_net::{Asn, Date, Ipv4Prefix, PrefixTrie};
 
 use crate::{AsPath, BgpEvent, BgpUpdate, Peer, PeerId};
 
+/// Handle to a deduplicated AS path in a [`BgpArchive`]'s path arena.
+/// Resolve with [`BgpArchive::path_of`]. Equal ids mean equal paths
+/// within one archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(u32);
+
+/// Deduplicated AS-path storage: each distinct path is stored once, in
+/// first-appearance order, and intervals refer to it by a 4-byte
+/// [`PathId`]. Update streams repeat the same few transit chains across
+/// thousands of (prefix, peer) lanes, so this collapses the dominant
+/// per-interval allocation.
+#[derive(Debug, Default)]
+struct PathArena {
+    /// Distinct paths in first-appearance order.
+    paths: Vec<AsPath>,
+    /// Dedup index; never iterated, so hash order cannot leak into any
+    /// output (the interner determinism rule, DESIGN.md §11).
+    dedup: HashMap<AsPath, u32>,
+}
+
+impl PathArena {
+    fn intern(&mut self, path: &AsPath) -> PathId {
+        if let Some(&raw) = self.dedup.get(path) {
+            return PathId(raw);
+        }
+        let raw = self.paths.len() as u32;
+        self.paths.push(path.clone());
+        self.dedup.insert(path.clone(), raw);
+        PathId(raw)
+    }
+
+    fn get(&self, id: PathId) -> &AsPath {
+        &self.paths[id.0 as usize]
+    }
+}
+
 /// A maximal period `[start, end)` during which one peer continuously
 /// reported one path for a prefix. `end == None` means the route was still
 /// present at the end of the archive.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interval {
     /// First day the path was observed.
     pub start: Date,
     /// Day the route was withdrawn or replaced; `None` if never.
     pub end: Option<Date>,
-    /// The path reported throughout the interval.
-    pub path: AsPath,
+    /// The path reported throughout the interval, as an arena id; resolve
+    /// with [`BgpArchive::path_of`].
+    pub path: PathId,
 }
 
 impl Interval {
@@ -89,6 +126,7 @@ impl PrefixRecord {
 pub struct BgpArchive {
     peers: Vec<Peer>,
     records: PrefixTrie<PrefixRecord>,
+    paths: PathArena,
     first_date: Option<Date>,
     last_date: Option<Date>,
 }
@@ -102,6 +140,7 @@ impl BgpArchive {
     /// an open interval are ignored (idle withdraws are legal BGP chatter).
     pub fn from_updates(peers: Vec<Peer>, updates: &[BgpUpdate]) -> BgpArchive {
         let mut records: PrefixTrie<PrefixRecord> = PrefixTrie::new();
+        let mut paths = PathArena::default();
         let mut first_date = None;
         let mut last_date = None;
         for u in updates {
@@ -111,8 +150,10 @@ impl BgpArchive {
             let lane = record.by_peer.entry(u.peer).or_default();
             match &u.event {
                 BgpEvent::Announce(path) => {
+                    // Interning dedups exactly, so equal ids ⇔ equal paths.
+                    let id = paths.intern(path);
                     if let Some(open) = lane.last_mut().filter(|iv| iv.end.is_none()) {
-                        if open.path == *path {
+                        if open.path == id {
                             continue; // duplicate announcement
                         }
                         open.end = Some(u.date);
@@ -120,7 +161,7 @@ impl BgpArchive {
                     lane.push(Interval {
                         start: u.date,
                         end: None,
-                        path: path.clone(),
+                        path: id,
                     });
                 }
                 BgpEvent::Withdraw => {
@@ -137,9 +178,15 @@ impl BgpArchive {
         BgpArchive {
             peers,
             records,
+            paths,
             first_date,
             last_date,
         }
+    }
+
+    /// Resolve an interval's [`PathId`] to the actual path.
+    pub fn path_of(&self, id: PathId) -> &AsPath {
+        self.paths.get(id)
     }
 
     /// Close "zombie" lanes left behind by quarantined withdrawals.
@@ -248,7 +295,7 @@ impl BgpArchive {
         // Intervals are chronologically ordered; binary search by start.
         let idx = lane.partition_point(|iv| iv.start <= date);
         let iv = lane[..idx].last()?;
-        iv.contains(date).then_some(&iv.path)
+        iv.contains(date).then(|| self.paths.get(iv.path))
     }
 
     /// Number of peers with a route for `prefix` on `date`.
@@ -392,7 +439,7 @@ impl BgpArchive {
             for lane in record.by_peer.values() {
                 for iv in lane {
                     if iv.start < date {
-                        let origin = iv.path.origin();
+                        let origin = self.paths.get(iv.path).origin();
                         out.entry(origin)
                             .and_modify(|d| *d = (*d).min(iv.start))
                             .or_insert(iv.start);

@@ -138,7 +138,8 @@ pub fn find_origin_via_transit(
         let mut first_seen: Option<Date> = None;
         for peer in archive.peers() {
             for iv in archive.intervals(&prefix, peer.id) {
-                if iv.path.origin() != origin || !iv.path.contains(transit) {
+                let path = archive.path_of(iv.path);
+                if path.origin() != origin || !path.contains(transit) {
                     continue;
                 }
                 // Clamp the interval into the window.

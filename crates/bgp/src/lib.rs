@@ -42,7 +42,7 @@ pub mod topology;
 mod update;
 pub mod visibility;
 
-pub use archive::{BgpArchive, Interval};
+pub use archive::{BgpArchive, Interval, PathId};
 pub use collector::{CollectorSim, FilterPolicy, Origination};
 pub use path::AsPath;
 pub use peer::{Peer, PeerId};

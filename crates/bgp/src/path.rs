@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 use droplens_net::{Asn, ParseError};
 
@@ -11,9 +12,14 @@ use droplens_net::{Asn, ParseError};
 /// Stored collector-style: index 0 is the peer-adjacent (first-hop) AS and
 /// the last element is the origin AS. The textual form is the familiar
 /// space-separated list used by `bgpdump -m`, e.g. `"50509 34665 263692"`.
+///
+/// The hop list is a shared `Arc<[Asn]>`: paths repeat heavily across a
+/// RIB (every route from the same peer shares a handful of transit
+/// chains), so `clone()` is a reference-count bump and the struct itself
+/// is two words instead of a `Vec`'s three plus an owned block per copy.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct AsPath {
-    hops: Vec<Asn>,
+    hops: Arc<[Asn]>,
 }
 
 impl AsPath {
@@ -23,7 +29,7 @@ impl AsPath {
     /// untrusted input.
     pub fn new(hops: Vec<Asn>) -> AsPath {
         assert!(!hops.is_empty(), "AS path must have at least one hop");
-        AsPath { hops }
+        AsPath { hops: hops.into() }
     }
 
     /// Fallible construction; `None` on an empty hop list.
@@ -31,7 +37,7 @@ impl AsPath {
         if hops.is_empty() {
             None
         } else {
-            Some(AsPath { hops })
+            Some(AsPath { hops: hops.into() })
         }
     }
 
@@ -73,7 +79,7 @@ impl AsPath {
     pub fn unique_len(&self) -> usize {
         let mut n = 0;
         let mut prev = None;
-        for &a in &self.hops {
+        for &a in self.hops.iter() {
             if Some(a) != prev {
                 n += 1;
                 prev = Some(a);
@@ -93,7 +99,7 @@ impl AsPath {
         let mut hops = Vec::with_capacity(self.hops.len() + 1);
         hops.push(asn);
         hops.extend_from_slice(&self.hops);
-        AsPath { hops }
+        AsPath { hops: hops.into() }
     }
 }
 

@@ -44,6 +44,8 @@ impl Rib {
     pub fn apply(&mut self, prefix: Ipv4Prefix, event: &BgpEvent) {
         match event {
             BgpEvent::Announce(path) => {
+                // `AsPath` is an `Arc<[Asn]>` handle, so this clone is a
+                // refcount bump, not a per-announce hop-list copy.
                 self.routes.insert(prefix, path.clone());
             }
             BgpEvent::Withdraw => {

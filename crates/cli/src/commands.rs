@@ -37,26 +37,68 @@ pub fn generate(out: &Path, seed: u64, scale: &str) -> Result<String, CliError> 
     ))
 }
 
+/// Which on-disk representation a loading command reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ArchiveFormat {
+    /// Binary sidecars when the tree carries a complete set
+    /// ([`layout::binary_sidecars_complete`]), canonical text otherwise.
+    #[default]
+    Auto,
+    /// The canonical text archives, always.
+    Text,
+    /// The `droplens-bin/1` sidecars; a missing sidecar is an error.
+    Binary,
+}
+
+impl std::str::FromStr for ArchiveFormat {
+    type Err = CliError;
+
+    fn from_str(s: &str) -> Result<ArchiveFormat, CliError> {
+        match s {
+            "auto" => Ok(ArchiveFormat::Auto),
+            "text" => Ok(ArchiveFormat::Text),
+            "binary" => Ok(ArchiveFormat::Binary),
+            other => Err(CliError::Usage(format!(
+                "--format wants auto|text|binary, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// How a loading command should treat malformed archive input.
 ///
 /// `policy` selects strict (abort on the first malformed line, the
 /// default) or permissive (quarantine within error/gap budgets)
 /// parsing; `quarantine` optionally writes the per-source ingest
-/// ledger as JSON after a successful load.
+/// ledger as JSON after a successful load; `format` picks the on-disk
+/// representation (default: binary sidecars when complete).
 #[derive(Debug, Clone, Default)]
 pub struct IngestOptions {
-    /// Parsing policy handed to [`Study::from_text`].
+    /// Parsing policy handed to [`Study::from_text`] / `from_binary`.
     pub policy: IngestPolicy,
     /// Where to write the ingest ledger JSON, if anywhere.
     pub quarantine: Option<PathBuf>,
+    /// Which archive representation to load.
+    pub format: ArchiveFormat,
 }
 
 /// Load the archive tree under `dir` into a study, honouring the
 /// ingest options (shared by `analyze` and `scorecard`).
 fn load_study(dir: &Path, ingest: &IngestOptions) -> Result<Study, CliError> {
-    let (mut config, peers, text) = layout::read_archives(dir)?;
-    config.ingest = ingest.policy;
-    let study = Study::from_text(config, peers, &text)?;
+    let format = match ingest.format {
+        ArchiveFormat::Auto if layout::binary_sidecars_complete(dir) => ArchiveFormat::Binary,
+        ArchiveFormat::Auto => ArchiveFormat::Text,
+        explicit => explicit,
+    };
+    let study = if format == ArchiveFormat::Binary {
+        let (mut config, peers, bin) = layout::read_binary_archives(dir)?;
+        config.ingest = ingest.policy;
+        Study::from_binary(config, peers, &bin)?
+    } else {
+        let (mut config, peers, text) = layout::read_archives(dir)?;
+        config.ingest = ingest.policy;
+        Study::from_text(config, peers, &text)?
+    };
     if let Some(path) = &ingest.quarantine {
         std::fs::write(path, study.ingest.to_json())
             .map_err(|e| CliError::Io(path.display().to_string(), e))?;

@@ -11,6 +11,13 @@
 //!   sbl/records.txt                  SBL record blocks
 //!   labels/manual_labels.tsv         analyst labels for keyword-less records
 //! ```
+//!
+//! Every dataset also gets a `droplens-bin/1` sidecar next to its text
+//! form (`bgp/updates.bin`, `rpki/roas.bin`, `rir/<date>/delegated-
+//! <rir>-extended.bin`, ...). Text stays canonical; the sidecars are
+//! the columnar fast path [`read_binary_archives`] loads without
+//! per-line parsing. [`binary_sidecars_complete`] reports whether a
+//! tree carries the full set, which is how loaders decide the default.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -21,7 +28,7 @@ use droplens_core::StudyConfig;
 use droplens_drop::{Category, SblId};
 use droplens_net::{Asn, Date, DateRange};
 use droplens_rir::Rir;
-use droplens_synth::{TextArchives, World};
+use droplens_synth::{BinaryArchives, TextArchives, World};
 
 use crate::CliError;
 
@@ -34,6 +41,17 @@ fn write(path: &Path, contents: &str) -> Result<(), CliError> {
 
 fn read(path: &Path) -> Result<String, CliError> {
     fs::read_to_string(path).map_err(|e| CliError::Io(path.display().to_string(), e))
+}
+
+fn write_bytes(path: &Path, contents: &[u8]) -> Result<(), CliError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| CliError::Io(parent.display().to_string(), e))?;
+    }
+    fs::write(path, contents).map_err(|e| CliError::Io(path.display().to_string(), e))
+}
+
+fn read_bytes(path: &Path) -> Result<Vec<u8>, CliError> {
+    fs::read(path).map_err(|e| CliError::Io(path.display().to_string(), e))
 }
 
 /// Serialize a world into the archive tree rooted at `dir`.
@@ -73,6 +91,25 @@ pub fn write_world(dir: &Path, world: &World) -> Result<(), CliError> {
     }
     write(&dir.join("sbl/records.txt"), &text.sbl_records)?;
 
+    // The binary sidecars, one per dataset, next to the canonical text.
+    let bin = world.to_binary_archives();
+    write_bytes(&dir.join("bgp/updates.bin"), &bin.bgp_updates)?;
+    write_bytes(&dir.join("irr/journal.bin"), &bin.irr_journal)?;
+    write_bytes(&dir.join("rpki/roas.bin"), &bin.roa_events)?;
+    for (date, files) in &bin.rir_snapshots {
+        for (rir, body) in Rir::ALL.iter().zip(files) {
+            let path = dir
+                .join("rir")
+                .join(date.to_compact_string())
+                .join(format!("delegated-{}-extended.bin", rir.token()));
+            write_bytes(&path, body)?;
+        }
+    }
+    for (date, body) in &bin.drop_snapshots {
+        write_bytes(&dir.join("drop").join(format!("{date}.bin")), body)?;
+    }
+    write_bytes(&dir.join("sbl/records.bin"), &bin.sbl_records)?;
+
     // The analyst's manual labels for keyword-less records.
     let mut labels = String::from("# sbl-id\tcategories\n");
     for (id, cats) in world.manual_labels() {
@@ -83,9 +120,8 @@ pub fn write_world(dir: &Path, world: &World) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Read an archive tree back into the pieces `Study::from_text` needs.
-pub fn read_archives(dir: &Path) -> Result<(StudyConfig, Vec<Peer>, TextArchives), CliError> {
-    // Manifest.
+/// Read the manifest and labels shared by both archive representations.
+fn read_common(dir: &Path) -> Result<(StudyConfig, Vec<Peer>), CliError> {
     let manifest = read(&dir.join("manifest.tsv"))?;
     let mut window: Option<DateRange> = None;
     let mut peers: Vec<Peer> = Vec::new();
@@ -115,6 +151,12 @@ pub fn read_archives(dir: &Path) -> Result<(StudyConfig, Vec<Peer>, TextArchives
 
     let mut config = StudyConfig::new(window);
     config.manual_labels = read_labels(&dir.join("labels/manual_labels.tsv"))?;
+    Ok((config, peers))
+}
+
+/// Read an archive tree back into the pieces `Study::from_text` needs.
+pub fn read_archives(dir: &Path) -> Result<(StudyConfig, Vec<Peer>, TextArchives), CliError> {
+    let (config, peers) = read_common(dir)?;
 
     // Dated subdirectories, sorted by name (= chronological).
     let rir_snapshots = read_rir_tree(&dir.join("rir"))?;
@@ -129,6 +171,98 @@ pub fn read_archives(dir: &Path) -> Result<(StudyConfig, Vec<Peer>, TextArchives
         sbl_records: read(&dir.join("sbl/records.txt"))?,
     };
     Ok((config, peers, text))
+}
+
+/// Read an archive tree's binary sidecars into the pieces
+/// `Study::from_binary` needs. Any missing sidecar is an error — use
+/// [`binary_sidecars_complete`] first when falling back to text is an
+/// option.
+pub fn read_binary_archives(
+    dir: &Path,
+) -> Result<(StudyConfig, Vec<Peer>, BinaryArchives), CliError> {
+    let (config, peers) = read_common(dir)?;
+
+    let mut rir_snapshots = Vec::new();
+    for datedir in sorted_entries(&dir.join("rir"))? {
+        let name = datedir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let date = Date::parse_compact(&name)?;
+        let mut files = Vec::with_capacity(5);
+        for rir in Rir::ALL {
+            let path = datedir.join(format!("delegated-{}-extended.bin", rir.token()));
+            files.push(read_bytes(&path)?);
+        }
+        rir_snapshots.push((date, files));
+    }
+
+    let mut drop_snapshots = Vec::new();
+    for file in sorted_entries(&dir.join("drop"))? {
+        let name = file
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        let Some(stem) = name.strip_suffix(".bin") else {
+            continue;
+        };
+        let date: Date = stem.parse()?;
+        drop_snapshots.push((date, read_bytes(&file)?));
+    }
+
+    let bin = BinaryArchives {
+        bgp_updates: read_bytes(&dir.join("bgp/updates.bin"))?,
+        irr_journal: read_bytes(&dir.join("irr/journal.bin"))?,
+        roa_events: read_bytes(&dir.join("rpki/roas.bin"))?,
+        rir_snapshots,
+        drop_snapshots,
+        sbl_records: read_bytes(&dir.join("sbl/records.bin"))?,
+    };
+    Ok((config, peers, bin))
+}
+
+/// Whether the tree carries a binary sidecar for every dataset its text
+/// archives cover — the condition under which loading defaults to the
+/// binary fast path. A tree written by an older droplens (or with a
+/// sidecar deleted) is incomplete and loads from text.
+pub fn binary_sidecars_complete(dir: &Path) -> bool {
+    for fixed in [
+        "bgp/updates.bin",
+        "irr/journal.bin",
+        "rpki/roas.bin",
+        "sbl/records.bin",
+    ] {
+        if !dir.join(fixed).is_file() {
+            return false;
+        }
+    }
+    let Ok(datedirs) = sorted_entries(&dir.join("rir")) else {
+        return false;
+    };
+    for datedir in datedirs {
+        for rir in Rir::ALL {
+            if !datedir
+                .join(format!("delegated-{}-extended.bin", rir.token()))
+                .is_file()
+            {
+                return false;
+            }
+        }
+    }
+    let Ok(files) = sorted_entries(&dir.join("drop")) else {
+        return false;
+    };
+    for file in files {
+        // Every text snapshot needs its sidecar; bin-only days are fine.
+        if file.extension().and_then(|e| e.to_str()) == Some("txt")
+            && !file.with_extension("bin").is_file()
+        {
+            return false;
+        }
+    }
+    true
 }
 
 fn read_labels(path: &Path) -> Result<BTreeMap<SblId, Vec<Category>>, CliError> {

@@ -122,6 +122,10 @@ LINT (check the workspace's own invariants; see DESIGN.md §9):
                             exits nonzero when violations survive
 
 INGEST FLAGS (analyze, scorecard):
+    --format auto|text|binary    archive representation to load
+                                 (default auto: the droplens-bin/1
+                                 sidecars when the tree carries a
+                                 complete set, canonical text otherwise)
     --ingest strict|permissive   parsing policy (default strict: any
                                  malformed line aborts the run)
     --max-error-rate R           permissive error budget per source,

@@ -4,7 +4,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 use std::path::PathBuf;
 
-use droplens_cli::commands::IngestOptions;
+use droplens_cli::commands::{ArchiveFormat, IngestOptions};
 use droplens_cli::{commands, layout};
 use droplens_core::{IngestPolicy, Study};
 use droplens_synth::{World, WorldConfig};
@@ -21,26 +21,63 @@ fn generate_then_analyze_round_trips() {
     let summary = commands::generate(&dir, 42, "small").expect("generate");
     assert!(summary.contains("listings"));
 
-    // The tree has the documented shape.
+    // The tree has the documented shape, binary sidecars included.
     for path in [
         "manifest.tsv",
         "bgp/updates.txt",
+        "bgp/updates.bin",
         "irr/journal.txt",
+        "irr/journal.bin",
         "rpki/roas.csv",
+        "rpki/roas.bin",
         "sbl/records.txt",
+        "sbl/records.bin",
         "labels/manual_labels.tsv",
     ] {
         assert!(dir.join(path).exists(), "{path} missing");
     }
     assert!(dir.join("drop").read_dir().expect("drop dir").count() > 100);
     assert!(dir.join("rir").read_dir().expect("rir dir").count() > 10);
+    assert!(layout::binary_sidecars_complete(&dir));
 
-    // Analysis over the on-disk tree equals the in-memory pipeline.
+    // Analysis over the on-disk tree equals the in-memory pipeline —
+    // via the default (binary) path and the explicit text path alike.
     let from_disk = commands::analyze(&dir, "all", &IngestOptions::default()).expect("analyze");
     let world = World::generate(42, &WorldConfig::small());
     let study = Study::from_world(&world);
     let in_memory = commands::run_experiments(&study, "all").expect("run");
     assert_eq!(from_disk, in_memory);
+    let text_opts = IngestOptions {
+        format: ArchiveFormat::Text,
+        ..IngestOptions::default()
+    };
+    assert_eq!(
+        commands::analyze(&dir, "all", &text_opts).expect("text analyze"),
+        in_memory
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binary_sidecar_detection_and_explicit_formats() {
+    let dir = temp_dir("formats");
+    commands::generate(&dir, 11, "small").expect("generate");
+    let baseline = commands::analyze(&dir, "summary", &IngestOptions::default()).expect("auto");
+
+    // Deleting one sidecar demotes auto to the text path...
+    std::fs::remove_file(dir.join("irr/journal.bin")).expect("remove sidecar");
+    assert!(!layout::binary_sidecars_complete(&dir));
+    let from_text = commands::analyze(&dir, "summary", &IngestOptions::default()).expect("text");
+    assert_eq!(from_text, baseline);
+
+    // ...while an explicit --format binary refuses the incomplete tree.
+    let bin_opts = IngestOptions {
+        format: ArchiveFormat::Binary,
+        ..IngestOptions::default()
+    };
+    let err = commands::analyze(&dir, "summary", &bin_opts).expect_err("incomplete tree");
+    assert!(err.to_string().contains("irr/journal.bin"), "{err}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -71,20 +108,31 @@ fn analyze_permissive_quarantines_corruption_and_writes_ledger() {
     let dir = temp_dir("quarantine");
     commands::generate(&dir, 7, "small").expect("generate");
 
-    // Corrupt one BGP line in place: strict must refuse the tree.
+    // Corrupt one BGP line in place: strict must refuse the tree. The
+    // corruption hits the canonical text, so the load is pinned to the
+    // text path (auto would read the intact binary sidecar instead).
     let updates = dir.join("bgp/updates.txt");
     let mut text = std::fs::read_to_string(&updates).expect("read updates");
     text.push_str("this line is not a bgp update\n");
     std::fs::write(&updates, &text).expect("write updates");
-    let err = commands::analyze(&dir, "summary", &IngestOptions::default())
+    let strict_text = IngestOptions {
+        format: ArchiveFormat::Text,
+        ..IngestOptions::default()
+    };
+    let err = commands::analyze(&dir, "summary", &strict_text)
         .expect_err("strict must reject the corrupted tree");
     assert!(err.to_string().contains("bgp/updates.txt"), "{err}");
+
+    // The sidecars are untouched, so the default load still succeeds.
+    commands::analyze(&dir, "summary", &IngestOptions::default())
+        .expect("binary path unaffected by text damage");
 
     // Permissive quarantines it, still analyzes, and writes the ledger.
     let ledger = dir.join("ingest.json");
     let opts = IngestOptions {
         policy: IngestPolicy::permissive(),
         quarantine: Some(ledger.clone()),
+        format: ArchiveFormat::Text,
     };
     let out = commands::analyze(&dir, "summary", &opts).expect("permissive analyze");
     assert!(out.contains("## summary"));

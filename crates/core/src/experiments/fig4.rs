@@ -177,10 +177,10 @@ fn suspicious_transit(study: &Study, case: &Ipv4Prefix, listed: Date) -> Option<
         let mut hops: BTreeSet<Asn> = BTreeSet::new();
         for peer in study.peers.iter() {
             for iv in study.bgp.intervals(&e.prefix(), peer.id) {
-                let origin = iv.path.origin();
+                let path = study.bgp.path_of(iv.path);
+                let origin = path.origin();
                 hops.extend(
-                    iv.path
-                        .hops()
+                    path.hops()
                         .iter()
                         .filter(|&&h| h != origin && !peer_asns.contains(&h)),
                 );

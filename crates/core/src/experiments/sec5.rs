@@ -163,10 +163,10 @@ fn common_path_as(study: &Study, prefixes: &[droplens_net::Ipv4Prefix]) -> Optio
         let mut hops: BTreeSet<Asn> = BTreeSet::new();
         for peer in study.peers.iter() {
             for iv in study.bgp.intervals(prefix, peer.id) {
-                let origin = iv.path.origin();
+                let path = study.bgp.path_of(iv.path);
+                let origin = path.origin();
                 hops.extend(
-                    iv.path
-                        .hops()
+                    path.hops()
                         .iter()
                         .filter(|&&h| h != origin && !peer_asns.contains(&h)),
                 );

@@ -2,20 +2,21 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use droplens_bgp::{format as bgpfmt, BgpArchive, Peer};
+use droplens_bgp::{format as bgpfmt, BgpArchive, BgpUpdate, Peer};
 use droplens_drop::{
-    classify, extract_asns, Category, DropEntry, DropSnapshot, DropTimeline, SblDatabase, SblId,
+    classify, extract_asns, format as dropfmt, Category, DropEntry, DropSnapshot, DropTimeline,
+    SblDatabase, SblId,
 };
-use droplens_irr::{journal, IrrRegistry};
+use droplens_irr::{format as irrbin, journal, IrrRegistry, JournalEntry};
 use droplens_net::{
     AddressSpace, Asn, Date, DateRange, IngestError, IngestPolicy, IngestReport, Ipv4Prefix,
     ParseError, Quarantine, SourceCoverage, SourceIngest,
 };
-use droplens_rir::format::parse_stats_file_with;
+use droplens_rir::format::{parse_stats_file_bin_with, parse_stats_file_with, StatsFile};
 use droplens_rir::{Rir, RirStatsArchive};
-use droplens_rpki::format::parse_events_with;
+use droplens_rpki::format::{parse_events_bin_with, parse_events_with, RoaEvent};
 use droplens_rpki::RoaArchive;
-use droplens_synth::{TextArchives, World};
+use droplens_synth::{BinaryArchives, TextArchives, World};
 
 /// Expected days between RIR delegated-stats snapshots: the synthetic
 /// world publishes them monthly, so a ≤31-day delta is not a gap.
@@ -127,6 +128,23 @@ pub struct Study {
     /// coverage. Empty sources when the study was built in memory via
     /// [`Study::from_world`] (no parsing happened).
     pub ingest: IngestReport,
+}
+
+/// Every source's parsed records plus its quarantine ledger — the output
+/// of a load stage (text or binary), ready for indexing.
+struct LoadedSources {
+    updates: Vec<BgpUpdate>,
+    bgp_q: Quarantine,
+    irr_journal: Vec<JournalEntry>,
+    irr_q: Quarantine,
+    roa_events: Vec<RoaEvent>,
+    rpki_q: Quarantine,
+    rir_files: Vec<(Date, Vec<StatsFile>)>,
+    rir_q: Quarantine,
+    snapshots: Vec<DropSnapshot>,
+    drop_q: Quarantine,
+    sbl: SblDatabase,
+    sbl_q: Quarantine,
 }
 
 impl Study {
@@ -285,6 +303,174 @@ impl Study {
             .arg_u64("roa_events", roa_events.len() as u64)
             .arg_u64("drop_days", snapshots.len() as u64);
         load_span.finish();
+        Self::index_and_assemble(
+            config,
+            peers,
+            LoadedSources {
+                updates,
+                bgp_q,
+                irr_journal,
+                irr_q,
+                roa_events,
+                rpki_q,
+                rir_files,
+                rir_q,
+                snapshots,
+                drop_q,
+                sbl,
+                sbl_q,
+            },
+        )
+    }
+
+    /// Build a study from `droplens-bin/1` sidecar archives — the binary
+    /// fast path. Loads the very same records as [`Study::from_text`]
+    /// (a round-trip equivalence test in this crate proves the resulting
+    /// studies are identical), without per-line scanning.
+    ///
+    /// Quarantine semantics differ only in granularity: a binary sidecar
+    /// cannot be resynchronized mid-stream, so damage quarantines the
+    /// whole archive rather than one record.
+    pub fn from_binary(
+        config: StudyConfig,
+        peers: Vec<Peer>,
+        bin: &BinaryArchives,
+    ) -> Result<Study, IngestError> {
+        let obs = droplens_obs::global();
+        let mut load_span = obs.span("load");
+        let policy = config.ingest;
+        // Same fan-out shape as `from_text`: five independent sources,
+        // fixed tuple positions, deterministic at any worker count.
+        let (bgp_res, irr_res, rpki_res, rir_res, drop_res) = droplens_par::join5(
+            || {
+                let mut q = Quarantine::for_policy("bgp/updates.bin", &policy);
+                let updates = bgpfmt::parse_updates_bin_with(&bin.bgp_updates, &mut q)?;
+                Ok::<_, ParseError>((updates, q))
+            },
+            || {
+                let mut q = Quarantine::for_policy("irr/journal.bin", &policy);
+                let entries = irrbin::parse_journal_bin_with(&bin.irr_journal, &mut q)?;
+                Ok::<_, ParseError>((entries, q))
+            },
+            || {
+                let mut q = Quarantine::for_policy("rpki/roas.bin", &policy);
+                let events = parse_events_bin_with(&bin.roa_events, &mut q)?;
+                Ok::<_, ParseError>((events, q))
+            },
+            || {
+                let per_snapshot = droplens_par::par_map(&bin.rir_snapshots, |(date, files)| {
+                    let mut kept = Vec::with_capacity(files.len());
+                    let mut merged = Quarantine::for_policy("rir", &policy);
+                    for (i, f) in files.iter().enumerate() {
+                        let label = match Rir::ALL.get(i) {
+                            Some(r) => format!(
+                                "rir/{}/delegated-{}-extended.bin",
+                                date.compact(),
+                                r.token()
+                            ),
+                            None => format!("rir/{}/file{}", date.compact(), i),
+                        };
+                        let mut q = Quarantine::for_policy(label, &policy);
+                        // `None` = the sidecar was damaged and quarantined
+                        // whole; the snapshot keeps the rest.
+                        if let Some(file) = parse_stats_file_bin_with(f, &mut q)? {
+                            kept.push(file);
+                        }
+                        merged.absorb(q);
+                    }
+                    Ok::<_, ParseError>((*date, kept, merged))
+                });
+                let mut out = Vec::new();
+                let mut partial = Vec::new();
+                let mut q = Quarantine::for_policy("rir", &policy);
+                for (r, (_, raw_files)) in per_snapshot.into_iter().zip(&bin.rir_snapshots) {
+                    let (date, kept, merged) = r?;
+                    let damaged = merged.quarantined > 0 || kept.len() < raw_files.len();
+                    q.absorb(merged);
+                    if !kept.is_empty() {
+                        out.push((date, kept));
+                        partial.push(damaged);
+                    }
+                }
+                droplens_rir::format::repair_flickers(&mut out, &partial);
+                Ok::<_, ParseError>((out, q))
+            },
+            || {
+                let per_snapshot = droplens_par::par_map(&bin.drop_snapshots, |(date, body)| {
+                    let mut q = Quarantine::for_policy(format!("drop/{date}.bin"), &policy);
+                    let snap = dropfmt::parse_snapshot_bin_with(*date, body, &mut q)?;
+                    Ok::<_, ParseError>((snap, q))
+                });
+                let mut snapshots = Vec::with_capacity(per_snapshot.len());
+                let mut partial = Vec::with_capacity(per_snapshot.len());
+                let mut q = Quarantine::for_policy("drop", &policy);
+                for r in per_snapshot {
+                    let (snap, file_q) = r?;
+                    partial.push(file_q.quarantined > 0);
+                    q.absorb(file_q);
+                    snapshots.push(snap);
+                }
+                droplens_drop::repair_flickers(&mut snapshots, &partial);
+                let mut sbl_q = Quarantine::for_policy("sbl/records.bin", &policy);
+                let sbl = dropfmt::parse_sbl_bin_with(&bin.sbl_records, &mut sbl_q)?;
+                Ok::<_, ParseError>((snapshots, q, sbl, sbl_q))
+            },
+        );
+        let (updates, bgp_q) = bgp_res?;
+        let (irr_journal, irr_q) = irr_res?;
+        let (roa_events, rpki_q) = rpki_res?;
+        let (rir_files, rir_q) = rir_res?;
+        let (snapshots, drop_q, sbl, sbl_q) = drop_res?;
+        load_span
+            .arg_u64("bgp_updates", updates.len() as u64)
+            .arg_u64("irr_entries", irr_journal.len() as u64)
+            .arg_u64("roa_events", roa_events.len() as u64)
+            .arg_u64("drop_days", snapshots.len() as u64);
+        load_span.finish();
+        Self::index_and_assemble(
+            config,
+            peers,
+            LoadedSources {
+                updates,
+                bgp_q,
+                irr_journal,
+                irr_q,
+                roa_events,
+                rpki_q,
+                rir_files,
+                rir_q,
+                snapshots,
+                drop_q,
+                sbl,
+                sbl_q,
+            },
+        )
+    }
+
+    /// The shared back half of [`Study::from_text`] and
+    /// [`Study::from_binary`]: build the ingestion ledger, enforce the
+    /// policy budgets, index the five sources, and assemble the study.
+    fn index_and_assemble(
+        config: StudyConfig,
+        peers: Vec<Peer>,
+        loaded: LoadedSources,
+    ) -> Result<Study, IngestError> {
+        let obs = droplens_obs::global();
+        let policy = config.ingest;
+        let LoadedSources {
+            updates,
+            bgp_q,
+            irr_journal,
+            irr_q,
+            roa_events,
+            rpki_q,
+            rir_files,
+            rir_q,
+            snapshots,
+            drop_q,
+            sbl,
+            sbl_q,
+        } = loaded;
 
         // Assemble the pipeline-wide ledger in fixed source order and
         // enforce the budgets before paying for indexing.
@@ -655,6 +841,55 @@ mod tests {
             assert_eq!(a.rir, b.rir);
             assert_eq!(a.afrinic_incident, b.afrinic_incident);
         }
+    }
+
+    #[test]
+    fn from_binary_equals_from_text() {
+        let world = World::generate(42, &WorldConfig::small());
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.manual_labels = world.manual_labels();
+        let text = world.to_text_archives();
+        let bin = world.to_binary_archives();
+        let from_text =
+            Study::from_text(config.clone(), world.peers.clone(), &text).expect("text parses");
+        let from_bin =
+            Study::from_binary(config, world.peers.clone(), &bin).expect("binary parses");
+        // The two load paths must build the very same study.
+        assert_eq!(from_bin.entries, from_text.entries);
+        assert_eq!(from_bin.peers, from_text.peers);
+        assert_eq!(from_bin.sbl, from_text.sbl);
+        assert_eq!(from_bin.drop, from_text.drop);
+        assert_eq!(
+            from_bin.ingest.total_quarantined(),
+            from_text.ingest.total_quarantined()
+        );
+    }
+
+    #[test]
+    fn from_binary_permissive_quarantines_damaged_sidecar() {
+        let world = World::generate(42, &WorldConfig::small());
+        let mut bin = world.to_binary_archives();
+        let n = bin.bgp_updates.len();
+        bin.bgp_updates.truncate(n - 4);
+        let mut config = StudyConfig::new(DateRange::inclusive(
+            world.config.study_start,
+            world.config.study_end,
+        ));
+        config.manual_labels = world.manual_labels();
+        // Strict: the damaged sidecar aborts the load.
+        assert!(Study::from_binary(config.clone(), world.peers.clone(), &bin).is_err());
+        // Permissive: the whole sidecar quarantines (binary archives
+        // cannot resync mid-stream) — and losing every BGP update blows
+        // the error budget, which is the correct loud failure.
+        config.ingest = IngestPolicy::permissive();
+        let err = match Study::from_binary(config, world.peers.clone(), &bin) {
+            Err(e) => e,
+            Ok(_) => panic!("expected budget failure"),
+        };
+        assert!(err.to_string().contains("bgp"), "{err}");
     }
 
     #[test]

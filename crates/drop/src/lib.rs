@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 mod category;
+pub mod format;
 pub mod list;
 mod sbl;
 

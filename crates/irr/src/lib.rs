@@ -20,10 +20,11 @@
 
 #![warn(missing_docs)]
 
+pub mod format;
 pub mod journal;
 mod object;
 mod registry;
 
-pub use journal::{JournalEntry, JournalOp};
+pub use journal::{parse_journal, parse_journal_with, write_journal, JournalEntry, JournalOp};
 pub use object::RouteObject;
 pub use registry::{IrrRegistry, RegisteredObject};

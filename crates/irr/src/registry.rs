@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use droplens_net::{Asn, Date, Ipv4Prefix, PrefixTrie};
+use droplens_net::{Asn, Date, Ipv4Prefix, MaintainerId, PrefixTrie, StringInterner};
 
 use crate::{JournalEntry, JournalOp, RouteObject};
 
@@ -31,6 +31,12 @@ pub struct IrrRegistry {
     objects: Vec<RegisteredObject>,
     /// Prefix → indices into `objects` (all generations, all origins).
     by_prefix: PrefixTrie<Vec<usize>>,
+    /// Interned `mnt-by` handles: forged-object sweeps group by
+    /// maintainer, and one registry repeats a handful of maintainers
+    /// across thousands of objects.
+    maintainers: StringInterner<MaintainerId>,
+    /// Per-object maintainer id, a column parallel to `objects`.
+    maintainer_ids: Vec<MaintainerId>,
 }
 
 impl IrrRegistry {
@@ -45,6 +51,8 @@ impl IrrRegistry {
         // (prefix, origin) -> index of live generation
         let mut live: BTreeMap<(Ipv4Prefix, Asn), usize> = BTreeMap::new();
         let mut by_prefix: PrefixTrie<Vec<usize>> = PrefixTrie::new();
+        let mut maintainers: StringInterner<MaintainerId> = StringInterner::new();
+        let mut maintainer_ids: Vec<MaintainerId> = Vec::new();
         for e in entries {
             let key = e.object.key();
             match e.op {
@@ -53,6 +61,7 @@ impl IrrRegistry {
                         continue;
                     }
                     let idx = objects.len();
+                    maintainer_ids.push(maintainers.intern(&e.object.maintainer));
                     objects.push(RegisteredObject {
                         object: e.object.clone(),
                         created: e.date,
@@ -70,7 +79,12 @@ impl IrrRegistry {
                 }
             }
         }
-        IrrRegistry { objects, by_prefix }
+        IrrRegistry {
+            objects,
+            by_prefix,
+            maintainers,
+            maintainer_ids,
+        }
     }
 
     /// Every object generation ever registered.
@@ -133,6 +147,32 @@ impl IrrRegistry {
     /// Number of distinct prefixes ever registered.
     pub fn prefix_count(&self) -> usize {
         self.by_prefix.len()
+    }
+
+    /// The interned id of a maintainer handle, if any object uses it.
+    pub fn maintainer_id(&self, mnt: &str) -> Option<MaintainerId> {
+        self.maintainers.lookup(mnt)
+    }
+
+    /// The handle behind a maintainer id.
+    pub fn maintainer_name(&self, id: MaintainerId) -> &str {
+        self.maintainers.get(id)
+    }
+
+    /// Number of distinct maintainers across all generations.
+    pub fn maintainer_count(&self) -> usize {
+        self.maintainers.len()
+    }
+
+    /// All objects maintained by `id` — the id-keyed fast path the
+    /// forged-entry sweeps use instead of comparing strings per object.
+    pub fn by_maintainer(&self, id: MaintainerId) -> Vec<&RegisteredObject> {
+        self.maintainer_ids
+            .iter()
+            .zip(&self.objects)
+            .filter(|(&m, _)| m == id)
+            .map(|(_, o)| o)
+            .collect()
     }
 }
 
@@ -265,6 +305,22 @@ mod tests {
         let groups = reg.org_groups();
         assert_eq!(groups.len(), 1);
         assert_eq!(groups["ORG-FORGE1"].len(), 2);
+    }
+
+    #[test]
+    fn maintainer_interning() {
+        let mut e1 = add("2020-01-01", "10.0.0.0/16", 1);
+        e1.object = e1.object.with_maintainer("MAINT-AS1");
+        let mut e2 = add("2020-01-02", "10.1.0.0/16", 2);
+        e2.object = e2.object.with_maintainer("MAINT-AS1");
+        let mut e3 = add("2020-01-03", "10.2.0.0/16", 3);
+        e3.object = e3.object.with_maintainer("MAINT-AS3");
+        let reg = IrrRegistry::from_journal(&[e1, e2, e3]);
+        assert_eq!(reg.maintainer_count(), 2);
+        let m1 = reg.maintainer_id("MAINT-AS1").unwrap();
+        assert_eq!(reg.maintainer_name(m1), "MAINT-AS1");
+        assert_eq!(reg.by_maintainer(m1).len(), 2);
+        assert!(reg.maintainer_id("MAINT-NONE").is_none());
     }
 
     #[test]

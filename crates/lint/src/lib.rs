@@ -7,7 +7,7 @@
 //! over the workspace's own sources, run as `droplens lint` locally and
 //! as a CI gate.
 //!
-//! Six rules, each scoped to the modules where its invariant bites
+//! Seven rules, each scoped to the modules where its invariant bites
 //! (see [`rules_for_path`] and DESIGN.md §9):
 //!
 //! | rule | scope | bans |
@@ -18,6 +18,7 @@
 //! | `seeded-rng-only` | everywhere | `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`, `rand::random` |
 //! | `located-errors` | parser modules (format/journal/list) | `ParseError::new` with no `.with_location` on any intra-file caller path |
 //! | `no-unbounded-collect` | parser/writer hot paths (format/archive) | `.collect` without an acknowledging escape |
+//! | `no-string-keyed-hot-map` | parser/writer hot paths (format/archive) | `HashMap<String, _>` / `BTreeMap<String, _>` |
 //!
 //! A finding can be suppressed per line with a trailing
 //! `// lint: allow(<rule>)` comment (or one on its own line directly
@@ -55,6 +56,10 @@ pub enum Rule {
     /// acknowledging escape — materializing an unbounded intermediate
     /// Vec is how 10–100× worlds run out of memory.
     NoUnboundedCollect,
+    /// No `String`-keyed maps on format/archive hot paths: every
+    /// insert/lookup hashes and possibly clones the full string. Intern
+    /// to a `u32` id (`StrTable`/`StringInterner`) and key by that.
+    NoStringKeyedHotMap,
     /// A `// lint: allow(...)` escape that names an unknown rule.
     BadEscape,
 }
@@ -62,13 +67,14 @@ pub enum Rule {
 impl Rule {
     /// Every scannable rule (excludes [`Rule::BadEscape`], which is
     /// emitted by the escape parser, not scanned for).
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoUnwrap,
         Rule::OrderedOutput,
         Rule::NoWallclock,
         Rule::SeededRngOnly,
         Rule::LocatedErrors,
         Rule::NoUnboundedCollect,
+        Rule::NoStringKeyedHotMap,
     ];
 
     /// The kebab-case name used in diagnostics and escapes.
@@ -80,6 +86,7 @@ impl Rule {
             Rule::SeededRngOnly => "seeded-rng-only",
             Rule::LocatedErrors => "located-errors",
             Rule::NoUnboundedCollect => "no-unbounded-collect",
+            Rule::NoStringKeyedHotMap => "no-string-keyed-hot-map",
             Rule::BadEscape => "bad-escape",
         }
     }
@@ -205,8 +212,8 @@ fn json_escape(s: &str) -> String {
 ///   ingest, `located-errors` on format/journal/list, `ordered-output`
 ///   on the output writers (format, layout, sbltext, report,
 ///   run_report, json, trace, registry, perf, paper, experiments/*),
-///   `no-unbounded-collect` on the per-record hot paths (format,
-///   archive).
+///   `no-unbounded-collect` and `no-string-keyed-hot-map` on the
+///   per-record hot paths (format, archive).
 pub fn rules_for_path(path: &str) -> Vec<Rule> {
     let norm = path.replace('\\', "/");
     let comps: Vec<&str> = norm
@@ -257,6 +264,7 @@ pub fn rules_for_path(path: &str) -> Vec<Rule> {
     }
     if COLLECT_STEMS.contains(&stem) {
         rules.push(Rule::NoUnboundedCollect);
+        rules.push(Rule::NoStringKeyedHotMap);
     }
     rules.sort();
     rules

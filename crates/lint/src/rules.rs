@@ -159,6 +159,7 @@ pub(crate) fn check(rule: Rule, view: &FileView<'_>, hits: &mut Vec<Hit>) {
         Rule::SeededRngOnly => seeded_rng_only(view, hits),
         Rule::LocatedErrors => located_errors(view, hits),
         Rule::NoUnboundedCollect => no_unbounded_collect(view, hits),
+        Rule::NoStringKeyedHotMap => no_string_keyed_hot_map(view, hits),
         // Emitted during escape parsing, never scanned for.
         Rule::BadEscape => {}
     }
@@ -298,6 +299,35 @@ fn no_unbounded_collect(view: &FileView<'_>, hits: &mut Vec<Hit>) {
                           collection — stream instead, or escape with a comment saying why the \
                           size is bounded"
                     .to_owned(),
+            });
+        }
+    }
+}
+
+/// `no-string-keyed-hot-map`: a `HashMap<String, _>` or
+/// `BTreeMap<String, _>` on a format/archive hot path hashes (or
+/// compares) and clones the full string once per record. The interners
+/// exist exactly for this — add the string to a `StrTable` /
+/// `StringInterner` once and key the map by the `u32` id. Reference
+/// keys (`&str`, `&AsPath`, ids) do not trip the rule.
+fn no_string_keyed_hot_map(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    for i in 0..view.len() {
+        if view.is_test_code(i) || view.kind(i) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let name = view.text(i);
+        if (name == "HashMap" || name == "BTreeMap")
+            && view.text(i + 1) == "<"
+            && view.text(i + 2) == "String"
+            && (view.text(i + 3) == "," || view.text(i + 3) == ">")
+        {
+            hits.push(Hit {
+                line: view.line(i),
+                rule: Rule::NoStringKeyedHotMap,
+                message: format!(
+                    "`{name}<String, _>` on a format/archive hot path — intern the keys \
+                     (StrTable/StringInterner) and key by u32 id instead"
+                ),
             });
         }
     }

@@ -118,6 +118,21 @@ fn no_unbounded_collect_goldens() {
 }
 
 #[test]
+fn no_string_keyed_hot_map_goldens() {
+    let (found, _) = lint_fixture("no_string_keyed_hot_map/bad/archive.rs");
+    assert_eq!(
+        found,
+        vec![
+            (5, Rule::NoStringKeyedHotMap),  // BTreeMap<String, _>
+            (13, Rule::NoStringKeyedHotMap), // HashMap<String, _>
+        ]
+    );
+    let (found, suppressed) = lint_fixture("no_string_keyed_hot_map/allowed/archive.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
 fn bad_escape_goldens() {
     let (found, _) = lint_fixture("bad_escape/bad/escape.rs");
     assert_eq!(
@@ -135,10 +150,10 @@ fn bad_escape_goldens() {
 #[test]
 fn corpus_as_a_whole_fails() {
     let files = collect_rs_files(&[corpus()]).expect("walk fixtures");
-    assert_eq!(files.len(), 13, "{files:?}");
+    assert_eq!(files.len(), 15, "{files:?}");
     let report = lint_files(&files).expect("lint fixtures");
     assert!(!report.is_clean());
-    assert_eq!(report.files_checked, 13);
-    assert_eq!(report.diagnostics.len(), 17);
-    assert_eq!(report.suppressed, 15);
+    assert_eq!(report.files_checked, 15);
+    assert_eq!(report.diagnostics.len(), 19);
+    assert_eq!(report.suppressed, 17);
 }

@@ -1,0 +1,19 @@
+//! Fixture: the same maps, acknowledged — this path is cold.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn count(names: &[&str]) -> BTreeMap<String, u32> { // lint: allow(no-string-keyed-hot-map)
+    let mut out = BTreeMap::new();
+    for n in names {
+        *out.entry((*n).to_owned()).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn index(names: &[&str]) -> HashMap<String, u32> { // lint: allow(no-string-keyed-hot-map)
+    let mut out = HashMap::new();
+    for (i, n) in names.iter().enumerate() {
+        out.insert((*n).to_owned(), i as u32);
+    }
+    out
+}

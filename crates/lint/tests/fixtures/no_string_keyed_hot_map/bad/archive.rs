@@ -1,0 +1,19 @@
+//! Fixture: string-keyed maps on per-record hot paths.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn count(names: &[&str]) -> BTreeMap<String, u32> {
+    let mut out = BTreeMap::new();
+    for n in names {
+        *out.entry((*n).to_owned()).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn index(names: &[&str]) -> HashMap<String, u32> {
+    let mut out = HashMap::new();
+    for (i, n) in names.iter().enumerate() {
+        out.insert((*n).to_owned(), i as u32);
+    }
+    out
+}

@@ -27,22 +27,26 @@
 #![warn(missing_docs)]
 
 mod asn;
+pub mod binfmt;
 mod date;
 mod error;
 pub mod ingest;
+mod intern;
 mod prefix;
 mod set;
 mod space;
 mod trie;
 
 pub use asn::Asn;
+pub use binfmt::{read_str_table, BinReader, BinWriter, StrTable, NO_ID};
 pub use date::{CompactDate, Date, DateRange, Month};
 pub use error::ParseError;
 pub use ingest::{
     find_gaps, GapSpan, IngestError, IngestPolicy, IngestReport, Quarantine, SourceCoverage,
     SourceIngest, QUARANTINE_SAMPLES_KEPT,
 };
+pub use intern::{InternId, MaintainerId, OrgId, StrId, StringInterner};
 pub use prefix::Ipv4Prefix;
 pub use set::PrefixSet;
 pub use space::{AddressSpace, SLASH8};
-pub use trie::PrefixTrie;
+pub use trie::{PrefixTrie, TRIE_NODE_SIZE};

@@ -7,33 +7,55 @@
 //! longest-match / subtree queries over prefix-keyed maps, and they run
 //! millions of times across daily archive snapshots. The trie performs
 //! them in O(prefix length) independent of population.
+//!
+//! Nodes live in a flat arena (`Vec<Node>`) indexed by `u32` rather
+//! than one heap allocation per node: a 16-byte node in a contiguous
+//! pool instead of a ~56-byte boxed node scattered across the heap.
+//! Values sit in a parallel column indexed by the same ids, so a
+//! `PrefixTrie<V>` is two allocations however many prefixes it holds —
+//! the struct-of-arrays diet ROADMAP item 3 calls for. Removed nodes go
+//! on a free list and are reused by later inserts.
 
 use std::fmt;
 
 use crate::Ipv4Prefix;
 
-/// A node holds the (possibly value-less, i.e. purely structural) prefix
-/// at its position plus up to two children whose prefixes strictly extend
-/// its own.
-struct Node<V> {
-    prefix: Ipv4Prefix,
-    value: Option<V>,
-    children: [Option<Box<Node<V>>>; 2],
+/// The arena's null id: no child / empty root.
+const NONE: u32 = u32::MAX;
+
+/// One arena node: the prefix at this position (split into its raw
+/// address and length so the node packs into 16 bytes) plus the arena
+/// ids of up to two children whose prefixes strictly extend it. Whether
+/// the node carries a value (or is purely structural) lives in the
+/// parallel value column.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    addr: u32,
+    children: [u32; 2],
+    len: u8,
 }
 
-impl<V> Node<V> {
-    fn new(prefix: Ipv4Prefix, value: Option<V>) -> Box<Node<V>> {
-        Box::new(Node {
-            prefix,
-            value,
-            children: [None, None],
-        })
+/// Size of one arena node in bytes — pinned by `tests/size_of.rs` so
+/// the per-prefix cost cannot silently grow.
+pub const TRIE_NODE_SIZE: usize = std::mem::size_of::<Node>();
+
+impl Node {
+    fn new(prefix: Ipv4Prefix) -> Node {
+        Node {
+            addr: prefix.network_u32(),
+            children: [NONE, NONE],
+            len: prefix.len(),
+        }
+    }
+
+    fn prefix(&self) -> Ipv4Prefix {
+        Ipv4Prefix::from_u32(self.addr, self.len)
     }
 
     /// Which child slot of `self` the prefix `p` (which must be strictly
-    /// longer than `self.prefix` and share its bits) falls into.
+    /// longer than `self.prefix()` and share its bits) falls into.
     fn slot(&self, p: &Ipv4Prefix) -> usize {
-        usize::from(p.bit(self.prefix.len()))
+        usize::from(p.bit(self.len))
     }
 }
 
@@ -55,8 +77,16 @@ impl<V> Node<V> {
 /// assert_eq!(*v, "customer");
 /// ```
 pub struct PrefixTrie<V> {
-    root: Option<Box<Node<V>>>,
+    /// The node arena; ids are indices into this pool.
+    nodes: Vec<Node>,
+    /// Per-node values, a parallel column (`None` = structural node).
+    values: Vec<Option<V>>,
+    /// Arena id of the root, or [`NONE`].
+    root: u32,
+    /// Number of valued entries.
     len: usize,
+    /// Released arena ids available for reuse.
+    free: Vec<u32>,
 }
 
 impl<V> Default for PrefixTrie<V> {
@@ -68,7 +98,13 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// Create an empty trie.
     pub fn new() -> Self {
-        PrefixTrie { root: None, len: 0 }
+        PrefixTrie {
+            nodes: Vec::new(),
+            values: Vec::new(),
+            root: NONE,
+            len: 0,
+            free: Vec::new(),
+        }
     }
 
     /// Number of prefixes stored (structural nodes are not counted).
@@ -81,66 +117,91 @@ impl<V> PrefixTrie<V> {
         self.len == 0
     }
 
-    /// Remove every entry.
+    /// Remove every entry (the arena capacity is kept for reuse).
     pub fn clear(&mut self) {
-        self.root = None;
+        self.nodes.clear();
+        self.values.clear();
+        self.free.clear();
+        self.root = NONE;
         self.len = 0;
+    }
+
+    /// Allocate an arena node, reusing a released id when one exists.
+    fn alloc(&mut self, prefix: Ipv4Prefix, value: Option<V>) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = Node::new(prefix);
+            self.values[id as usize] = value;
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::new(prefix));
+        self.values.push(value);
+        id
+    }
+
+    /// Return `id` to the free list.
+    fn release(&mut self, id: u32) {
+        self.values[id as usize] = None;
+        self.nodes[id as usize].children = [NONE, NONE];
+        self.free.push(id);
     }
 
     /// Insert `value` at `prefix`, returning the previous value if the
     /// prefix was already present.
     pub fn insert(&mut self, prefix: Ipv4Prefix, value: V) -> Option<V> {
-        let root = &mut self.root;
-        let replaced = Self::insert_at(root, prefix, value);
+        let (root, replaced) = self.insert_at(self.root, prefix, value);
+        self.root = root;
         if replaced.is_none() {
             self.len += 1;
         }
         replaced
     }
 
-    fn insert_at(slot: &mut Option<Box<Node<V>>>, prefix: Ipv4Prefix, value: V) -> Option<V> {
-        let Some(node) = slot else {
-            *slot = Some(Node::new(prefix, Some(value)));
-            return None;
-        };
+    /// Insert under the subtree rooted at `slot`, returning the id that
+    /// now occupies the slot plus any replaced value. Recursion depth is
+    /// bounded by the prefix length (≤ 33 frames).
+    fn insert_at(&mut self, slot: u32, prefix: Ipv4Prefix, value: V) -> (u32, Option<V>) {
+        if slot == NONE {
+            let id = self.alloc(prefix, Some(value));
+            return (id, None);
+        }
+        let node = self.nodes[slot as usize];
+        let node_prefix = node.prefix();
+        let common = node_prefix.common_prefix_len(&prefix);
 
-        let common = node.prefix.common_prefix_len(&prefix);
-
-        if common == node.prefix.len() && common == prefix.len() {
+        if common == node_prefix.len() && common == prefix.len() {
             // Same prefix: replace value in place.
-            return node.value.replace(value);
+            let replaced = self.values[slot as usize].replace(value);
+            return (slot, replaced);
         }
 
-        if common == node.prefix.len() {
-            // prefix strictly extends node.prefix: descend.
+        if common == node_prefix.len() {
+            // prefix strictly extends node's prefix: descend.
             let idx = node.slot(&prefix);
-            return Self::insert_at(&mut node.children[idx], prefix, value);
+            let (child, replaced) = self.insert_at(node.children[idx], prefix, value);
+            self.nodes[slot as usize].children[idx] = child;
+            return (slot, replaced);
         }
 
         if common == prefix.len() {
-            // node.prefix strictly extends prefix: new node becomes parent.
-            if let Some(old) = slot.take() {
-                let mut new_parent = Node::new(prefix, Some(value));
-                let idx = new_parent.slot(&old.prefix);
-                new_parent.children[idx] = Some(old);
-                *slot = Some(new_parent);
-            }
-            return None;
+            // node's prefix strictly extends prefix: new node becomes parent.
+            let id = self.alloc(prefix, Some(value));
+            let idx = usize::from(node_prefix.bit(prefix.len()));
+            self.nodes[id as usize].children[idx] = slot;
+            return (id, None);
         }
 
         // Diverge below both: create a structural branch at the common
         // prefix with the two nodes as children.
-        if let Some(old) = slot.take() {
-            let branch_prefix = prefix.truncate(common);
-            let mut branch = Node::new(branch_prefix, None);
-            let old_idx = branch.slot(&old.prefix);
-            let new_idx = branch.slot(&prefix);
-            debug_assert_ne!(old_idx, new_idx);
-            branch.children[old_idx] = Some(old);
-            branch.children[new_idx] = Some(Node::new(prefix, Some(value)));
-            *slot = Some(branch);
-        }
-        None
+        let branch_prefix = prefix.truncate(common);
+        let branch = self.alloc(branch_prefix, None);
+        let leaf = self.alloc(prefix, Some(value));
+        let old_idx = usize::from(node_prefix.bit(common));
+        let new_idx = usize::from(prefix.bit(common));
+        debug_assert_ne!(old_idx, new_idx);
+        self.nodes[branch as usize].children[old_idx] = slot;
+        self.nodes[branch as usize].children[new_idx] = leaf;
+        (branch, None)
     }
 
     /// Exact-match lookup, inserting `default()` when `prefix` is absent.
@@ -151,129 +212,88 @@ impl<V> PrefixTrie<V> {
         prefix: Ipv4Prefix,
         default: impl FnOnce() -> V,
     ) -> &mut V {
-        let mut inserted = false;
-        let v = Self::get_or_insert_at(&mut self.root, prefix, default, &mut inserted);
+        let (root, id, inserted) = self.get_or_insert_at(self.root, prefix);
+        self.root = root;
         if inserted {
             self.len += 1;
         }
-        v
+        self.values[id as usize].get_or_insert_with(default)
     }
 
-    fn get_or_insert_at<'a>(
-        slot: &'a mut Option<Box<Node<V>>>,
-        prefix: Ipv4Prefix,
-        default: impl FnOnce() -> V,
-        inserted: &mut bool,
-    ) -> &'a mut V {
-        // Decide first, act on a fresh re-borrow per arm: returning the
-        // value reference out of an early arm while a later arm reassigns
-        // `*slot` trips the borrow checker otherwise.
-        enum Step {
-            Empty,
-            Here,
-            Descend(usize),
-            NewParent,
-            Branch(u8),
+    /// Walk for [`Self::get_or_insert_with`]: returns the id occupying
+    /// the slot, the id of the node holding `prefix` (its value is
+    /// filled by the caller), and whether a value slot was newly opened.
+    fn get_or_insert_at(&mut self, slot: u32, prefix: Ipv4Prefix) -> (u32, u32, bool) {
+        if slot == NONE {
+            let id = self.alloc(prefix, None);
+            return (id, id, true);
         }
-        let step = match slot.as_deref() {
-            None => Step::Empty,
-            Some(node) => {
-                let common = node.prefix.common_prefix_len(&prefix);
-                if common == node.prefix.len() && common == prefix.len() {
-                    Step::Here
-                } else if common == node.prefix.len() {
-                    Step::Descend(node.slot(&prefix))
-                } else if common == prefix.len() {
-                    Step::NewParent
-                } else {
-                    Step::Branch(common)
-                }
-            }
-        };
-        // Every arm funnels through `Option::get_or_insert_with` /
-        // `Option::insert` rather than unwrapping the slot it just
-        // matched or filled — the fallback closures are dead when the
-        // invariants hold and keep the walk panic-free if they ever
-        // don't.
-        match step {
-            Step::Empty => {
-                *inserted = true;
-                slot.insert(Node::new(prefix, None))
-                    .value
-                    .get_or_insert_with(default)
-            }
-            Step::Here => {
-                let node = slot.get_or_insert_with(|| Node::new(prefix, None));
-                if node.value.is_none() {
-                    *inserted = true;
-                }
-                node.value.get_or_insert_with(default)
-            }
-            Step::Descend(idx) => {
-                let node = slot.get_or_insert_with(|| Node::new(prefix, None));
-                Self::get_or_insert_at(&mut node.children[idx], prefix, default, inserted)
-            }
-            Step::NewParent => {
-                // node.prefix strictly extends prefix: new node becomes parent.
-                *inserted = true;
-                let mut new_parent = Node::new(prefix, None);
-                if let Some(old) = slot.take() {
-                    let idx = new_parent.slot(&old.prefix);
-                    new_parent.children[idx] = Some(old);
-                }
-                slot.insert(new_parent).value.get_or_insert_with(default)
-            }
-            Step::Branch(common) => {
-                // Diverge below both: structural branch at the common prefix.
-                *inserted = true;
-                let branch_prefix = prefix.truncate(common);
-                let mut branch = Node::new(branch_prefix, None);
-                let new_idx = branch.slot(&prefix);
-                if let Some(old) = slot.take() {
-                    let old_idx = branch.slot(&old.prefix);
-                    debug_assert_ne!(old_idx, new_idx);
-                    branch.children[old_idx] = Some(old);
-                }
-                branch.children[new_idx] = Some(Node::new(prefix, None));
-                slot.insert(branch).children[new_idx]
-                    .get_or_insert_with(|| Node::new(prefix, None))
-                    .value
-                    .get_or_insert_with(default)
-            }
+        let node = self.nodes[slot as usize];
+        let node_prefix = node.prefix();
+        let common = node_prefix.common_prefix_len(&prefix);
+
+        if common == node_prefix.len() && common == prefix.len() {
+            // Exact hit — possibly reviving a structural node.
+            let inserted = self.values[slot as usize].is_none();
+            return (slot, slot, inserted);
         }
+
+        if common == node_prefix.len() {
+            let idx = node.slot(&prefix);
+            let (child, id, inserted) = self.get_or_insert_at(node.children[idx], prefix);
+            self.nodes[slot as usize].children[idx] = child;
+            return (slot, id, inserted);
+        }
+
+        if common == prefix.len() {
+            // node's prefix strictly extends prefix: new node becomes parent.
+            let id = self.alloc(prefix, None);
+            let idx = usize::from(node_prefix.bit(prefix.len()));
+            self.nodes[id as usize].children[idx] = slot;
+            return (id, id, true);
+        }
+
+        // Diverge below both: structural branch at the common prefix.
+        let branch_prefix = prefix.truncate(common);
+        let branch = self.alloc(branch_prefix, None);
+        let leaf = self.alloc(prefix, None);
+        let old_idx = usize::from(node_prefix.bit(common));
+        let new_idx = usize::from(prefix.bit(common));
+        debug_assert_ne!(old_idx, new_idx);
+        self.nodes[branch as usize].children[old_idx] = slot;
+        self.nodes[branch as usize].children[new_idx] = leaf;
+        (branch, leaf, true)
+    }
+
+    /// The arena id holding `prefix` exactly, if present (valued or not).
+    fn find(&self, prefix: &Ipv4Prefix) -> Option<u32> {
+        let mut cur = self.root;
+        while cur != NONE {
+            let node = &self.nodes[cur as usize];
+            let node_prefix = node.prefix();
+            let common = node_prefix.common_prefix_len(prefix);
+            if common < node_prefix.len() {
+                return None; // diverged above this node
+            }
+            if node_prefix.len() == prefix.len() {
+                return Some(cur);
+            }
+            // node's prefix is a proper prefix of `prefix`
+            cur = node.children[node.slot(prefix)];
+        }
+        None
     }
 
     /// Exact-match lookup.
     pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&V> {
-        let mut cur = self.root.as_deref()?;
-        loop {
-            let common = cur.prefix.common_prefix_len(prefix);
-            if common < cur.prefix.len() {
-                return None; // diverged above this node
-            }
-            if cur.prefix.len() == prefix.len() {
-                return cur.value.as_ref();
-            }
-            // cur.prefix is a proper prefix of `prefix`
-            let idx = cur.slot(prefix);
-            cur = cur.children[idx].as_deref()?;
-        }
+        self.find(prefix)
+            .and_then(|id| self.values[id as usize].as_ref())
     }
 
     /// Exact-match mutable lookup.
     pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut V> {
-        let mut cur = self.root.as_deref_mut()?;
-        loop {
-            let common = cur.prefix.common_prefix_len(prefix);
-            if common < cur.prefix.len() {
-                return None;
-            }
-            if cur.prefix.len() == prefix.len() {
-                return cur.value.as_mut();
-            }
-            let idx = usize::from(prefix.bit(cur.prefix.len()));
-            cur = cur.children[idx].as_deref_mut()?;
-        }
+        self.find(prefix)
+            .and_then(|id| self.values[id as usize].as_mut())
     }
 
     /// True if `prefix` is stored exactly.
@@ -282,69 +302,78 @@ impl<V> PrefixTrie<V> {
     }
 
     /// Remove `prefix`, returning its value. Structural nodes left behind
-    /// are pruned so that memory usage tracks live entries.
+    /// are pruned onto the free list so that memory usage tracks live
+    /// entries.
     pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<V> {
-        let removed = Self::remove_at(&mut self.root, prefix);
+        let (root, removed) = self.remove_at(self.root, prefix);
+        self.root = root;
         if removed.is_some() {
             self.len -= 1;
         }
         removed
     }
 
-    fn remove_at(slot: &mut Option<Box<Node<V>>>, prefix: &Ipv4Prefix) -> Option<V> {
-        let node = slot.as_deref_mut()?;
-        let common = node.prefix.common_prefix_len(prefix);
-        if common < node.prefix.len() {
-            return None;
+    fn remove_at(&mut self, slot: u32, prefix: &Ipv4Prefix) -> (u32, Option<V>) {
+        if slot == NONE {
+            return (NONE, None);
         }
-        let removed = if node.prefix.len() == prefix.len() {
-            node.value.take()
+        let node = self.nodes[slot as usize];
+        let node_prefix = node.prefix();
+        let common = node_prefix.common_prefix_len(prefix);
+        if common < node_prefix.len() {
+            return (slot, None);
+        }
+        let removed = if node_prefix.len() == prefix.len() {
+            self.values[slot as usize].take()
         } else {
             let idx = node.slot(prefix);
-            Self::remove_at(&mut node.children[idx], prefix)
+            let (child, removed) = self.remove_at(node.children[idx], prefix);
+            self.nodes[slot as usize].children[idx] = child;
+            removed
         };
         if removed.is_some() {
-            Self::prune(slot);
+            return (self.prune(slot), removed);
         }
-        removed
+        (slot, removed)
     }
 
     /// Collapse a node that no longer carries a value and has fewer than
-    /// two children.
-    fn prune(slot: &mut Option<Box<Node<V>>>) {
-        let Some(node) = slot.as_deref_mut() else {
-            return;
-        };
-        if node.value.is_some() {
-            return;
+    /// two children, returning the id that should occupy its slot.
+    fn prune(&mut self, slot: u32) -> u32 {
+        if self.values[slot as usize].is_some() {
+            return slot;
         }
-        let child_count = node.children.iter().filter(|c| c.is_some()).count();
-        match child_count {
-            0 => *slot = None,
-            1 => {
-                if let Some(child) = node.children.iter_mut().find_map(|c| c.take()) {
-                    *slot = Some(child);
-                }
+        let [lo, hi] = self.nodes[slot as usize].children;
+        match (lo, hi) {
+            (NONE, NONE) => {
+                self.release(slot);
+                NONE
             }
-            _ => {}
+            (child, NONE) | (NONE, child) => {
+                self.release(slot);
+                child
+            }
+            _ => slot,
         }
     }
 
     /// The most specific stored prefix covering `query`, with its value.
     pub fn longest_match(&self, query: &Ipv4Prefix) -> Option<(Ipv4Prefix, &V)> {
         let mut best = None;
-        let mut cur = self.root.as_deref();
-        while let Some(node) = cur {
-            if !node.prefix.covers(query) {
+        let mut cur = self.root;
+        while cur != NONE {
+            let node = &self.nodes[cur as usize];
+            let node_prefix = node.prefix();
+            if !node_prefix.covers(query) {
                 break;
             }
-            if let Some(v) = &node.value {
-                best = Some((node.prefix, v));
+            if let Some(v) = &self.values[cur as usize] {
+                best = Some((node_prefix, v));
             }
-            if node.prefix.len() == query.len() {
+            if node_prefix.len() == query.len() {
                 break;
             }
-            cur = node.children[node.slot(query)].as_deref();
+            cur = node.children[node.slot(query)];
         }
         best
     }
@@ -353,18 +382,20 @@ impl<V> PrefixTrie<V> {
     /// least specific to most specific.
     pub fn matches<'a>(&'a self, query: &Ipv4Prefix) -> Vec<(Ipv4Prefix, &'a V)> {
         let mut out = Vec::new();
-        let mut cur = self.root.as_deref();
-        while let Some(node) = cur {
-            if !node.prefix.covers(query) {
+        let mut cur = self.root;
+        while cur != NONE {
+            let node = &self.nodes[cur as usize];
+            let node_prefix = node.prefix();
+            if !node_prefix.covers(query) {
                 break;
             }
-            if let Some(v) = &node.value {
-                out.push((node.prefix, v));
+            if let Some(v) = &self.values[cur as usize] {
+                out.push((node_prefix, v));
             }
-            if node.prefix.len() == query.len() {
+            if node_prefix.len() == query.len() {
                 break;
             }
-            cur = node.children[node.slot(query)].as_deref();
+            cur = node.children[node.slot(query)];
         }
         out
     }
@@ -372,32 +403,7 @@ impl<V> PrefixTrie<V> {
     /// Every stored prefix covered by `query` (i.e. equal or more
     /// specific), in address order.
     pub fn covered_by<'a>(&'a self, query: &Ipv4Prefix) -> Vec<(Ipv4Prefix, &'a V)> {
-        let mut out = Vec::new();
-        // Descend to the subtree rooted at or below `query`.
-        let mut cur = self.root.as_deref();
-        while let Some(node) = cur {
-            if query.covers(&node.prefix) {
-                Self::collect_subtree(node, &mut out);
-                return out;
-            }
-            if !node.prefix.covers(query) {
-                return out; // disjoint
-            }
-            if node.prefix.len() == query.len() {
-                return out;
-            }
-            cur = node.children[node.slot(query)].as_deref();
-        }
-        out
-    }
-
-    fn collect_subtree<'a>(node: &'a Node<V>, out: &mut Vec<(Ipv4Prefix, &'a V)>) {
-        if let Some(v) = &node.value {
-            out.push((node.prefix, v));
-        }
-        for child in node.children.iter().flatten() {
-            Self::collect_subtree(child, out);
-        }
+        self.covered_by_iter(query).collect()
     }
 
     /// Iterator form of [`covered_by`](Self::covered_by): walks the
@@ -405,33 +411,35 @@ impl<V> PrefixTrie<V> {
     /// (per-query visibility checks) can short-circuit on the first hit.
     pub fn covered_by_iter<'a>(&'a self, query: &Ipv4Prefix) -> Iter<'a, V> {
         let mut stack = Vec::new();
-        let mut cur = self.root.as_deref();
-        while let Some(node) = cur {
-            if query.covers(&node.prefix) {
-                stack.push(node);
+        let mut cur = self.root;
+        while cur != NONE {
+            let node = &self.nodes[cur as usize];
+            let node_prefix = node.prefix();
+            if query.covers(&node_prefix) {
+                stack.push(cur);
                 break;
             }
-            if !node.prefix.covers(query) || node.prefix.len() == query.len() {
+            if !node_prefix.covers(query) || node_prefix.len() == query.len() {
                 break; // disjoint, or query sits exactly on a leaf-less node
             }
-            cur = node.children[node.slot(query)].as_deref();
+            cur = node.children[node.slot(query)];
         }
-        Iter { stack }
+        Iter { trie: self, stack }
     }
 
     /// True if any stored prefix overlaps `query` (covers it or is covered
     /// by it).
     pub fn overlaps(&self, query: &Ipv4Prefix) -> bool {
-        self.longest_match(query).is_some() || !self.covered_by(query).is_empty()
+        self.longest_match(query).is_some() || self.covered_by_iter(query).next().is_some()
     }
 
     /// Iterate all `(prefix, value)` pairs in address order.
     pub fn iter(&self) -> Iter<'_, V> {
         let mut stack = Vec::new();
-        if let Some(root) = self.root.as_deref() {
-            stack.push(root);
+        if self.root != NONE {
+            stack.push(self.root);
         }
-        Iter { stack }
+        Iter { trie: self, stack }
     }
 
     /// Iterate all stored prefixes in address order.
@@ -441,11 +449,32 @@ impl<V> PrefixTrie<V> {
 
     /// Iterate all `(prefix, &mut value)` pairs in address order.
     pub fn iter_mut(&mut self) -> IterMut<'_, V> {
+        // Two phases keep this 100% safe under the workspace's
+        // forbid(unsafe_code): first walk the arena immutably to fix the
+        // visit order, then split the value column into one reusable
+        // `&mut` per slot, handed out by id as the order is replayed.
+        let mut order = Vec::with_capacity(self.len);
         let mut stack = Vec::new();
-        if let Some(root) = self.root.as_deref_mut() {
-            stack.push(root);
+        if self.root != NONE {
+            stack.push(self.root);
         }
-        IterMut { stack }
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if node.children[1] != NONE {
+                stack.push(node.children[1]);
+            }
+            if node.children[0] != NONE {
+                stack.push(node.children[0]);
+            }
+            if self.values[id as usize].is_some() {
+                order.push((node.prefix(), id));
+            }
+        }
+        let slots: Vec<Option<&mut V>> = self.values.iter_mut().map(|v| v.as_mut()).collect();
+        IterMut {
+            order: order.into_iter(),
+            slots,
+        }
     }
 
     /// Iterate all values mutably, in address order of their prefixes.
@@ -476,23 +505,25 @@ impl<V> FromIterator<(Ipv4Prefix, V)> for PrefixTrie<V> {
 /// branch first, which yields address order; a node's own entry is emitted
 /// before its subtree (shorter prefixes first at equal addresses).
 pub struct Iter<'a, V> {
-    stack: Vec<&'a Node<V>>,
+    trie: &'a PrefixTrie<V>,
+    stack: Vec<u32>,
 }
 
 impl<'a, V> Iterator for Iter<'a, V> {
     type Item = (Ipv4Prefix, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while let Some(node) = self.stack.pop() {
+        while let Some(id) = self.stack.pop() {
+            let node = &self.trie.nodes[id as usize];
             // Push high child first so the low child is visited first.
-            if let Some(hi) = node.children[1].as_deref() {
-                self.stack.push(hi);
+            if node.children[1] != NONE {
+                self.stack.push(node.children[1]);
             }
-            if let Some(lo) = node.children[0].as_deref() {
-                self.stack.push(lo);
+            if node.children[0] != NONE {
+                self.stack.push(node.children[0]);
             }
-            if let Some(v) = &node.value {
-                return Some((node.prefix, v));
+            if let Some(v) = &self.trie.values[id as usize] {
+                return Some((node.prefix(), v));
             }
         }
         None
@@ -502,27 +533,22 @@ impl<'a, V> Iterator for Iter<'a, V> {
 /// Mutable in-order iterator over a [`PrefixTrie`]; same visit order as
 /// [`Iter`].
 pub struct IterMut<'a, V> {
-    stack: Vec<&'a mut Node<V>>,
+    /// Valued `(prefix, arena id)` pairs in visit order.
+    order: std::vec::IntoIter<(Ipv4Prefix, u32)>,
+    /// One take-once `&mut` per arena slot, indexed by id.
+    slots: Vec<Option<&'a mut V>>,
 }
 
 impl<'a, V> Iterator for IterMut<'a, V> {
     type Item = (Ipv4Prefix, &'a mut V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while let Some(node) = self.stack.pop() {
-            let prefix = node.prefix;
-            let [lo, hi] = &mut node.children;
-            if let Some(hi) = hi.as_deref_mut() {
-                self.stack.push(hi);
-            }
-            if let Some(lo) = lo.as_deref_mut() {
-                self.stack.push(lo);
-            }
-            if let Some(v) = node.value.as_mut() {
+        loop {
+            let (prefix, id) = self.order.next()?;
+            if let Some(v) = self.slots[id as usize].take() {
                 return Some((prefix, v));
             }
         }
-        None
     }
 }
 
@@ -818,5 +844,41 @@ mod tests {
             assert_eq!(t.get(&q), Some(&i));
         }
         assert_eq!(t.covered_by(&p("10.0.0.0/24")).len(), 256);
+    }
+
+    #[test]
+    fn arena_node_is_sixteen_bytes() {
+        assert_eq!(TRIE_NODE_SIZE, 16, "node is no longer 16 bytes");
+    }
+
+    #[test]
+    fn freed_ids_are_reused() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/16"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        let pool_after_two = t.nodes.len();
+        // Removing one entry collapses the structural branch: two ids
+        // (the entry and the branch) go back on the free list.
+        t.remove(&p("10.0.0.0/16"));
+        assert_eq!(t.free.len(), 2);
+        // Reinserting the same shape reuses them instead of growing.
+        t.insert(p("10.0.0.0/16"), 1);
+        assert_eq!(t.nodes.len(), pool_after_two);
+        assert!(t.free.is_empty());
+        assert_eq!(t.get(&p("10.0.0.0/16")), Some(&1));
+        assert_eq!(t.get(&p("10.1.0.0/16")), Some(&2));
+    }
+
+    #[test]
+    fn clear_resets_arena() {
+        let mut t = PrefixTrie::new();
+        for i in 0u32..32 {
+            t.insert(Ipv4Prefix::from_u32(i << 24, 8), i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        t.insert(p("10.0.0.0/8"), 7);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&7));
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use droplens_net::{AddressSpace, Date, Ipv4Prefix, ParseError, PrefixTrie};
+use droplens_net::{AddressSpace, Date, Ipv4Prefix, OrgId, ParseError, PrefixTrie, StringInterner};
 
 use crate::format::StatsFile;
 use crate::{AllocationStatus, Rir};
@@ -28,8 +28,8 @@ struct IndexEntry {
     rir: Rir,
     status: AllocationStatus,
     allocated_on: Option<Date>,
-    /// Index into [`RirStatsArchive::orgs`].
-    org: u32,
+    /// Interned org handle in [`RirStatsArchive::orgs`].
+    org: OrgId,
 }
 
 struct Snapshot {
@@ -59,10 +59,9 @@ impl Snapshot {
 pub struct RirStatsArchive {
     snapshots: Vec<Snapshot>,
     /// Interned org handles: consecutive daily snapshots repeat the same
-    /// handles ~700k times across a paper-scale run, so entries store an
-    /// index into this pool instead of cloning a `String` per row.
-    orgs: Vec<String>,
-    org_ids: BTreeMap<String, u32>,
+    /// handles ~700k times across a paper-scale run, so entries store a
+    /// 4-byte [`OrgId`] instead of cloning a `String` per row.
+    orgs: StringInterner<OrgId>,
 }
 
 impl RirStatsArchive {
@@ -112,15 +111,7 @@ impl RirStatsArchive {
                 if record.status.is_delegated() {
                     *delegated.entry(record.rir).or_default() += space;
                 }
-                let org = match self.org_ids.get(record.opaque_id.as_str()) {
-                    Some(&id) => id,
-                    None => {
-                        let id = self.orgs.len() as u32;
-                        self.orgs.push(record.opaque_id.clone());
-                        self.org_ids.insert(record.opaque_id.clone(), id);
-                        id
-                    }
-                };
+                let org = self.orgs.intern(&record.opaque_id);
                 let id = entries.len() as u32;
                 entries.push(IndexEntry {
                     rir: record.rir,
@@ -165,7 +156,7 @@ impl RirStatsArchive {
             rir: entry.rir,
             status: entry.status,
             allocated_on: entry.allocated_on,
-            opaque_id: self.orgs[entry.org as usize].clone(),
+            opaque_id: self.orgs.get(entry.org).to_owned(),
             matched,
         })
     }
@@ -232,7 +223,7 @@ impl RirStatsArchive {
                     let e = &snapshot.entries[id as usize];
                     e.status
                         .is_delegated()
-                        .then(|| (p, e.rir, self.orgs[e.org as usize].as_str()))
+                        .then(|| (p, e.rir, self.orgs.get(e.org)))
                 })
             })
     }

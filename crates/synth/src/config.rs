@@ -6,7 +6,7 @@ use droplens_rir::Rir;
 /// How many DROP prefixes of each flavor to generate. The defaults
 /// reproduce the paper's §3.1 population: 712 unique prefixes, 526 with
 /// SBL records, category mix per Figure 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CategoryMix {
     /// Hijacks via forged IRR route objects whose origin matches the
     /// SBL-labeled hijacker ASN (§5: 57).
@@ -81,7 +81,7 @@ impl Default for CategoryMix {
 
 /// Every knob of the synthetic world. Field groups mirror the paper's
 /// data sections; see each field's comment for the quantity it calibrates.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorldConfig {
     /// First day of the study window (paper: 2019-06-05).
     pub study_start: Date,
@@ -102,6 +102,21 @@ pub struct WorldConfig {
     /// [AFRINIC, APNIC, ARIN, LACNIC, RIPE] order. Defaults are the
     /// paper's Table 1 denominators scaled by 1/20.
     pub background_per_rir: [usize; 5],
+    /// Extra prefix-length bits added to every background block (0 in
+    /// the paper configuration). [`WorldConfig::paper_scaled`] sets
+    /// `ceil(log2 n)` so that n× as many background prefixes occupy
+    /// roughly the same address space — without this, 10× background
+    /// drains the finite /8 plan before the DROP populations allocate.
+    pub background_extra_bits: u8,
+    /// Keep every `stride`-th allocation-change-day RIR snapshot (the
+    /// monthly cadence always stays). 1 — the paper configuration —
+    /// keeps them all. [`WorldConfig::paper_scaled`] sets `n`: event
+    /// days grow n× and every snapshot is n× bigger, so keeping them
+    /// all makes the RIR archive quadratic in the scale factor — 37×
+    /// the records at `--scale 10`. Striding restores the scale-1
+    /// event-snapshot count, at the cost of coarser §4.1 deallocation
+    /// dates in scaled (non-reproduction) worlds.
+    pub rir_event_snapshot_stride: usize,
     /// Probability that an unsigned background prefix gets a ROA during
     /// the study, per RIR (Table 1 "Never on DROP" column).
     pub base_signing_rate: [f64; 5],
@@ -180,6 +195,56 @@ impl WorldConfig {
         WorldConfig::default()
     }
 
+    /// Paper populations multiplied `n`× — the `reproduce --scale N`
+    /// workload. `paper_scaled(1)` is exactly [`WorldConfig::paper`].
+    ///
+    /// Only the record-producing populations scale: routed background
+    /// prefixes, the DROP category mix, removals, and squats — the
+    /// knobs that drive archive size and ingest cost. Address-space-
+    /// bound block populations (idle/dark /12s, unrouted signers, the
+    /// AFRINIC-incident listings — few, huge) stay fixed, because the
+    /// synthetic IPv4 plan is finite even when the workload is not; the
+    /// allocator would silently run dry long before 10× and the extra
+    /// blocks produce almost no records anyway. Background blocks
+    /// shrink by `ceil(log2 n)` bits for the same reason: n× as many
+    /// prefixes in roughly the paper's address footprint.
+    pub fn paper_scaled(n: usize) -> WorldConfig {
+        WorldConfig::paper().scaled(n)
+    }
+
+    /// Multiply this configuration's record-producing populations `n`×,
+    /// with the same space-bound carve-outs as
+    /// [`WorldConfig::paper_scaled`] (which is `paper().scaled(n)`).
+    /// Benchmarks scale [`WorldConfig::small`] the same way.
+    pub fn scaled(self, n: usize) -> WorldConfig {
+        let mut c = self;
+        for v in &mut c.background_per_rir {
+            *v *= n;
+        }
+        c.background_extra_bits = n.next_power_of_two().trailing_zeros() as u8;
+        c.rir_event_snapshot_stride = n;
+        let m = &mut c.mix;
+        m.hj_forged_irr *= n;
+        m.hj_labeled_no_irr *= n;
+        m.hj_unlabeled *= n;
+        m.ss_exclusive *= n;
+        m.ss_plus_hj *= n;
+        m.ss_plus_ks *= n;
+        m.ks_exclusive *= n;
+        m.mh_exclusive *= n;
+        m.ua *= n;
+        m.nr *= n;
+        c.late_irr_outliers *= n;
+        for v in &mut c.removed_per_rir {
+            *v *= n;
+        }
+        for v in &mut c.ua_per_rir {
+            *v *= n;
+        }
+        c.unlisted_squats *= n;
+        c
+    }
+
     /// A small world for fast unit tests: every population scaled down
     /// hard but every actor type still present.
     pub fn small() -> WorldConfig {
@@ -240,6 +305,8 @@ impl Default for WorldConfig {
             peer_count: 30,
             filtering_peer_count: 3,
             background_per_rir: [195, 2110, 3260, 755, 3410],
+            background_extra_bits: 0,
+            rir_event_snapshot_stride: 1,
             base_signing_rate: [0.118, 0.263, 0.085, 0.255, 0.330],
             // Idle 24 /8s + dark 6 /8s = Figure 5's 30.0 /8s by study
             // end (16 /12 blocks per /8); ARIN holds ≈61%.
@@ -349,6 +416,41 @@ mod tests {
         assert_eq!(c.removed_per_rir.iter().sum::<usize>(), c.mix.nr);
         assert!(c.filtering_peer_count < c.peer_count);
         assert!(c.mix.total() > 0);
+    }
+
+    #[test]
+    fn paper_scaled_one_is_paper() {
+        assert_eq!(WorldConfig::paper_scaled(1), WorldConfig::paper());
+    }
+
+    #[test]
+    fn paper_scaled_multiplies_and_stays_consistent() {
+        let c = WorldConfig::paper_scaled(4);
+        // Everything scales 4× except the 45 space-bound AFRINIC
+        // incident listings.
+        assert_eq!(c.mix.total(), 4 * 712 - 3 * 45);
+        assert_eq!(c.mix.with_record(), 4 * 526 - 3 * 45);
+        assert_eq!(c.background_extra_bits, 2);
+        assert_eq!(c.rir_event_snapshot_stride, 4);
+        assert_eq!(WorldConfig::paper_scaled(10).background_extra_bits, 4);
+        // The per-RIR splits must keep summing to their mix totals.
+        assert_eq!(c.removed_per_rir.iter().sum::<usize>(), c.mix.nr);
+        assert_eq!(c.ua_per_rir.iter().sum::<usize>(), c.mix.ua);
+        assert_eq!(
+            c.background_per_rir.iter().sum::<usize>(),
+            4 * WorldConfig::paper()
+                .background_per_rir
+                .iter()
+                .sum::<usize>()
+        );
+        // Address-space-bound populations do not scale.
+        assert_eq!(
+            c.idle_blocks_per_rir,
+            WorldConfig::paper().idle_blocks_per_rir
+        );
+        assert_eq!(c.unrouted_signers, WorldConfig::paper().unrouted_signers);
+        // The window is the workload axis we scale records over, not time.
+        assert_eq!(c.study_days().len(), 1030);
     }
 
     #[test]

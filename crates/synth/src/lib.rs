@@ -39,4 +39,4 @@ pub use alloc::BlockAllocator;
 pub use config::{CategoryMix, WorldConfig};
 pub use sbltext::SblTextGenerator;
 pub use truth::{GroundTruth, HijackKind, ListedTruth, TrueCategory};
-pub use world::{TextArchives, World};
+pub use world::{BinaryArchives, TextArchives, World};

@@ -575,6 +575,9 @@ impl Builder {
                         break;
                     }
                 }
+                // Scaled worlds pack n× the prefixes into the paper's
+                // address footprint (see `background_extra_bits`).
+                let len = (len + self.cfg.background_extra_bits).min(24);
                 let date = self.old_alloc_day(1995, 2018);
                 let org = self.fresh_org("BG");
                 let Some(block) = self.allocate(rir, len, date, org) else {
@@ -1329,13 +1332,20 @@ impl Builder {
                 Date::from_ymd(y, m + 1, 1)
             };
         }
+        let mut event_dates = Vec::new();
         for a in &self.allocations {
             if let Some(dd) = a.dealloc {
                 if dd >= cfg.study_start && dd <= cfg.study_end {
-                    snapshot_dates.push(dd);
+                    event_dates.push(dd);
                 }
             }
         }
+        event_dates.sort();
+        event_dates.dedup();
+        // Scaled worlds thin the event days (see
+        // `rir_event_snapshot_stride`); stride 1 keeps them all.
+        let stride = cfg.rir_event_snapshot_stride.max(1);
+        snapshot_dates.extend(event_dates.into_iter().step_by(stride));
         snapshot_dates.sort();
         snapshot_dates.dedup();
         let mut rir_snapshots = Vec::with_capacity(snapshot_dates.len());

@@ -3,11 +3,11 @@
 mod builder;
 
 use droplens_bgp::{format as bgpfmt, BgpUpdate, Peer};
-use droplens_drop::{DropSnapshot, SblDatabase};
-use droplens_irr::{journal as irrfmt, JournalEntry};
+use droplens_drop::{format as dropfmt, DropSnapshot, SblDatabase};
+use droplens_irr::{format as irrbin, journal as irrfmt, JournalEntry};
 use droplens_net::Date;
-use droplens_rir::format::{write_stats_file, StatsFile};
-use droplens_rpki::format::{write_events, RoaEvent};
+use droplens_rir::format::{write_stats_file, write_stats_file_bin, StatsFile};
+use droplens_rpki::format::{write_events, write_events_bin, RoaEvent};
 
 use crate::{GroundTruth, WorldConfig};
 
@@ -131,6 +131,43 @@ impl World {
             sbl_records,
         }
     }
+
+    /// Serialize every dataset into its `droplens-bin/1` sidecar form —
+    /// the same records as [`World::to_text_archives`], in length-prefixed
+    /// little-endian columns.
+    pub fn to_binary_archives(&self) -> BinaryArchives {
+        let (bgp_updates, irr_journal, roa_events, rir_snapshots, drop_and_sbl) =
+            droplens_par::join5(
+                || bgpfmt::write_updates_bin(&self.bgp_updates),
+                || irrbin::write_journal_bin(&self.irr_journal),
+                || write_events_bin(&self.roa_events),
+                || {
+                    droplens_par::par_map(&self.rir_snapshots, |(date, files)| {
+                        (
+                            *date,
+                            files.iter().map(write_stats_file_bin).collect::<Vec<_>>(),
+                        )
+                    })
+                },
+                || {
+                    (
+                        droplens_par::par_map(&self.drop_snapshots, |s| {
+                            (s.date, dropfmt::write_snapshot_bin(s))
+                        }),
+                        dropfmt::write_sbl_bin(&self.sbl_db),
+                    )
+                },
+            );
+        let (drop_snapshots, sbl_records) = drop_and_sbl;
+        BinaryArchives {
+            bgp_updates,
+            irr_journal,
+            roa_events,
+            rir_snapshots,
+            drop_snapshots,
+            sbl_records,
+        }
+    }
 }
 
 /// The datasets as archive text, exactly as a scraper would have fetched
@@ -149,4 +186,22 @@ pub struct TextArchives {
     pub drop_snapshots: Vec<(Date, String)>,
     /// SBL record blocks.
     pub sbl_records: String,
+}
+
+/// The datasets as `droplens-bin/1` sidecar payloads — the binary fast
+/// path mirroring [`TextArchives`] field for field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryArchives {
+    /// Columnar update stream (`bgp/updates`).
+    pub bgp_updates: Vec<u8>,
+    /// Columnar IRR journal (`irr/journal`).
+    pub irr_journal: Vec<u8>,
+    /// Columnar ROA journal (`rpki/roas`).
+    pub roa_events: Vec<u8>,
+    /// Per-date delegated-stats sidecars (one payload per RIR).
+    pub rir_snapshots: Vec<(Date, Vec<Vec<u8>>)>,
+    /// Per-date DROP snapshot sidecars.
+    pub drop_snapshots: Vec<(Date, Vec<u8>)>,
+    /// SBL database sidecar (`sbl/records`).
+    pub sbl_records: Vec<u8>,
 }

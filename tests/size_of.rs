@@ -1,17 +1,17 @@
 //! Size-of regression tests for the hot data-model types.
 //!
 //! ROADMAP item 3 (10–100× worlds) is gated on a columnar diet of the
-//! per-record structs; these tests pin today's sizes so the diet has a
-//! measured starting line and accidental struct growth — a new field on
-//! a type instantiated millions of times — fails CI instead of landing
-//! silently. If a size change is *intentional*, update the constant
-//! here in the same commit and say why in the message.
+//! per-record structs; these tests pin the post-diet sizes so accidental
+//! struct growth — a new field on a type instantiated millions of times —
+//! fails CI instead of landing silently. If a size change is
+//! *intentional*, update the constant here in the same commit and say
+//! why in the message.
 
 use std::mem::size_of;
 
-use droplens_bgp::{AsPath, Interval, PeerId, RibEntry};
+use droplens_bgp::{AsPath, Interval, PathId, PeerId, RibEntry};
 use droplens_drop::{DropEntry, SblId};
-use droplens_net::{Asn, Date, Ipv4Prefix};
+use droplens_net::{Asn, Date, Ipv4Prefix, MaintainerId, OrgId, TRIE_NODE_SIZE};
 
 /// Interned/compact ids are a single u32 — the whole point of interning.
 #[test]
@@ -20,6 +20,9 @@ fn interned_ids_are_four_bytes() {
     assert_eq!(size_of::<PeerId>(), 4);
     assert_eq!(size_of::<SblId>(), 4);
     assert_eq!(size_of::<Date>(), 4);
+    assert_eq!(size_of::<OrgId>(), 4);
+    assert_eq!(size_of::<MaintainerId>(), 4);
+    assert_eq!(size_of::<PathId>(), 4);
 }
 
 /// A prefix is addr + len, padded to one word-half: 8 bytes, copyable.
@@ -34,22 +37,33 @@ fn prefix_is_eight_bytes() {
     assert!(size_of::<Option<Ipv4Prefix>>() <= 12);
 }
 
-/// One route in a RIB: prefix + path vec. Instantiated once per
+/// One route in a RIB: prefix + shared path handle. Instantiated once per
 /// (peer, prefix) — the largest in-memory population in the pipeline.
+/// `AsPath` is an `Arc<[Asn]>` (ptr + refcount-shared length): two words,
+/// down from a `Vec`'s three, and clones are refcount bumps.
 #[test]
 fn rib_entry_stays_compact() {
-    assert_eq!(size_of::<AsPath>(), size_of::<Vec<Asn>>()); // no overhead over its Vec
-    assert_eq!(size_of::<RibEntry>(), 32);
+    assert_eq!(size_of::<AsPath>(), 16);
+    assert_eq!(size_of::<RibEntry>(), 24);
 }
 
-/// A visibility interval: start + optional end + path.
+/// A visibility interval: start + optional end + 4-byte arena path id
+/// (down from 40 bytes when it carried an owned path vec).
 #[test]
 fn visibility_interval_stays_compact() {
-    assert_eq!(size_of::<Interval>(), 40);
+    assert_eq!(size_of::<Interval>(), 16);
 }
 
 /// One DROP listing episode.
 #[test]
 fn drop_entry_stays_compact() {
     assert_eq!(size_of::<DropEntry>(), 28);
+}
+
+/// A prefix-trie arena node: packed prefix + two u32 child ids. The trie
+/// backs every cross-source correlation index, so node size is the
+/// constant factor on the whole study's memory.
+#[test]
+fn trie_node_stays_compact() {
+    assert_eq!(TRIE_NODE_SIZE, 16, "trie node is no longer 16 bytes");
 }
