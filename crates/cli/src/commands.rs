@@ -259,6 +259,149 @@ pub fn validate(
     Ok(out)
 }
 
+/// Options for `droplens serve` beyond the shared ingest flags.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (port 0 picks a free port; the bound address is
+    /// announced on stderr).
+    pub addr: std::net::SocketAddr,
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded accept/work queue depth.
+    pub queue: usize,
+    /// Per-connection read/write deadline, milliseconds.
+    pub timeout_ms: u64,
+    /// When set, run the built-in load generator against the server
+    /// instead of waiting for a signal: `(connections, queries per
+    /// connection, seed)`.
+    pub load_gen: Option<(usize, usize, u64)>,
+    /// Load-gen only: route traffic through a seeded chaos proxy with
+    /// `ChaosProfile::standard(seed)`.
+    pub chaos: Option<u64>,
+    /// Where to write the fault-ledger JSON, if anywhere.
+    pub ledger: Option<PathBuf>,
+    /// Where to write the load report JSON, if anywhere (load-gen only).
+    pub report: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 4,
+            queue: 64,
+            timeout_ms: 2_000,
+            load_gen: None,
+            chaos: None,
+            ledger: None,
+            report: None,
+        }
+    }
+}
+
+/// `droplens serve`: load the study once, then answer queries over TCP
+/// until SIGINT/SIGTERM (or, with `--load-gen`, until the built-in load
+/// run finishes). Draining is graceful: accepts stop, queued
+/// connections get a typed `Busy`, in-flight replies finish whole, and
+/// the final report (plus optional ledger/report JSON) is written.
+pub fn serve(dir: &Path, ingest: &IngestOptions, opts: &ServeOptions) -> Result<String, CliError> {
+    use droplens_serve::{Engine, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let study = Arc::new(load_study(dir, ingest)?);
+    let engine = Arc::new(Engine::new(study));
+    let config = ServerConfig {
+        addr: opts.addr,
+        workers: opts.workers.max(1),
+        queue_depth: opts.queue.max(1),
+        deadline: std::time::Duration::from_millis(opts.timeout_ms.max(1)),
+    };
+    let handle = Server::start(Arc::clone(&engine), config)
+        .map_err(|e| CliError::Io(opts.addr.to_string(), e))?;
+    // Announced on stderr so stdout stays the final report (tests and
+    // scripts parse this line for the port).
+    eprintln!("droplens: serving on {}", handle.addr());
+
+    let mut out = String::new();
+    if let Some((connections, queries, seed)) = opts.load_gen {
+        let proxy = match opts.chaos {
+            Some(chaos_seed) => Some(
+                droplens_faults::ChaosProxy::start(
+                    handle.addr(),
+                    droplens_faults::ChaosProfile::standard(chaos_seed),
+                )
+                .map_err(|e| CliError::Io("chaos proxy".into(), e))?,
+            ),
+            None => None,
+        };
+        let target = proxy.as_ref().map(|p| p.addr()).unwrap_or(handle.addr());
+        let load = droplens_serve::LoadConfig {
+            connections,
+            queries_per_conn: queries,
+            seed,
+            ..droplens_serve::LoadConfig::default()
+        };
+        let report = droplens_serve::loadgen::run(target, &engine, &load);
+        if let Some(path) = &opts.report {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        }
+        let chaos_log = proxy.map(|p| p.stop());
+        let serve_report = handle.stop();
+        if let Some(path) = &opts.ledger {
+            std::fs::write(path, serve_report.ledger.to_json())
+                .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        }
+        let _ = writeln!(out, "{}", report.summary());
+        let _ = writeln!(out, "{}", serve_report.summary());
+        if let Some(log) = chaos_log {
+            let _ = writeln!(
+                out,
+                "chaos: {} connections, {} corruptions, {} truncations, {} resets, {} delays",
+                log.connections, log.corruptions, log.truncations, log.resets, log.delays
+            );
+        }
+        for sample in &report.samples {
+            let _ = writeln!(out, "  sample: {sample}");
+        }
+        if !report.clean() {
+            return Err(CliError::Serve(out));
+        }
+    } else {
+        droplens_serve::shutdown::install();
+        while !droplens_serve::shutdown::drain_requested() {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        eprintln!("droplens: drain requested, stopping");
+        let serve_report = handle.stop();
+        if let Some(path) = &opts.ledger {
+            std::fs::write(path, serve_report.ledger.to_json())
+                .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        }
+        let _ = writeln!(out, "{}", serve_report.summary());
+    }
+    Ok(out)
+}
+
+/// `droplens query`: one query against a running server, with the
+/// client's standard retry budget.
+pub fn query(
+    addr: std::net::SocketAddr,
+    timeout_ms: u64,
+    req: &droplens_serve::Request,
+) -> Result<String, CliError> {
+    use droplens_serve::{Client, ClientConfig};
+    let mut client = Client::new(ClientConfig {
+        addr,
+        deadline: std::time::Duration::from_millis(timeout_ms.max(1)),
+        retry: droplens_serve::RetryPolicy::default(),
+    });
+    match client.query(req) {
+        Ok(reply) => Ok(reply.to_text()),
+        Err(e) => Err(CliError::Serve(format!("query failed: {e}\n"))),
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
 mod tests {

@@ -40,6 +40,11 @@ pub enum CliError {
     /// report (text or JSON as requested), printed before exiting
     /// nonzero — again no usage text, the invocation was fine.
     Lint(String),
+    /// A serve/query failure: the carried string is the full report or
+    /// error text, printed before exiting nonzero (queries that
+    /// exhausted their retry budget, or a load-gen run with failures or
+    /// oracle mismatches).
+    Serve(String),
 }
 
 impl fmt::Display for CliError {
@@ -51,6 +56,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Gate(_) => write!(f, "regression gate failed"),
             CliError::Lint(_) => write!(f, "lint failed"),
+            CliError::Serve(_) => write!(f, "serve failed"),
         }
     }
 }
@@ -82,6 +88,8 @@ USAGE:
     droplens perf diff BASE HEAD [--gate PCT] [--floor-ms MS]
     droplens mem diff BASE HEAD [--gate PCT] [--floor-bytes N]
     droplens lint [--format text|json] [PATHS...]
+    droplens serve --dir DIR [SERVE FLAGS] [INGEST FLAGS]
+    droplens query --addr HOST:PORT [--timeout-ms N] KIND [ARGS...]
     droplens help
 
 GLOBAL FLAGS:
@@ -116,12 +124,47 @@ LINT (check the workspace's own invariants; see DESIGN.md §9):
     directory; `target/`, `vendor/`, and fixture corpora are skipped,
     explicitly named files are always linted). Rules: no-unwrap,
     ordered-output, no-wallclock, seeded-rng-only, located-errors,
-    no-unbounded-collect.
+    no-unbounded-collect, no-string-keyed-hot-map, no-deadline-free-io.
     Suppress one finding with a trailing `// lint: allow(<rule>)`.
     --format text|json      diagnostic rendering (default text);
                             exits nonzero when violations survive
 
-INGEST FLAGS (analyze, scorecard):
+SERVE (long-lived query service over the indexed study; DESIGN.md §12):
+    --addr HOST:PORT    bind address (default 127.0.0.1:0; the bound
+                        address is announced on stderr)
+    --workers N         worker threads (default 4)
+    --queue N           bounded work-queue depth; accepts beyond it are
+                        shed with a typed Busy reply (default 64)
+    --timeout-ms N      per-connection read/write deadline (default 2000)
+    --load-gen N        run the built-in load generator with N client
+                        threads instead of waiting for a signal
+    --queries M         load-gen queries per client thread (default 50)
+    --seed S            load-gen master seed (default 42)
+    --chaos SEED        load-gen only: route traffic through a seeded
+                        chaos proxy (corruption + truncation + resets +
+                        delays); exit nonzero unless every query still
+                        succeeds and matches the offline answers
+    --ledger PATH       write the fault-ledger JSON (malformed frames,
+                        transport errors, sampled messages) to PATH
+    --report PATH       write the load-gen report JSON (qps, latency
+                        percentiles) to PATH
+    Without --load-gen the server runs until SIGINT/SIGTERM, then drains
+    gracefully: stop accepting, shed the queue, finish in-flight replies
+    whole, write final metrics.
+
+QUERY (one question to a running server, with retries):
+    KIND [ARGS...] is one of:
+        ping
+        visibility PREFIX DATE
+        rov PREFIX ASN DATE [--all-tals]
+        drop-listed PREFIX DATE
+        drop-history PREFIX
+        scorecard [SOURCE]
+        stats
+    --addr HOST:PORT    the server (required)
+    --timeout-ms N      per-attempt deadline (default 2000)
+
+INGEST FLAGS (analyze, scorecard, serve):
     --format auto|text|binary    archive representation to load
                                  (default auto: the droplens-bin/1
                                  sidecars when the tree carries a

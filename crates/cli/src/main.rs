@@ -113,6 +113,12 @@ fn main() -> ExitCode {
             eprintln!("droplens: lint failed");
             ExitCode::FAILURE
         }
+        // Serve/query failures carry their report the same way.
+        Err(CliError::Serve(output)) => {
+            print!("{output}");
+            eprintln!("droplens: serve failed");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("droplens: {e}");
             eprintln!("{USAGE}");
@@ -318,9 +324,117 @@ fn run(args: &[String]) -> Result<String, CliError> {
             };
             droplens_cli::perf::mem_diff(base, head, &opts)
         }
+        Some("serve") => {
+            let mut dir: Option<PathBuf> = None;
+            let mut ingest = IngestFlags::default();
+            let mut opts = commands::ServeOptions::default();
+            let mut load_gen: Option<usize> = None;
+            let mut queries = 50usize;
+            let mut seed = 42u64;
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--dir" => dir = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    "--addr" => opts.addr = parse_addr(value(&rest, &mut i)?)?,
+                    "--workers" => opts.workers = parse_num(value(&rest, &mut i)?, "--workers")?,
+                    "--queue" => opts.queue = parse_num(value(&rest, &mut i)?, "--queue")?,
+                    "--timeout-ms" => {
+                        opts.timeout_ms = parse_num(value(&rest, &mut i)?, "--timeout-ms")?
+                    }
+                    "--load-gen" => {
+                        load_gen = Some(parse_num(value(&rest, &mut i)?, "--load-gen")?)
+                    }
+                    "--queries" => queries = parse_num(value(&rest, &mut i)?, "--queries")?,
+                    "--seed" => seed = parse_num(value(&rest, &mut i)?, "--seed")?,
+                    "--chaos" => opts.chaos = Some(parse_num(value(&rest, &mut i)?, "--chaos")?),
+                    "--ledger" => opts.ledger = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    "--report" => opts.report = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    flag if ingest.accept(flag, &rest, &mut i)? => {}
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            let dir = dir.ok_or_else(|| CliError::Usage("serve needs --dir DIR".into()))?;
+            opts.load_gen = load_gen.map(|connections| (connections, queries, seed));
+            if opts.chaos.is_some() && opts.load_gen.is_none() {
+                return Err(CliError::Usage("--chaos needs --load-gen".into()));
+            }
+            commands::serve(&dir, &ingest.build()?, &opts)
+        }
+        Some("query") => {
+            let mut addr: Option<std::net::SocketAddr> = None;
+            let mut timeout_ms = 2_000u64;
+            let mut all_tals = false;
+            let mut positional: Vec<&str> = Vec::new();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--addr" => addr = Some(parse_addr(value(&rest, &mut i)?)?),
+                    "--timeout-ms" => {
+                        timeout_ms = parse_num(value(&rest, &mut i)?, "--timeout-ms")?
+                    }
+                    "--all-tals" => all_tals = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag {flag:?}")))
+                    }
+                    arg => positional.push(arg),
+                }
+                i += 1;
+            }
+            let addr =
+                addr.ok_or_else(|| CliError::Usage("query needs --addr HOST:PORT".into()))?;
+            let req = parse_query(&positional, all_tals)?;
+            commands::query(addr, timeout_ms, &req)
+        }
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
+}
+
+/// Build the wire request from `query`'s positional arguments.
+fn parse_query(positional: &[&str], all_tals: bool) -> Result<droplens_serve::Request, CliError> {
+    use droplens_serve::Request;
+    match positional {
+        ["ping"] => Ok(Request::Ping),
+        ["visibility", prefix, date] => Ok(Request::Visibility {
+            prefix: prefix.parse()?,
+            date: date.parse()?,
+        }),
+        ["rov", prefix, asn, date] => Ok(Request::Rov {
+            prefix: prefix.parse()?,
+            origin: asn.parse()?,
+            date: date.parse()?,
+            all_tals,
+        }),
+        ["drop-listed", prefix, date] => Ok(Request::DropListed {
+            prefix: prefix.parse()?,
+            date: date.parse()?,
+        }),
+        ["drop-history", prefix] => Ok(Request::DropHistory {
+            prefix: prefix.parse()?,
+        }),
+        ["scorecard"] => Ok(Request::Scorecard { source: None }),
+        ["scorecard", source] => Ok(Request::Scorecard {
+            source: Some((*source).to_owned()),
+        }),
+        ["stats"] => Ok(Request::Stats),
+        other => Err(CliError::Usage(format!(
+            "unknown query {:?} (ping|visibility|rov|drop-listed|drop-history|scorecard|stats)",
+            other.join(" ")
+        ))),
+    }
+}
+
+fn parse_addr(raw: &str) -> Result<std::net::SocketAddr, CliError> {
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("bad address {raw:?} (want HOST:PORT)")))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, CliError> {
+    raw.parse()
+        .map_err(|_| CliError::Usage(format!("{flag} wants a number, got {raw:?}")))
 }
 
 /// Accumulator for the shared ingest flags on `analyze`/`scorecard`.

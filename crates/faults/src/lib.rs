@@ -28,6 +28,10 @@
 
 #![warn(missing_docs)]
 
+pub mod net;
+
+pub use net::{ChaosLog, ChaosProfile, ChaosProxy};
+
 use std::fmt;
 
 use droplens_synth::TextArchives;

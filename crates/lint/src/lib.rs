@@ -7,18 +7,19 @@
 //! over the workspace's own sources, run as `droplens lint` locally and
 //! as a CI gate.
 //!
-//! Seven rules, each scoped to the modules where its invariant bites
+//! Eight rules, each scoped to the modules where its invariant bites
 //! (see [`rules_for_path`] and DESIGN.md §9):
 //!
 //! | rule | scope | bans |
 //! |------|-------|------|
-//! | `no-unwrap` | format/archive/journal/list/ingest modules | `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!` |
+//! | `no-unwrap` | format/archive/journal/list/ingest and serve-path modules | `.unwrap()`, `.expect()`, `panic!`, `todo!`, `unimplemented!` |
 //! | `ordered-output` | modules that write archives, reports, or traces | `HashMap`, `HashSet` |
 //! | `no-wallclock` | everything outside `crates/obs` | `Instant::now`, `SystemTime::now` |
 //! | `seeded-rng-only` | everywhere | `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng`, `rand::random` |
 //! | `located-errors` | parser modules (format/journal/list) | `ParseError::new` with no `.with_location` on any intra-file caller path |
 //! | `no-unbounded-collect` | parser/writer hot paths (format/archive) | `.collect` without an acknowledging escape |
 //! | `no-string-keyed-hot-map` | parser/writer hot paths (format/archive) | `HashMap<String, _>` / `BTreeMap<String, _>` |
+//! | `no-deadline-free-io` | serve-path modules (server/client/loadgen/net) | `TcpStream::connect`, and socket read/write in functions with no configured timeout |
 //!
 //! A finding can be suppressed per line with a trailing
 //! `// lint: allow(<rule>)` comment (or one on its own line directly
@@ -60,6 +61,11 @@ pub enum Rule {
     /// insert/lookup hashes and possibly clones the full string. Intern
     /// to a `u32` id (`StrTable`/`StringInterner`) and key by that.
     NoStringKeyedHotMap,
+    /// No deadline-free socket IO on serve paths: `TcpStream::connect`
+    /// (no timeout) is banned outright, and a function doing socket
+    /// read/write must configure both `set_read_timeout` and
+    /// `set_write_timeout` (or go through `DeadlineStream`, which does).
+    NoDeadlineFreeIo,
     /// A `// lint: allow(...)` escape that names an unknown rule.
     BadEscape,
 }
@@ -67,7 +73,7 @@ pub enum Rule {
 impl Rule {
     /// Every scannable rule (excludes [`Rule::BadEscape`], which is
     /// emitted by the escape parser, not scanned for).
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NoUnwrap,
         Rule::OrderedOutput,
         Rule::NoWallclock,
@@ -75,6 +81,7 @@ impl Rule {
         Rule::LocatedErrors,
         Rule::NoUnboundedCollect,
         Rule::NoStringKeyedHotMap,
+        Rule::NoDeadlineFreeIo,
     ];
 
     /// The kebab-case name used in diagnostics and escapes.
@@ -87,6 +94,7 @@ impl Rule {
             Rule::LocatedErrors => "located-errors",
             Rule::NoUnboundedCollect => "no-unbounded-collect",
             Rule::NoStringKeyedHotMap => "no-string-keyed-hot-map",
+            Rule::NoDeadlineFreeIo => "no-deadline-free-io",
             Rule::BadEscape => "bad-escape",
         }
     }
@@ -213,7 +221,8 @@ fn json_escape(s: &str) -> String {
 ///   on the output writers (format, layout, sbltext, report,
 ///   run_report, json, trace, registry, perf, paper, experiments/*),
 ///   `no-unbounded-collect` and `no-string-keyed-hot-map` on the
-///   per-record hot paths (format, archive).
+///   per-record hot paths (format, archive), `no-deadline-free-io` on
+///   the socket-touching serve paths (server, client, loadgen, net).
 pub fn rules_for_path(path: &str) -> Vec<Rule> {
     let norm = path.replace('\\', "/");
     let comps: Vec<&str> = norm
@@ -238,7 +247,11 @@ pub fn rules_for_path(path: &str) -> Vec<Rule> {
     if !has("obs") {
         rules.push(Rule::NoWallclock);
     }
-    const UNWRAP_STEMS: [&str; 5] = ["format", "archive", "journal", "list", "ingest"];
+    const UNWRAP_STEMS: [&str; 11] = [
+        "format", "archive", "journal", "list", "ingest", // parsers and writers
+        "protocol", "engine", "server", "client", "loadgen", "net", // serve paths
+    ];
+    const DEADLINE_STEMS: [&str; 4] = ["server", "client", "loadgen", "net"];
     const LOCATED_STEMS: [&str; 3] = ["format", "journal", "list"];
     const COLLECT_STEMS: [&str; 2] = ["format", "archive"];
     const ORDERED_STEMS: [&str; 10] = [
@@ -265,6 +278,9 @@ pub fn rules_for_path(path: &str) -> Vec<Rule> {
     if COLLECT_STEMS.contains(&stem) {
         rules.push(Rule::NoUnboundedCollect);
         rules.push(Rule::NoStringKeyedHotMap);
+    }
+    if DEADLINE_STEMS.contains(&stem) {
+        rules.push(Rule::NoDeadlineFreeIo);
     }
     rules.sort();
     rules
@@ -471,6 +487,19 @@ mod tests {
 
         assert!(rules_for_path("vendor/rand/src/lib.rs").is_empty());
         assert!(rules_for_path("crates/core/README.md").is_empty());
+
+        // Serve paths: no-unwrap plus the socket-deadline rule.
+        let r = rules_for_path("crates/serve/src/server.rs");
+        assert!(r.contains(&Rule::NoUnwrap));
+        assert!(r.contains(&Rule::NoDeadlineFreeIo));
+        let r = rules_for_path("crates/faults/src/net.rs");
+        assert!(r.contains(&Rule::NoDeadlineFreeIo));
+        let r = rules_for_path("crates/serve/src/engine.rs");
+        assert!(r.contains(&Rule::NoUnwrap));
+        assert!(
+            !r.contains(&Rule::NoDeadlineFreeIo),
+            "engine is socket-free"
+        );
 
         // Fixtures classify like sources, not like tests.
         let r = rules_for_path("crates/lint/tests/fixtures/no_unwrap/format.rs");

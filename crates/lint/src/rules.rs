@@ -1,5 +1,5 @@
-//! The six project-specific rules, run over the significant-token
-//! stream of one file.
+//! The project-specific rules, run over the significant-token stream
+//! of one file.
 //!
 //! Every rule is a local pattern over [`lexer`] tokens — no type
 //! information, no macro expansion. That keeps the checker fast and
@@ -160,6 +160,7 @@ pub(crate) fn check(rule: Rule, view: &FileView<'_>, hits: &mut Vec<Hit>) {
         Rule::LocatedErrors => located_errors(view, hits),
         Rule::NoUnboundedCollect => no_unbounded_collect(view, hits),
         Rule::NoStringKeyedHotMap => no_string_keyed_hot_map(view, hits),
+        Rule::NoDeadlineFreeIo => no_deadline_free_io(view, hits),
         // Emitted during escape parsing, never scanned for.
         Rule::BadEscape => {}
     }
@@ -327,6 +328,120 @@ fn no_string_keyed_hot_map(view: &FileView<'_>, hits: &mut Vec<Hit>) {
                 message: format!(
                     "`{name}<String, _>` on a format/archive hot path — intern the keys \
                      (StrTable/StringInterner) and key by u32 id instead"
+                ),
+            });
+        }
+    }
+}
+
+/// `no-deadline-free-io`: serve-path sockets must always carry
+/// deadlines, or a wedged peer holds a worker (or the whole drain)
+/// hostage forever. Two checks:
+///
+/// * `TcpStream::connect(` is banned outright — it has no timeout
+///   variant in that spelling; use `TcpStream::connect_timeout` or
+///   `DeadlineStream::connect`.
+/// * Any function that touches `TcpStream`/`TcpListener` and performs
+///   raw IO (`.read(`, `.read_exact(`, `.read_to_end(`, `.write(`,
+///   `.write_all(`) must configure **both** `set_read_timeout` and
+///   `set_write_timeout` in the same function, or route the socket
+///   through `DeadlineStream` (whose constructor sets both). Each
+///   unguarded IO call is a separate hit.
+///
+/// Token-level, like every rule here: a function that configures
+/// timeouts on one socket and does raw IO on another will pass, and a
+/// helper that receives an already-deadlined socket will be flagged —
+/// that second case is what `// lint: allow(no-deadline-free-io)` is
+/// for (or better: pass the `DeadlineStream` wrapper, which documents
+/// the invariant in the type).
+fn no_deadline_free_io(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    // Check A: deadline-free connect.
+    for i in 0..view.len() {
+        if view.is_test_code(i) {
+            continue;
+        }
+        if view.matches(i, &["TcpStream", ":", ":", "connect", "("]) {
+            hits.push(Hit {
+                line: view.line(i),
+                rule: Rule::NoDeadlineFreeIo,
+                message: "`TcpStream::connect` has no deadline — use \
+                          `TcpStream::connect_timeout` or `DeadlineStream::connect`"
+                    .to_owned(),
+            });
+        }
+    }
+
+    // Check B, pass 1: function spans — the `fn` token through the
+    // body's closing brace, so timeouts configured anywhere in the
+    // function (and socket types named in the signature) both count.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < view.len() {
+        if view.text(i) == "fn"
+            && view.kind(i + 1) == Some(TokenKind::Ident)
+            && !view.is_test_code(i)
+        {
+            let mut j = i + 2;
+            let mut depth = 0i64;
+            while j < view.len() {
+                match view.text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "{" if depth == 0 => {
+                        spans.push((i, view.skip_braces(j)));
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Keep scanning inside the body: nested fns and closures
+            // passed to `thread::spawn` get their own spans too.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+
+    let innermost = |p: usize| -> Option<(usize, usize)> {
+        spans
+            .iter()
+            .filter(|s| s.0 <= p && p < s.1)
+            .min_by_key(|s| s.1 - s.0)
+            .copied()
+    };
+    let mentions = |span: (usize, usize), name: &str| -> bool {
+        (span.0..span.1).any(|p| view.text(p) == name)
+    };
+
+    // Check B, pass 2: unguarded IO calls in socket-touching functions.
+    const IO_CALLS: [&str; 5] = ["read", "read_exact", "read_to_end", "write", "write_all"];
+    for p in 0..view.len() {
+        if view.is_test_code(p) || view.kind(p) != Some(TokenKind::Ident) {
+            continue;
+        }
+        let name = view.text(p);
+        if !IO_CALLS.contains(&name) || p == 0 || view.text(p - 1) != "." || view.text(p + 1) != "("
+        {
+            continue;
+        }
+        let Some(span) = innermost(p) else {
+            continue; // not inside any fn: macro plumbing, skip
+        };
+        if !mentions(span, "TcpStream") && !mentions(span, "TcpListener") {
+            continue; // IO on something that is not a raw socket
+        }
+        let guarded = mentions(span, "DeadlineStream")
+            || (mentions(span, "set_read_timeout") && mentions(span, "set_write_timeout"));
+        if !guarded {
+            hits.push(Hit {
+                line: view.line(p),
+                rule: Rule::NoDeadlineFreeIo,
+                message: format!(
+                    "`.{name}(` in a socket-touching function with no configured deadline — set \
+                     both `set_read_timeout` and `set_write_timeout` first, or wrap the socket \
+                     in `DeadlineStream`"
                 ),
             });
         }

@@ -133,6 +133,24 @@ fn no_string_keyed_hot_map_goldens() {
 }
 
 #[test]
+fn no_deadline_free_io_goldens() {
+    let (found, _) = lint_fixture("no_deadline_free_io/bad/server.rs");
+    assert_eq!(
+        found,
+        vec![
+            (7, Rule::NoDeadlineFreeIo),  // TcpStream::connect
+            (8, Rule::NoDeadlineFreeIo),  // .write_all, no timeouts at all
+            (10, Rule::NoDeadlineFreeIo), // .read_to_end, no timeouts at all
+            (17, Rule::NoDeadlineFreeIo), // .read, write timeout missing
+            (18, Rule::NoDeadlineFreeIo), // .write_all, write timeout missing
+        ]
+    );
+    let (found, suppressed) = lint_fixture("no_deadline_free_io/allowed/server.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 3); // relay is fixed properly, not escaped
+}
+
+#[test]
 fn bad_escape_goldens() {
     let (found, _) = lint_fixture("bad_escape/bad/escape.rs");
     assert_eq!(
@@ -150,10 +168,10 @@ fn bad_escape_goldens() {
 #[test]
 fn corpus_as_a_whole_fails() {
     let files = collect_rs_files(&[corpus()]).expect("walk fixtures");
-    assert_eq!(files.len(), 15, "{files:?}");
+    assert_eq!(files.len(), 17, "{files:?}");
     let report = lint_files(&files).expect("lint fixtures");
     assert!(!report.is_clean());
-    assert_eq!(report.files_checked, 15);
-    assert_eq!(report.diagnostics.len(), 19);
-    assert_eq!(report.suppressed, 17);
+    assert_eq!(report.files_checked, 17);
+    assert_eq!(report.diagnostics.len(), 24);
+    assert_eq!(report.suppressed, 20);
 }

@@ -1,0 +1,189 @@
+//! The bundled client: connect-per-query with deadline-guarded sockets
+//! and jittered exponential-backoff retries under an explicit budget.
+//!
+//! Every failure mode the chaos layer can produce — connect refusal,
+//! read/write timeout, mid-reply reset (a torn read), a corrupted frame
+//! (located decode error), a typed [`Reply::Busy`] shed, or a server
+//! [`Reply::Error`] caused by the *request* corrupting in transit — is
+//! retryable: the query is re-sent on a fresh connection after a
+//! backoff. The backoff doubles from [`RetryPolicy::base_delay`] up to
+//! [`RetryPolicy::max_delay`] and each sleep is jittered uniformly into
+//! the upper half of the window by a [`StdRng`] seeded from
+//! [`RetryPolicy::seed`] — deterministic for a given seed, like every
+//! other randomized component in the workspace. When the attempt budget
+//! is spent the client gives up with [`ClientError::Exhausted`] naming
+//! the last failure; it never retries forever and never hangs.
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::net::DeadlineStream;
+use crate::protocol::{Reply, Request, WireError};
+
+/// The retry budget and backoff shape.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Hard cap on attempts per query (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(320),
+            seed: 0x0d10_9e45,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before attempt `attempt + 1` (0-based):
+    /// uniform in the upper half of `min(base << attempt, max)`.
+    fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let full = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let ns = full.as_nanos() as u64;
+        if ns == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(ns / 2 + rng.gen_range(0..=ns / 2))
+    }
+}
+
+/// Where and how to talk to a server.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The server address.
+    pub addr: SocketAddr,
+    /// Connect/read/write deadline per attempt.
+    pub deadline: Duration,
+    /// The retry budget.
+    pub retry: RetryPolicy,
+}
+
+impl ClientConfig {
+    /// Defaults (2 s deadline, default retry budget) against `addr`.
+    pub fn to_addr(addr: SocketAddr) -> ClientConfig {
+        ClientConfig {
+            addr,
+            deadline: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// The retry budget was spent without a good reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt failed; carries the count and the last failure.
+    Exhausted {
+        /// Attempts made (== the policy's budget).
+        attempts: u32,
+        /// The last attempt's failure, rendered.
+        last: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One failed attempt, classified for the retry decision (all classes
+/// retry; the class names the ledger entry).
+enum Attempt {
+    Good(Reply),
+    Retry(String),
+}
+
+/// A retrying client. Holds only configuration and the jitter stream;
+/// every query opens a fresh connection, so a `Client` is cheap and a
+/// poisoned connection cannot leak across queries.
+pub struct Client {
+    config: ClientConfig,
+    rng: StdRng,
+    retries: droplens_obs::Counter,
+}
+
+impl Client {
+    /// A client for `config`.
+    pub fn new(config: ClientConfig) -> Client {
+        let rng = StdRng::seed_from_u64(config.retry.seed);
+        Client {
+            config,
+            rng,
+            retries: droplens_obs::global().counter("client.retries"),
+        }
+    }
+
+    /// Run one query to completion: try, classify, back off, retry —
+    /// until a good reply or the budget is spent.
+    pub fn query(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let budget = self.config.retry.max_attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..budget {
+            if attempt > 0 {
+                self.retries.inc();
+                let pause = self.config.retry.backoff(attempt - 1, &mut self.rng);
+                std::thread::sleep(pause);
+            }
+            match self.attempt(req) {
+                Attempt::Good(reply) => return Ok(reply),
+                Attempt::Retry(why) => last = why,
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: budget,
+            last,
+        })
+    }
+
+    /// One connection, one request, one reply.
+    fn attempt(&mut self, req: &Request) -> Attempt {
+        let mut conn = match DeadlineStream::connect(self.config.addr, self.config.deadline) {
+            Ok(conn) => conn,
+            Err(e) => return Attempt::Retry(format!("connect: {e}")),
+        };
+        let _ = conn.set_nodelay(true);
+        if let Err(e) = req.write_to(&mut conn) {
+            return Attempt::Retry(format!("send: {e}"));
+        }
+        match Reply::read_from(&mut conn) {
+            Ok(Some(Reply::Busy)) => Attempt::Retry("server busy".to_owned()),
+            Ok(Some(Reply::Error { message })) => {
+                // The server could not decode what arrived — with a
+                // well-formed request that means corruption in transit;
+                // a fresh attempt sends clean bytes.
+                Attempt::Retry(format!("server error: {message}"))
+            }
+            Ok(Some(reply)) => Attempt::Good(reply),
+            Ok(None) => Attempt::Retry("connection closed before reply".to_owned()),
+            Err(WireError::Io(e)) => Attempt::Retry(format!("transport: {e}")),
+            Err(WireError::Frame(e)) => Attempt::Retry(format!("corrupt reply: {e}")),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! droplens-serve: a long-lived, fault-tolerant query service over the
+//! indexed [`Study`](droplens_core::Study).
+//!
+//! The batch pipeline builds the expensive immutable study once; this
+//! crate turns it into shared read-only state behind a persistent TCP
+//! server answering queries — prefix visibility on a date, ROV
+//! validity, DROP membership and history, scorecard slices, and a
+//! `stats` health query exposing the obs counters — over a
+//! length-prefixed binary protocol with a versioned frame header
+//! ([`protocol`]).
+//!
+//! The robustness contract, end to end:
+//!
+//! * **deadlines everywhere** — every socket is wrapped in a
+//!   [`DeadlineStream`](net::DeadlineStream) that configures read and
+//!   write timeouts at construction; `droplens lint`'s
+//!   `no-deadline-free-io` rule bans raw socket IO on these paths;
+//! * **bounded work, explicit shedding** — accepted connections enter a
+//!   bounded queue; when it is full the acceptor answers with a typed
+//!   [`Reply::Busy`](protocol::Reply::Busy) within the write deadline
+//!   and closes, never queueing unboundedly and never hanging;
+//! * **per-connection error isolation** — a malformed or adversarial
+//!   frame kills only its own connection; the fault is counted and
+//!   sampled in a quarantine-style [`ServeLedger`](server::ServeLedger);
+//! * **graceful drain** — on shutdown (signal or
+//!   [`ServerHandle::stop`](server::ServerHandle::stop)) the listener
+//!   closes, queued connections get a typed `Busy`, the request in
+//!   flight finishes its reply whole (no torn frames), and the final
+//!   metrics flush;
+//! * **retries under a budget** — the bundled [`Client`](client::Client)
+//!   retries connect failures, timeouts, torn replies, and `Busy` with
+//!   jittered exponential backoff from an explicit seed, up to a hard
+//!   attempt budget.
+//!
+//! The [`loadgen`] module hammers a server with many concurrent
+//! client threads while obs records latency histograms, and
+//! double-checks every deterministic reply byte-for-byte against the
+//! offline engine — the chaos acceptance gate in `tests/serve.rs` runs
+//! exactly that through `droplens-faults`' seeded network-fault proxy.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod loadgen;
+pub mod net;
+pub mod protocol;
+pub mod server;
+pub mod shutdown;
+
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
+pub use engine::Engine;
+pub use loadgen::{LoadConfig, LoadReport};
+pub use protocol::{FrameError, Reply, Request, WireError};
+pub use server::{ServeLedger, ServeReport, Server, ServerConfig, ServerHandle};

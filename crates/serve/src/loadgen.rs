@@ -1,0 +1,266 @@
+//! The load generator: many concurrent retrying clients hammering a
+//! server with a seeded query mix, checking every deterministic reply
+//! byte-for-byte against a local oracle [`Engine`] over the same study.
+//!
+//! Each worker thread derives its own seed from [`LoadConfig::seed`]
+//! and its index, so the whole run — query mix, retry jitter, and (when
+//! the chaos proxy sits in between) the fault schedule — replays
+//! exactly. Latencies go to the obs histogram `loadgen.latency_ns`,
+//! measured around the *whole* retried query, which is what a caller
+//! experiences under faults.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use droplens_obs::{HistogramSummary, Stopwatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::{Client, ClientConfig, RetryPolicy};
+use crate::engine::Engine;
+use crate::protocol::Request;
+
+/// Shape of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client threads.
+    pub connections: usize,
+    /// Queries each thread runs to completion (retries not counted).
+    pub queries_per_conn: usize,
+    /// Master seed; thread seeds and the query mix derive from it.
+    pub seed: u64,
+    /// Per-attempt connect/read/write deadline.
+    pub deadline: Duration,
+    /// Retry budget per query (each thread's jitter seed derives from
+    /// this policy's seed and the thread index).
+    pub retry: RetryPolicy,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            connections: 8,
+            queries_per_conn: 50,
+            seed: 0xd201_4e5e,
+            deadline: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What a load run saw.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries attempted (sum over threads; retries not counted).
+    pub sent: u64,
+    /// Queries that got a good reply within the retry budget.
+    pub ok: u64,
+    /// Queries that exhausted the retry budget.
+    pub failed: u64,
+    /// Good replies that did **not** match the oracle byte-for-byte.
+    pub mismatched: u64,
+    /// Sampled failure/mismatch messages (first few, in order).
+    pub samples: Vec<String>,
+    /// End-to-end per-query latency (ns), including retries.
+    pub latency: HistogramSummary,
+    /// Wall clock of the whole run, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl LoadReport {
+    /// Completed queries per second over the run's wall clock.
+    pub fn qps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// True when every query succeeded and matched the oracle.
+    pub fn clean(&self) -> bool {
+        self.failed == 0 && self.mismatched == 0
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} queries: {} ok, {} failed, {} mismatched; {:.0} q/s; latency p50 {} µs, p99 {} µs",
+            self.sent,
+            self.ok,
+            self.failed,
+            self.mismatched,
+            self.qps(),
+            self.latency.p50 / 1_000,
+            self.latency.p99 / 1_000,
+        )
+    }
+
+    /// JSON artifact for CI upload and the bench harness.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"sent\": {},\n  \"ok\": {},\n  \"failed\": {},\n  \"mismatched\": {},\n  \"qps\": {:.1},\n  \"latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}\n}}\n",
+            self.sent,
+            self.ok,
+            self.failed,
+            self.mismatched,
+            self.qps(),
+            self.latency.p50,
+            self.latency.p90,
+            self.latency.p99,
+            self.latency.max,
+        )
+    }
+}
+
+/// How many failure messages the report samples.
+const REPORT_SAMPLES_KEPT: usize = 8;
+
+/// Run the load: `connections` threads, each driving
+/// `queries_per_conn` seeded queries through a retrying [`Client`]
+/// against `addr`, comparing deterministic replies with `oracle`.
+pub fn run(addr: SocketAddr, oracle: &Arc<Engine>, config: &LoadConfig) -> LoadReport {
+    let histogram = droplens_obs::global().histogram("loadgen.latency_ns");
+    let run_sw = Stopwatch::start();
+    let mut handles = Vec::with_capacity(config.connections.max(1));
+    for thread_idx in 0..config.connections.max(1) {
+        let oracle = Arc::clone(oracle);
+        let config = config.clone();
+        let histogram = histogram.clone();
+        handles.push(std::thread::spawn(move || {
+            drive_thread(addr, &oracle, &config, thread_idx as u64, &histogram)
+        }));
+    }
+    let mut report = LoadReport {
+        sent: 0,
+        ok: 0,
+        failed: 0,
+        mismatched: 0,
+        samples: Vec::new(),
+        latency: HistogramSummary::default(),
+        elapsed_ns: 0,
+    };
+    for handle in handles {
+        let Ok(part) = handle.join() else {
+            report.failed += 1;
+            report.samples.push("load thread panicked".to_owned());
+            continue;
+        };
+        report.sent += part.sent;
+        report.ok += part.ok;
+        report.failed += part.failed;
+        report.mismatched += part.mismatched;
+        for s in part.samples {
+            if report.samples.len() < REPORT_SAMPLES_KEPT {
+                report.samples.push(s);
+            }
+        }
+    }
+    report.elapsed_ns = run_sw.elapsed_ns();
+    report.latency = histogram.summary();
+    report
+}
+
+/// Per-thread tallies, merged by [`run`].
+struct ThreadPart {
+    sent: u64,
+    ok: u64,
+    failed: u64,
+    mismatched: u64,
+    samples: Vec<String>,
+}
+
+fn drive_thread(
+    addr: SocketAddr,
+    oracle: &Arc<Engine>,
+    config: &LoadConfig,
+    thread_idx: u64,
+    histogram: &droplens_obs::Histogram,
+) -> ThreadPart {
+    // Golden-ratio stride keeps derived seeds well apart.
+    let derived = config
+        .seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(thread_idx + 1));
+    let mut mix = StdRng::seed_from_u64(derived);
+    let mut client = Client::new(ClientConfig {
+        addr,
+        deadline: config.deadline,
+        retry: RetryPolicy {
+            seed: derived ^ 0x00c1_1e47,
+            ..config.retry.clone()
+        },
+    });
+    let mut part = ThreadPart {
+        sent: 0,
+        ok: 0,
+        failed: 0,
+        mismatched: 0,
+        samples: Vec::new(),
+    };
+    for _ in 0..config.queries_per_conn {
+        let req = random_request(&mut mix, oracle);
+        part.sent += 1;
+        let sw = Stopwatch::start();
+        match client.query(&req) {
+            Ok(reply) => {
+                histogram.record(sw.elapsed_ns());
+                part.ok += 1;
+                // Stats replies mix in live counters; every other kind
+                // must equal the offline answer exactly.
+                if !matches!(req, Request::Stats) && reply != oracle.answer(&req) {
+                    part.mismatched += 1;
+                    if part.samples.len() < REPORT_SAMPLES_KEPT {
+                        part.samples
+                            .push(format!("oracle mismatch on {} query", req.label()));
+                    }
+                }
+            }
+            Err(e) => {
+                part.failed += 1;
+                if part.samples.len() < REPORT_SAMPLES_KEPT {
+                    part.samples.push(e.to_string());
+                }
+            }
+        }
+    }
+    part
+}
+
+/// A seeded query over the study's own prefixes and window — realistic
+/// enough to exercise every index, deterministic for a given rng state.
+fn random_request(rng: &mut StdRng, oracle: &Engine) -> Request {
+    let study = oracle.study();
+    let entries = &study.entries;
+    if entries.is_empty() {
+        // Degenerate world: nothing to ask about beyond liveness.
+        return Request::Ping;
+    }
+    let prefix = entries[rng.gen_range(0..entries.len())].prefix();
+    let window = study.config.window;
+    let date = window.start() + rng.gen_range(0..window.len().max(1)) as i32;
+    match rng.gen_range(0..12u32) {
+        0 => Request::Ping,
+        1..=3 => Request::Visibility { prefix, date },
+        4..=6 => Request::Rov {
+            prefix,
+            origin: droplens_net::Asn(rng.gen_range(1..65_000)),
+            date,
+            all_tals: rng.gen_range(0..4u8) == 0,
+        },
+        7..=8 => Request::DropListed { prefix, date },
+        9..=10 => Request::DropHistory { prefix },
+        _ => {
+            if rng.gen_range(0..4u8) == 0 {
+                Request::Stats
+            } else {
+                Request::Scorecard {
+                    source: if rng.gen_range(0..2u8) == 0 {
+                        None
+                    } else {
+                        Some("Table".to_owned())
+                    },
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Deadline-guarded sockets.
+//!
+//! [`DeadlineStream`] is the only way serve-path code touches a
+//! `TcpStream`: the constructor installs both the read and the write
+//! timeout before the socket is ever used, so no IO on these paths can
+//! block forever. The `no-deadline-free-io` lint rule enforces the
+//! discipline structurally — raw `TcpStream::connect` or timeout-less
+//! read/write calls in serve/client/loadgen code are build failures.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A `TcpStream` whose read and write deadlines were configured at
+/// construction. Implements [`Read`] and [`Write`] by delegation; a
+/// stalled peer surfaces as `WouldBlock`/`TimedOut` instead of a hang.
+#[derive(Debug)]
+pub struct DeadlineStream {
+    inner: TcpStream,
+}
+
+impl DeadlineStream {
+    /// Wrap an accepted stream, installing `deadline` for both reads
+    /// and writes. `deadline` must be nonzero (`set_read_timeout`
+    /// rejects zero by contract).
+    pub fn new(stream: TcpStream, deadline: Duration) -> std::io::Result<DeadlineStream> {
+        stream.set_read_timeout(Some(deadline))?;
+        stream.set_write_timeout(Some(deadline))?;
+        Ok(DeadlineStream { inner: stream })
+    }
+
+    /// Connect with `deadline` as the connect timeout, then install it
+    /// as the read/write deadline too.
+    pub fn connect(addr: SocketAddr, deadline: Duration) -> std::io::Result<DeadlineStream> {
+        let stream = TcpStream::connect_timeout(&addr, deadline)?;
+        DeadlineStream::new(stream, deadline)
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Disable Nagle's algorithm (request/reply traffic wants every
+    /// frame out immediately).
+    pub fn set_nodelay(&self, on: bool) -> std::io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+
+    /// Shut down the write half, signalling EOF to the peer while
+    /// still allowing reads to drain.
+    pub fn shutdown_write(&self) -> std::io::Result<()> {
+        self.inner.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+impl Write for DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}

@@ -1,0 +1,415 @@
+//! The server: bounded accept queue, worker pool, deadline-guarded
+//! connections, typed overload shedding, and graceful drain.
+//!
+//! Architecture (all std, no async runtime):
+//!
+//! ```text
+//!   acceptor thread ──try_send──▶ bounded queue ──recv──▶ N workers
+//!        │                            │                       │
+//!        │ full → Busy + close        │ drain → Busy + close  │ serve
+//!        ▼                            ▼                       ▼
+//!    stops on the shutdown flag; dropping the sender ends the workers
+//! ```
+//!
+//! * The acceptor polls a nonblocking listener so it can observe the
+//!   shutdown flag between accepts.
+//! * The queue is a `sync_channel` of depth [`ServerConfig::queue_depth`];
+//!   when `try_send` fails the acceptor answers [`Reply::Busy`] inside
+//!   the write deadline and closes — overload is a typed reply, never an
+//!   unbounded queue and never a hang.
+//! * Workers check the shutdown flag **between** requests only: a reply
+//!   in flight always goes out whole (single `write_all` per frame), so
+//!   a drain can tear nothing.
+//! * A malformed frame closes only its own connection, after a best-
+//!   effort located [`Reply::Error`]; the fault is counted and sampled
+//!   in the [`ServeLedger`], mirroring the ingestion quarantine.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use droplens_obs::Stopwatch;
+
+use crate::engine::Engine;
+use crate::net::DeadlineStream;
+use crate::protocol::{Reply, Request, WireError};
+
+/// How many fault messages the ledger retains verbatim.
+pub const LEDGER_SAMPLES_KEPT: usize = 16;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the bound address is on
+    /// the handle).
+    pub addr: std::net::SocketAddr,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded queue depth between acceptor and workers; accepts beyond
+    /// it shed with [`Reply::Busy`].
+    pub queue_depth: usize,
+    /// Read/write deadline installed on every connection.
+    pub deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: std::net::SocketAddr::from(([127, 0, 0, 1], 0)),
+            workers: 4,
+            queue_depth: 64,
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Quarantine-style ledger of per-connection faults: counts plus the
+/// first [`LEDGER_SAMPLES_KEPT`] messages verbatim.
+#[derive(Debug, Clone, Default)]
+pub struct ServeLedger {
+    /// Connections killed by a frame that did not decode.
+    pub malformed: u64,
+    /// Connections killed by a transport error (timeout, reset, torn
+    /// read) outside a clean between-frames EOF.
+    pub io_errors: u64,
+    /// Sampled fault messages, in arrival order.
+    pub samples: Vec<String>,
+}
+
+impl ServeLedger {
+    fn record(&mut self, malformed: bool, message: String) {
+        if malformed {
+            self.malformed += 1;
+        } else {
+            self.io_errors += 1;
+        }
+        if self.samples.len() < LEDGER_SAMPLES_KEPT {
+            self.samples.push(message);
+        }
+    }
+
+    /// Render as the JSON artifact CI uploads.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"malformed\": {},\n", self.malformed));
+        out.push_str(&format!("  \"io_errors\": {},\n", self.io_errors));
+        out.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let comma = if i + 1 == self.samples.len() { "" } else { "," };
+            out.push_str(&format!("    {}{}\n", json_string(s), comma));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What the server did over its lifetime; returned by
+/// [`ServerHandle::stop`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Connections accepted and handed to workers.
+    pub connections: u64,
+    /// Requests answered (any reply kind except shed `Busy`).
+    pub queries: u64,
+    /// Connections shed with a typed `Busy` (queue full or draining).
+    pub busy: u64,
+    /// The fault ledger.
+    pub ledger: ServeLedger,
+}
+
+impl ServeReport {
+    /// One-line summary for logs and the CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "served {} queries over {} connections ({} shed busy, {} malformed, {} io errors)",
+            self.queries, self.connections, self.busy, self.ledger.malformed, self.ledger.io_errors
+        )
+    }
+}
+
+/// Obs handles the hot path bumps without registry lookups.
+struct Counters {
+    connections: droplens_obs::Counter,
+    queries: droplens_obs::Counter,
+    busy: droplens_obs::Counter,
+    malformed: droplens_obs::Counter,
+    io_errors: droplens_obs::Counter,
+    latency_ns: droplens_obs::Histogram,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        let reg = droplens_obs::global();
+        Counters {
+            connections: reg.counter("serve.connections"),
+            queries: reg.counter("serve.queries"),
+            busy: reg.counter("serve.busy"),
+            malformed: reg.counter("serve.malformed"),
+            io_errors: reg.counter("serve.io_errors"),
+            latency_ns: reg.histogram("serve.latency_ns"),
+        }
+    }
+
+    /// Live counter pairs merged into a `stats` reply, sorted by name.
+    fn stats_pairs(&self) -> Vec<(String, u64)> {
+        vec![
+            ("serve.busy".to_owned(), self.busy.value()),
+            ("serve.connections".to_owned(), self.connections.value()),
+            ("serve.io_errors".to_owned(), self.io_errors.value()),
+            ("serve.malformed".to_owned(), self.malformed.value()),
+            ("serve.queries".to_owned(), self.queries.value()),
+        ]
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    engine: Arc<Engine>,
+    counters: Counters,
+    ledger: Mutex<ServeLedger>,
+    shutdown: AtomicBool,
+}
+
+/// The server's entry point. See the module docs for the architecture.
+pub struct Server;
+
+/// A running server: its bound address plus the handle to stop it.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the acceptor, and return the
+    /// handle. The engine is shared read-only across all workers.
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            engine,
+            counters: Counters::new(),
+            ledger: Mutex::new(ServeLedger::default()),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = sync_channel::<DeadlineStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))?,
+            );
+        }
+
+        let deadline = config.deadline;
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::Builder::new()
+            .name("serve-acceptor".to_owned())
+            .spawn(move || accept_loop(listener, tx, deadline, &acceptor_shared))?;
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// True once a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request a drain without waiting: stop accepting, shed the queue,
+    /// finish requests in flight. Idempotent; safe from a signal
+    /// watcher thread.
+    pub fn request_drain(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Drain and wait for every thread to finish, then return the
+    /// report. In-flight replies complete whole; nothing is torn.
+    pub fn stop(mut self) -> ServeReport {
+        self.request_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let c = &self.shared.counters;
+        let ledger = self
+            .shared
+            .ledger
+            .lock()
+            .map(|g| g.clone())
+            .unwrap_or_default();
+        ServeReport {
+            connections: c.connections.value(),
+            queries: c.queries.value(),
+            busy: c.busy.value(),
+            ledger,
+        }
+    }
+}
+
+/// Accept until the shutdown flag; shed to `Busy` when the queue is
+/// full. Dropping `tx` on exit is what ends the workers.
+fn accept_loop(
+    listener: TcpListener,
+    tx: std::sync::mpsc::SyncSender<DeadlineStream>,
+    deadline: Duration,
+    shared: &Shared,
+) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let Ok(conn) = DeadlineStream::new(stream, deadline) else {
+                    // Peer vanished between accept and setsockopt.
+                    continue;
+                };
+                let _ = conn.set_nodelay(true);
+                match tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut conn)) => shed(&mut conn, shared),
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // tx drops here: workers finish the queued backlog (as Busy, since
+    // the flag is set by the time they pull) and exit on Disconnected.
+}
+
+/// Typed overload shedding: one `Busy` frame inside the write deadline,
+/// then close.
+fn shed(conn: &mut DeadlineStream, shared: &Shared) {
+    shared.counters.busy.inc();
+    let _ = Reply::Busy.write_to(conn);
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<DeadlineStream>>>, shared: &Shared) {
+    loop {
+        // Hold the lock only across the recv so workers pull in turn.
+        let conn = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match guard.recv() {
+                Ok(conn) => conn,
+                Err(_) => break, // acceptor gone, queue drained
+            }
+        };
+        let mut conn = conn;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Draining: queued-but-unserved connections get a typed
+            // Busy, not silence and not service.
+            shed(&mut conn, shared);
+            continue;
+        }
+        shared.counters.connections.inc();
+        let sw = Stopwatch::start();
+        handle_conn(&mut conn, shared);
+        droplens_obs::global().record_span("serve/conn", sw.elapsed());
+    }
+}
+
+/// Serve one connection until clean EOF, a fault, or a drain request.
+/// The shutdown flag is consulted only between requests: a reply being
+/// written always goes out whole.
+fn handle_conn(conn: &mut DeadlineStream, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match Request::read_from(conn) {
+            Ok(None) => return, // peer closed between frames
+            Ok(Some(req)) => {
+                let sw = Stopwatch::start();
+                let mut reply = shared.engine.answer(&req);
+                if let Reply::Stats { pairs } = &mut reply {
+                    pairs.extend(shared.counters.stats_pairs());
+                    pairs.sort();
+                }
+                shared.counters.queries.inc();
+                shared.counters.latency_ns.record(sw.elapsed_ns());
+                droplens_obs::global()
+                    .record_span(&format!("serve/conn/{}", req.label()), sw.elapsed());
+                if reply.write_to(conn).is_err() {
+                    // Peer gone mid-reply (reset or write deadline);
+                    // isolated to this connection.
+                    shared.counters.io_errors.inc();
+                    return;
+                }
+            }
+            Err(WireError::Frame(e)) => {
+                // Malformed or adversarial bytes: count, sample, answer
+                // with a located error (best effort), kill only this
+                // connection.
+                shared.counters.malformed.inc();
+                record_fault(shared, true, e.to_string());
+                let _ = Reply::Error {
+                    message: e.to_string(),
+                }
+                .write_to(conn);
+                return;
+            }
+            Err(WireError::Io(e)) => {
+                shared.counters.io_errors.inc();
+                record_fault(shared, false, e.to_string());
+                return;
+            }
+        }
+    }
+}
+
+fn record_fault(shared: &Shared, malformed: bool, message: String) {
+    let mut ledger = match shared.ledger.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    ledger.record(malformed, message);
+}

@@ -1,0 +1,262 @@
+//! End-to-end acceptance tests for `droplens serve`, mirroring the
+//! robustness contract in the crate docs:
+//!
+//! * **byte identity** — every served answer equals the offline
+//!   pipeline's answer for the same question, bit-for-bit;
+//! * **overload** — with the queue saturated, a new connection gets a
+//!   typed `Busy` within the deadline, not a hang and not a drop;
+//! * **drain** — stopping under load never tears a reply: every frame
+//!   a client starts receiving arrives whole;
+//! * **chaos** — behind a fault-injecting proxy (corruption,
+//!   truncation, delays, resets) every well-formed query still
+//!   succeeds within its retry budget, with answers unchanged, and the
+//!   server neither crashes nor deadlocks.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use droplens_core::{paper, Study};
+use droplens_faults::{ChaosProfile, ChaosProxy};
+use droplens_serve::net::DeadlineStream;
+use droplens_serve::{
+    loadgen, Client, ClientConfig, Engine, LoadConfig, Reply, Request, Server, ServerConfig,
+    WireError,
+};
+use droplens_synth::{World, WorldConfig};
+
+/// One small world, indexed the same way the offline pipeline does it.
+fn engine() -> Arc<Engine> {
+    let world = World::generate(7, &WorldConfig::small());
+    Arc::new(Engine::new(Arc::new(Study::from_world(&world))))
+}
+
+fn start(engine: &Arc<Engine>, config: ServerConfig) -> droplens_serve::ServerHandle {
+    Server::start(Arc::clone(engine), config).expect("bind server")
+}
+
+#[test]
+fn served_answers_are_byte_identical_to_offline() {
+    let engine = engine();
+    let handle = start(&engine, ServerConfig::default());
+
+    // The load generator checks every deterministic reply against the
+    // local oracle engine; any divergence is a `mismatched` count.
+    let config = LoadConfig {
+        connections: 4,
+        queries_per_conn: 25,
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(handle.addr(), &engine, &config);
+    assert!(report.clean(), "{}\n{:?}", report.summary(), report.samples);
+    assert_eq!(report.ok, report.sent);
+
+    // The scorecard reply is the offline rendering, byte-for-byte.
+    let mut client = Client::new(ClientConfig::to_addr(handle.addr()));
+    let reply = client
+        .query(&Request::Scorecard { source: None })
+        .expect("scorecard query");
+    let offline = paper::render(&paper::scorecard(engine.study()));
+    assert_eq!(reply, Reply::Scorecard { text: offline });
+
+    let served = handle.stop();
+    assert_eq!(served.ledger.malformed, 0, "{:?}", served.ledger.samples);
+}
+
+#[test]
+fn stats_merges_live_counters_sorted() {
+    let engine = engine();
+    let handle = start(&engine, ServerConfig::default());
+    let mut client = Client::new(ClientConfig::to_addr(handle.addr()));
+
+    client.query(&Request::Ping).expect("ping");
+    let reply = client.query(&Request::Stats).expect("stats");
+    let Reply::Stats { pairs } = reply else {
+        panic!("expected Stats, got {reply:?}");
+    };
+    let names: Vec<&str> = pairs.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "stats pairs arrive sorted");
+    let queries = pairs
+        .iter()
+        .find(|(n, _)| n == "serve.queries")
+        .map(|(_, v)| *v)
+        .expect("serve.queries counter present");
+    assert!(queries >= 1, "the ping was counted");
+    assert!(
+        names.iter().any(|n| n.starts_with("study.")),
+        "study facts present: {names:?}"
+    );
+    handle.stop();
+}
+
+/// Saturate a 1-worker, depth-1 queue, then connect once more: the
+/// extra connection must receive a typed `Busy` within the deadline
+/// (the probe read would give up after 1 s otherwise).
+#[test]
+fn saturated_queue_sheds_with_typed_busy() {
+    let engine = engine();
+    let handle = start(
+        &engine,
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    // Pin the lone worker with a connection that never stops asking —
+    // every answered request renews the read deadline, so the worker
+    // stays inside this connection for the whole test. The first Pong
+    // proves the worker has taken it out of the queue.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let occupier = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut conn =
+                DeadlineStream::connect(addr, Duration::from_secs(2)).expect("occupier connect");
+            let mut first = true;
+            while !stop.load(Ordering::Relaxed) {
+                Request::Ping.write_to(&mut conn).expect("occupier write");
+                match Reply::read_from(&mut conn) {
+                    Ok(Some(Reply::Pong)) => {}
+                    other => panic!("occupier expected Pong, got {other:?}"),
+                }
+                if first {
+                    first = false;
+                    ready_tx.send(()).expect("signal readiness");
+                }
+            }
+        })
+    };
+    ready_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("worker pinned");
+
+    // With the worker pinned, this idle connection fills the depth-1
+    // queue and stays there...
+    let filler = TcpStream::connect(addr).expect("connect filler");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // ...so the next connection must be shed at accept.
+    let mut probe = DeadlineStream::connect(addr, Duration::from_secs(1)).expect("connect probe");
+    match Reply::read_from(&mut probe) {
+        Ok(Some(Reply::Busy)) => {}
+        other => panic!("expected a typed Busy within the deadline, got {other:?}"),
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    occupier.join().expect("occupier thread");
+    drop(filler);
+    drop(probe);
+    let report = handle.stop();
+    assert!(report.busy >= 1, "{}", report.summary());
+}
+
+/// Hammer the server from several raw-protocol threads, then drain it
+/// mid-flight. Clean closes and connect failures are expected; a frame
+/// that *starts* arriving and breaks — a torn reply — never is.
+#[test]
+fn drain_under_load_never_tears_a_reply() {
+    let engine = engine();
+    let handle = start(&engine, ServerConfig::default());
+    let addr = handle.addr();
+
+    let torn = Arc::new(AtomicU64::new(0));
+    let mismatched = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+
+    let threads: Vec<_> = (0..6)
+        .map(|_| {
+            let (torn, mismatched, ok) =
+                (Arc::clone(&torn), Arc::clone(&mismatched), Arc::clone(&ok));
+            let oracle = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let Ok(mut conn) = DeadlineStream::connect(addr, Duration::from_secs(1)) else {
+                        return; // server gone: drain finished
+                    };
+                    let req = Request::Ping;
+                    if req.write_to(&mut conn).is_err() {
+                        continue; // request lost in the drain: retryable
+                    }
+                    match Reply::read_from(&mut conn) {
+                        Ok(Some(reply @ (Reply::Pong | Reply::Busy))) => {
+                            if reply == Reply::Pong {
+                                if oracle.answer(&req) != reply {
+                                    mismatched.fetch_add(1, Ordering::Relaxed);
+                                }
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(Some(other)) => panic!("unexpected reply {other:?}"),
+                        Ok(None) => {} // closed before replying: whole, just empty
+                        Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(WireError::Frame(_)) => {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(WireError::Io(_)) => {} // reset/timeout: transport, not torn
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(150));
+    handle.request_drain();
+    std::thread::sleep(Duration::from_millis(50));
+    let report = handle.stop();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    assert_eq!(torn.load(Ordering::Relaxed), 0, "torn replies during drain");
+    assert_eq!(mismatched.load(Ordering::Relaxed), 0);
+    assert!(ok.load(Ordering::Relaxed) > 0, "some queries succeeded");
+    assert!(report.queries > 0, "{}", report.summary());
+}
+
+/// The headline gate: behind the standard chaos profile (1% byte
+/// corruption, 0.5% truncation, 0.5% resets, 2% delays) every
+/// well-formed query still succeeds within its retry budget and every
+/// answer is byte-identical to the offline oracle.
+#[test]
+fn chaos_every_query_succeeds_and_matches_offline() {
+    let engine = engine();
+    let handle = start(&engine, ServerConfig::default());
+    let proxy = ChaosProxy::start(handle.addr(), ChaosProfile::standard(99)).expect("start proxy");
+
+    let config = LoadConfig {
+        connections: 6,
+        queries_per_conn: 20,
+        seed: 11,
+        ..LoadConfig::default()
+    };
+    let report = loadgen::run(proxy.addr(), &engine, &config);
+    let chaos = proxy.stop();
+    assert!(
+        chaos.total_faults() > 0,
+        "the proxy injected nothing: {chaos:?}"
+    );
+    assert!(
+        report.clean(),
+        "under chaos {chaos:?}:\n{}\nsamples: {:?}",
+        report.summary(),
+        report.samples
+    );
+
+    // No crash, no deadlock: the server still answers directly, and
+    // stop() returns with the fault ledger intact.
+    let mut client = Client::new(ClientConfig::to_addr(handle.addr()));
+    assert_eq!(client.query(&Request::Ping).expect("ping"), Reply::Pong);
+    let served = handle.stop();
+    assert!(served.queries >= report.ok, "{}", served.summary());
+}

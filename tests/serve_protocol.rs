@@ -1,0 +1,255 @@
+//! Property and adversarial tests for the `droplens-serve/1` wire
+//! protocol.
+//!
+//! Two contracts, straight from the module docs:
+//!
+//! * every request and reply round-trips through its frame bytes
+//!   exactly;
+//! * no byte sequence panics the decoder — malformed input surfaces as
+//!   a located [`FrameError`] naming the frame and the offending
+//!   offset, and torn transport surfaces separately as
+//!   [`WireError::Io`].
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test code: panics are failures
+
+use droplens_net::{Asn, Date, Ipv4Prefix};
+use droplens_serve::protocol::{self, read_frame, seal_frame, HEADER_LEN, MAX_PAYLOAD};
+use droplens_serve::{FrameError, Reply, Request, WireError};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::from_u32(addr, len))
+}
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    // ~11 years around the paper's window; Date + i32 is total.
+    (0i32..4000).prop_map(|d| Date::from_ymd(2015, 1, 1) + d)
+}
+
+/// Every request variant, selector-driven (the vendored proptest shim
+/// has no `prop_oneof!`).
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..7,
+        arb_prefix(),
+        arb_date(),
+        any::<u32>(),
+        any::<bool>(),
+        prop::option::of("[a-z0-9 ]{0,12}"),
+    )
+        .prop_map(|(sel, prefix, date, origin, flag, source)| match sel {
+            0 => Request::Ping,
+            1 => Request::Visibility { prefix, date },
+            2 => Request::Rov {
+                prefix,
+                origin: Asn(origin),
+                date,
+                all_tals: flag,
+            },
+            3 => Request::DropListed { prefix, date },
+            4 => Request::DropHistory { prefix },
+            5 => Request::Scorecard { source },
+            _ => Request::Stats,
+        })
+}
+
+fn arb_episode() -> impl Strategy<Value = protocol::Episode> {
+    (
+        arb_date(),
+        prop::option::of(arb_date()),
+        prop::option::of("SBL[0-9]{1,6}"),
+    )
+        .prop_map(|(added, removed, sbl)| protocol::Episode {
+            added,
+            removed,
+            sbl,
+        })
+}
+
+/// Arbitrary finite-or-infinite f64 by bit pattern; NaN is remapped
+/// because it breaks `PartialEq`, not the wire (bits round-trip fine).
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_nan() {
+            0.5
+        } else {
+            f
+        }
+    })
+}
+
+/// Every reply variant, selector-driven.
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    (
+        (0u8..9, any::<bool>(), any::<u32>(), any::<u32>(), arb_f64()),
+        (
+            0u8..=2,
+            prop::collection::vec("[a-zA-Z0-9 ./]{0,16}", 0..4),
+            prop::collection::vec(arb_episode(), 0..4),
+            "[ -~]{0,64}",
+            prop::collection::vec(("[a-z.]{1,16}", any::<u64>()), 0..6),
+        ),
+    )
+        .prop_map(
+            |(
+                (sel, flag, observing, total, fraction),
+                (outcome, covering, episodes, text, pairs),
+            )| {
+                match sel {
+                    0 => Reply::Pong,
+                    1 => Reply::Visibility {
+                        routed: flag,
+                        observing,
+                        total,
+                        fraction,
+                    },
+                    2 => Reply::Rov { outcome, covering },
+                    3 => Reply::DropListed { listed: flag },
+                    4 => Reply::DropHistory { episodes },
+                    5 => Reply::Scorecard { text },
+                    6 => Reply::Stats { pairs },
+                    7 => Reply::Busy,
+                    _ => Reply::Error { message: text },
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Every request round-trips bytes-exactly, and consumes its whole
+    /// frame (the reader is left at a clean EOF).
+    #[test]
+    fn request_frames_round_trip(req in arb_request()) {
+        let frame = req.to_frame();
+        let mut r = &frame[..];
+        let got = Request::read_from(&mut r).expect("decode").expect("not EOF");
+        prop_assert_eq!(got, req);
+        prop_assert!(read_frame(&mut r).expect("clean tail").is_none());
+    }
+
+    /// Every reply round-trips bytes-exactly, including bit-exact f64
+    /// fractions.
+    #[test]
+    fn reply_frames_round_trip(reply in arb_reply()) {
+        let frame = reply.to_frame();
+        let mut r = &frame[..];
+        let got = Reply::read_from(&mut r).expect("decode").expect("not EOF");
+        prop_assert_eq!(got, reply);
+        prop_assert!(read_frame(&mut r).expect("clean tail").is_none());
+    }
+
+    /// Truncating a frame at ANY interior boundary is a torn read:
+    /// `WireError::Io` with `UnexpectedEof`, never a panic, never a
+    /// silent success.
+    #[test]
+    fn torn_frames_are_io_errors(req in arb_request(), cut_seed in any::<u64>()) {
+        let frame = req.to_frame();
+        let cut = 1 + (cut_seed as usize) % (frame.len() - 1);
+        let mut r = &frame[..cut];
+        match read_frame(&mut r) {
+            Err(WireError::Io(e)) => {
+                prop_assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => prop_assert!(false, "cut at {cut}: expected torn-read Io, got {other:?}"),
+        }
+    }
+
+    /// Flipping ANY single bit of a sealed frame makes it fail to
+    /// decode: the FNV-1a multiplier is odd, so a nonzero digest delta
+    /// can never cancel, and the magic check covers the two bytes the
+    /// checksum does not.
+    #[test]
+    fn any_single_bit_flip_is_caught(req in arb_request(), at_seed in any::<u64>(), bit in 0u8..8) {
+        let mut frame = req.to_frame();
+        let at = (at_seed as usize) % frame.len();
+        frame[at] ^= 1 << bit;
+        let mut r = &frame[..];
+        prop_assert!(
+            Request::read_from(&mut r).is_err(),
+            "flip bit {bit} at byte {at}: decoder accepted a corrupted frame"
+        );
+    }
+
+    /// Arbitrary bytes never panic the frame reader.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut r = &bytes[..];
+        let _ = read_frame(&mut r);
+        let mut r = &bytes[..];
+        let _ = Request::read_from(&mut r);
+        let mut r = &bytes[..];
+        let _ = Reply::read_from(&mut r);
+    }
+}
+
+/// A located error for a specific malformed frame: the checks that pin
+/// frame names and offsets, beyond what the properties assert.
+fn frame_err(res: Result<Option<Request>, WireError>) -> FrameError {
+    match res {
+        Err(WireError::Frame(e)) => e,
+        other => panic!("expected a frame error, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_length_is_rejected_before_allocation() {
+    let mut frame = seal_frame(0x01, &[]);
+    frame[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    let e = frame_err(Request::read_from(&mut &frame[..]));
+    assert_eq!(e.frame, "header");
+    assert_eq!(e.offset, 4);
+    assert!(e.to_string().contains("exceeds"), "{e}");
+}
+
+#[test]
+fn payload_cut_mid_field_is_located_in_the_payload() {
+    // A Visibility request whose payload is resealed one byte short:
+    // the header is perfectly valid, the *payload* ends mid-string.
+    let frame = Request::Visibility {
+        prefix: "192.0.2.0/24".parse().expect("prefix"),
+        date: Date::from_ymd(2019, 6, 1),
+    }
+    .to_frame();
+    let cut = &frame[HEADER_LEN..frame.len() - 1];
+    let reseal = seal_frame(frame[3], cut);
+    let e = frame_err(Request::read_from(&mut &reseal[..]));
+    assert_eq!(e.frame, "Visibility request");
+    assert!(e.offset > 0, "offset points into the payload: {e}");
+    assert!(e.to_string().contains("ends after"), "{e}");
+}
+
+#[test]
+fn unknown_kind_is_a_located_error() {
+    let frame = seal_frame(0x42, &[]);
+    let e = frame_err(Request::read_from(&mut &frame[..]));
+    assert!(
+        e.to_string().contains("0x42") || e.to_string().contains("66"),
+        "{e}"
+    );
+}
+
+#[test]
+fn wrong_direction_kind_is_a_located_error() {
+    // A syntactically perfect *reply* frame is not a request.
+    let frame = Reply::Busy.to_frame();
+    let e = frame_err(Request::read_from(&mut &frame[..]));
+    assert!(!e.frame.is_empty(), "{e}");
+}
+
+#[test]
+fn bad_magic_fails_at_offset_zero() {
+    let mut frame = seal_frame(0x01, &[]);
+    frame[0] = b'X';
+    let e = frame_err(Request::read_from(&mut &frame[..]));
+    assert_eq!((e.frame.as_str(), e.offset), ("header", 0));
+}
+
+#[test]
+fn future_version_fails_at_offset_two() {
+    let mut frame = seal_frame(0x01, &[]);
+    frame[2] = 9;
+    let e = frame_err(Request::read_from(&mut &frame[..]));
+    assert_eq!((e.frame.as_str(), e.offset), ("header", 2));
+    assert!(e.to_string().contains("version"), "{e}");
+}
