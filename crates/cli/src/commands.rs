@@ -282,6 +282,12 @@ pub struct ServeOptions {
     pub ledger: Option<PathBuf>,
     /// Where to write the load report JSON, if anywhere (load-gen only).
     pub report: Option<PathBuf>,
+    /// Slow-query ledger threshold, milliseconds: requests slower than
+    /// this land in the telemetry plane's bounded slow-query ledger.
+    pub slow_ms: u64,
+    /// Where to write the final `droplens-metrics/1` telemetry snapshot
+    /// (the same JSON a live `Metrics` query answers), if anywhere.
+    pub metrics_snapshot: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -295,6 +301,8 @@ impl Default for ServeOptions {
             chaos: None,
             ledger: None,
             report: None,
+            slow_ms: 100,
+            metrics_snapshot: None,
         }
     }
 }
@@ -315,6 +323,7 @@ pub fn serve(dir: &Path, ingest: &IngestOptions, opts: &ServeOptions) -> Result<
         workers: opts.workers.max(1),
         queue_depth: opts.queue.max(1),
         deadline: std::time::Duration::from_millis(opts.timeout_ms.max(1)),
+        slow_threshold: std::time::Duration::from_millis(opts.slow_ms.max(1)),
     };
     let handle = Server::start(Arc::clone(&engine), config)
         .map_err(|e| CliError::Io(opts.addr.to_string(), e))?;
@@ -346,6 +355,12 @@ pub fn serve(dir: &Path, ingest: &IngestOptions, opts: &ServeOptions) -> Result<
             std::fs::write(path, report.to_json())
                 .map_err(|e| CliError::Io(path.display().to_string(), e))?;
         }
+        // Snapshot telemetry while the server is still live: the
+        // windowed series and gauges reflect the run just finished.
+        if let Some(path) = &opts.metrics_snapshot {
+            std::fs::write(path, handle.metrics_json())
+                .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        }
         let chaos_log = proxy.map(|p| p.stop());
         let serve_report = handle.stop();
         if let Some(path) = &opts.ledger {
@@ -373,6 +388,10 @@ pub fn serve(dir: &Path, ingest: &IngestOptions, opts: &ServeOptions) -> Result<
             std::thread::sleep(std::time::Duration::from_millis(25));
         }
         eprintln!("droplens: drain requested, stopping");
+        if let Some(path) = &opts.metrics_snapshot {
+            std::fs::write(path, handle.metrics_json())
+                .map_err(|e| CliError::Io(path.display().to_string(), e))?;
+        }
         let serve_report = handle.stop();
         if let Some(path) = &opts.ledger {
             std::fs::write(path, serve_report.ledger.to_json())

@@ -16,6 +16,8 @@
 pub mod commands;
 pub mod layout;
 pub mod perf;
+pub mod slo;
+pub mod top;
 
 use std::fmt;
 
@@ -90,6 +92,8 @@ USAGE:
     droplens lint [--format text|json] [PATHS...]
     droplens serve --dir DIR [SERVE FLAGS] [INGEST FLAGS]
     droplens query --addr HOST:PORT [--timeout-ms N] KIND [ARGS...]
+    droplens top --addr HOST:PORT [--interval-ms N] [--count N]
+    droplens slo check REPORT --spec FILE [--gate]
     droplens help
 
 GLOBAL FLAGS:
@@ -147,7 +151,14 @@ SERVE (long-lived query service over the indexed study; DESIGN.md §12):
     --ledger PATH       write the fault-ledger JSON (malformed frames,
                         transport errors, sampled messages) to PATH
     --report PATH       write the load-gen report JSON (qps, latency
-                        percentiles) to PATH
+                        percentiles, per-kind breakdown) to PATH
+    --slow-ms N         slow-query ledger threshold: requests slower
+                        than N ms keep their args and phase timings in
+                        the telemetry plane (default 100)
+    --metrics-snapshot PATH
+                        write the final droplens-metrics/1 telemetry
+                        snapshot (windowed series, gauges, slow-query
+                        ledger) to PATH before shutdown
     Without --load-gen the server runs until SIGINT/SIGTERM, then drains
     gracefully: stop accepting, shed the queue, finish in-flight replies
     whole, write final metrics.
@@ -161,8 +172,27 @@ QUERY (one question to a running server, with retries):
         drop-history PREFIX
         scorecard [SOURCE]
         stats
+        metrics
     --addr HOST:PORT    the server (required)
     --timeout-ms N      per-attempt deadline (default 2000)
+
+TOP (live telemetry view of a running server; DESIGN.md §13):
+    Polls the server's Metrics frame and renders windowed q/s, latency
+    quantiles, queue/in-flight gauges, and per-kind lifetime deltas.
+    --addr HOST:PORT    the server (required)
+    --interval-ms N     milliseconds between frames (default 2000)
+    --count N           frames to render before exiting (default 0 =
+                        until interrupted)
+    --timeout-ms N      per-attempt query deadline (default 2000)
+
+SLO (gate a load report against service-level objectives):
+    REPORT is a --report JSON file; the spec is a TOML file with a
+    [default] section and per-kind [kind.NAME] overrides, each setting
+    p99_ms and/or max_error_rate (kinds with no traffic are reported
+    as no-data and never gated).
+    --spec FILE         the SLO spec (required)
+    --gate              exit nonzero when any kind violates its targets
+                        (default: report only)
 
 INGEST FLAGS (analyze, scorecard, serve):
     --format auto|text|binary    archive representation to load

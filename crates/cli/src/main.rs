@@ -350,6 +350,10 @@ fn run(args: &[String]) -> Result<String, CliError> {
                     "--chaos" => opts.chaos = Some(parse_num(value(&rest, &mut i)?, "--chaos")?),
                     "--ledger" => opts.ledger = Some(PathBuf::from(value(&rest, &mut i)?)),
                     "--report" => opts.report = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    "--slow-ms" => opts.slow_ms = parse_num(value(&rest, &mut i)?, "--slow-ms")?,
+                    "--metrics-snapshot" => {
+                        opts.metrics_snapshot = Some(PathBuf::from(value(&rest, &mut i)?))
+                    }
                     flag if ingest.accept(flag, &rest, &mut i)? => {}
                     other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
                 }
@@ -388,6 +392,56 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let req = parse_query(&positional, all_tals)?;
             commands::query(addr, timeout_ms, &req)
         }
+        Some("top") => {
+            let mut opts = droplens_cli::top::TopOptions::default();
+            let mut addr: Option<std::net::SocketAddr> = None;
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--addr" => addr = Some(parse_addr(value(&rest, &mut i)?)?),
+                    "--interval-ms" => {
+                        opts.interval_ms = parse_num(value(&rest, &mut i)?, "--interval-ms")?
+                    }
+                    "--count" => opts.count = parse_num(value(&rest, &mut i)?, "--count")?,
+                    "--timeout-ms" => {
+                        opts.timeout_ms = parse_num(value(&rest, &mut i)?, "--timeout-ms")?
+                    }
+                    other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+                }
+                i += 1;
+            }
+            opts.addr = addr.ok_or_else(|| CliError::Usage("top needs --addr HOST:PORT".into()))?;
+            droplens_cli::top::run(&opts)
+        }
+        Some("slo") => {
+            let Some("check") = it.next() else {
+                return Err(CliError::Usage("slo needs the check subcommand".into()));
+            };
+            let mut spec: Option<PathBuf> = None;
+            let mut gate = false;
+            let mut positional: Vec<&str> = Vec::new();
+            let rest: Vec<&str> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i] {
+                    "--spec" => spec = Some(PathBuf::from(value(&rest, &mut i)?)),
+                    "--gate" => gate = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag {flag:?}")))
+                    }
+                    arg => positional.push(arg),
+                }
+                i += 1;
+            }
+            let spec = spec.ok_or_else(|| CliError::Usage("slo check needs --spec FILE".into()))?;
+            let [report] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "slo check needs exactly one REPORT file".into(),
+                ));
+            };
+            droplens_cli::slo::check(&spec, std::path::Path::new(report), gate)
+        }
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
@@ -420,8 +474,9 @@ fn parse_query(positional: &[&str], all_tals: bool) -> Result<droplens_serve::Re
             source: Some((*source).to_owned()),
         }),
         ["stats"] => Ok(Request::Stats),
+        ["metrics"] => Ok(Request::Metrics),
         other => Err(CliError::Usage(format!(
-            "unknown query {:?} (ping|visibility|rov|drop-listed|drop-history|scorecard|stats)",
+            "unknown query {:?} (ping|visibility|rov|drop-listed|drop-history|scorecard|stats|metrics)",
             other.join(" ")
         ))),
     }

@@ -75,6 +75,20 @@ fn no_wallclock_goldens() {
     let (found, suppressed) = lint_fixture("no_wallclock/allowed/pipeline.rs");
     assert!(found.is_empty(), "{found:?}");
     assert_eq!(suppressed, 2);
+    // The serve twin: stem "server" also activates no-unwrap and
+    // no-deadline-free-io, so the raw clock reads on the metrics path
+    // must be the only findings.
+    let (found, _) = lint_fixture("no_wallclock/bad/server.rs");
+    assert_eq!(
+        found,
+        vec![
+            (9, Rule::NoWallclock),  // Instant::now() around a phase
+            (16, Rule::NoWallclock), // SystemTime::now() slow-query stamp
+        ]
+    );
+    let (found, suppressed) = lint_fixture("no_wallclock/allowed/server.rs");
+    assert!(found.is_empty(), "{found:?}");
+    assert_eq!(suppressed, 0); // fixed via obs::Clock, not escaped
 }
 
 #[test]
@@ -168,10 +182,10 @@ fn bad_escape_goldens() {
 #[test]
 fn corpus_as_a_whole_fails() {
     let files = collect_rs_files(&[corpus()]).expect("walk fixtures");
-    assert_eq!(files.len(), 17, "{files:?}");
+    assert_eq!(files.len(), 19, "{files:?}");
     let report = lint_files(&files).expect("lint fixtures");
     assert!(!report.is_clean());
-    assert_eq!(report.files_checked, 17);
-    assert_eq!(report.diagnostics.len(), 24);
+    assert_eq!(report.files_checked, 19);
+    assert_eq!(report.diagnostics.len(), 26);
     assert_eq!(report.suppressed, 20);
 }

@@ -1,0 +1,18 @@
+//! Fixture twin: the same metrics path routed through the sanctioned
+//! `droplens_obs::Clock` — mockable in tests and flagged nowhere.
+
+use std::time::Duration;
+
+use droplens_obs::Clock;
+
+/// Phase timing measured on the injected clock.
+pub fn phase(clock: &Clock, work: impl FnOnce()) -> Duration {
+    let t0 = clock.now_ns();
+    work();
+    Duration::from_nanos(clock.now_ns().saturating_sub(t0))
+}
+
+/// Slow-query timestamp from the same clock, nanoseconds since start.
+pub fn slow_query_stamp(clock: &Clock) -> u64 {
+    clock.now_ns()
+}

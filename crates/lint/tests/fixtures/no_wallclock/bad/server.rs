@@ -1,0 +1,17 @@
+//! Fixture: a serve metrics path reading the wall clock directly —
+//! phase timings recorded this way bypass `droplens_obs::Clock`, so
+//! the mock-clock telemetry tests can never cover them.
+
+use std::time::{Duration, Instant, SystemTime};
+
+/// Phase timing measured with a raw monotonic read.
+pub fn phase(work: impl FnOnce()) -> Duration {
+    let t0 = Instant::now();
+    work();
+    t0.elapsed()
+}
+
+/// Slow-query timestamp taken straight from the wall clock.
+pub fn slow_query_stamp() -> SystemTime {
+    SystemTime::now()
+}

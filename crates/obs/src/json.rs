@@ -162,6 +162,14 @@ impl Value {
         }
     }
 
+    /// The array's items, or an empty slice.
+    pub fn items(&self) -> &[Value] {
+        match self {
+            Value::Array(items) => items,
+            _ => &[],
+        }
+    }
+
     /// Numeric value, if this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

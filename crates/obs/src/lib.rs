@@ -46,11 +46,13 @@ pub mod report;
 pub mod run_report;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use alloc::{MemCounts, MemDelta, MemMark, MemSnapshot, TrackingAlloc};
-pub use clock::Stopwatch;
+pub use clock::{Clock, Stopwatch};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary};
 pub use registry::{global, ErrorLog, Registry, SpanStat, ERROR_SAMPLES_KEPT};
 pub use run_report::{RunReport, SpanRollup};
 pub use span::Span;
 pub use trace::{ArgValue, Trace, TraceEvent, TraceGuard, Tracer};
+pub use window::{WindowConfig, WindowedCounter, WindowedHistogram};

@@ -204,6 +204,56 @@ impl Histogram {
         self.max()
     }
 
+    /// Fold every sample of `other` into `self`: buckets, count, and
+    /// sum add (sum saturating), min/max widen. This is how sharded
+    /// windowed histograms aggregate ([`crate::window`]): each
+    /// single-writer shard slot is merged into one snapshot histogram
+    /// whose quantiles are then read once.
+    ///
+    /// Merging is a snapshot-time operation: concurrent `record` calls
+    /// on `other` may or may not be included (each field is read once,
+    /// relaxed), but `self` never goes inconsistent beyond the same
+    /// tolerance `record` itself has.
+    pub fn merge(&self, other: &Histogram) {
+        let count = other.0.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return;
+        }
+        for i in 0..BUCKETS {
+            let n = other.0.buckets[i].load(Ordering::Relaxed);
+            if n > 0 {
+                self.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(count, Ordering::Relaxed);
+        let sum = self
+            .0
+            .sum
+            .load(Ordering::Relaxed)
+            .saturating_add(other.0.sum.load(Ordering::Relaxed));
+        self.0.sum.store(sum, Ordering::Relaxed);
+        self.0
+            .min
+            .fetch_min(other.0.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .max
+            .fetch_max(other.0.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Drop every sample, returning the histogram to its empty state.
+    /// Not atomic with respect to concurrent `record` calls — callers
+    /// (ring-buffer slot rotation in [`crate::window`]) guarantee a
+    /// single writer per histogram.
+    pub fn reset(&self) {
+        for b in &self.0.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum.store(0, Ordering::Relaxed);
+        self.0.min.store(u64::MAX, Ordering::Relaxed);
+        self.0.max.store(0, Ordering::Relaxed);
+    }
+
     /// Summarize into a plain-data snapshot.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -331,6 +381,100 @@ mod tests {
         // Log-bucket estimate: within a factor of two of the true median.
         assert!((250..=1000).contains(&p50), "p50={p50}");
         assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn merge_of_two_empty_histograms_stays_empty() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), None);
+        assert_eq!(a.min(), None);
+    }
+
+    #[test]
+    fn merge_into_empty_is_a_copy() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [10, 20, 30] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 60);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(30));
+        assert_eq!(a.quantile(1.0), Some(30));
+    }
+
+    #[test]
+    fn merge_widens_extremes_and_adds_counts() {
+        let a = Histogram::new();
+        a.record(100);
+        a.record(200);
+        let b = Histogram::new();
+        b.record(1);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 1_000_301);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(1_000_000));
+        // Every quantile stays inside the widened extremes.
+        for q in [0.25, 0.5, 0.75] {
+            let v = a.quantile(q).unwrap();
+            assert!((1..=1_000_000).contains(&v), "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn merge_of_single_bucket_histograms_keeps_the_bucket() {
+        // Both sides live entirely in bucket_of(5) = [4, 8): the merged
+        // estimate must stay in that bucket and inside [min, max].
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for _ in 0..10 {
+            a.record(5);
+            b.record(6);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        let p50 = a.quantile(0.5).unwrap();
+        assert!((5..=6).contains(&p50), "p50={p50}");
+        assert_eq!(a.quantile(0.0), Some(5));
+        assert_eq!(a.quantile(1.0), Some(6));
+    }
+
+    #[test]
+    fn merge_saturates_the_sum_and_keeps_overflow_bucket_quantiles_sane() {
+        let a = Histogram::new();
+        a.record(u64::MAX);
+        let b = Histogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(a.quantile(q), Some(u64::MAX), "q={q}");
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_the_empty_state() {
+        let h = Histogram::new();
+        for v in [0, 7, 9000] {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        // Recording after a reset behaves like a fresh histogram.
+        h.record(42);
+        assert_eq!((h.min(), h.max()), (Some(42), Some(42)));
     }
 
     #[test]

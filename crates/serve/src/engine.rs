@@ -115,6 +115,12 @@ impl Engine {
             Request::Stats => Reply::Stats {
                 pairs: self.stats_pairs(),
             },
+            // The engine has no live state: the server overwrites the
+            // empty document with its telemetry snapshot, the same way
+            // it merges live counters into Stats.
+            Request::Metrics => Reply::Metrics {
+                json: String::new(),
+            },
         }
     }
 

@@ -32,6 +32,13 @@
 //!   jittered exponential backoff from an explicit seed, up to a hard
 //!   attempt budget.
 //!
+//! A running server is observable while it runs: the [`telemetry`]
+//! plane keeps windowed per-kind q/s and latency quantiles, live
+//! queue-depth/in-flight gauges, per-phase timings, and a bounded
+//! slow-query ledger, answered over the wire as a `Metrics` frame
+//! (one stable JSON document) and consumed by `droplens top` and
+//! `droplens slo check`.
+//!
 //! The [`loadgen`] module hammers a server with many concurrent
 //! client threads while obs records latency histograms, and
 //! double-checks every deterministic reply byte-for-byte against the
@@ -47,9 +54,11 @@ pub mod net;
 pub mod protocol;
 pub mod server;
 pub mod shutdown;
+pub mod telemetry;
 
 pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use engine::Engine;
 pub use loadgen::{LoadConfig, LoadReport};
-pub use protocol::{FrameError, Reply, Request, WireError};
+pub use protocol::{FrameError, Reply, Request, WireError, KIND_LABELS};
 pub use server::{ServeLedger, ServeReport, Server, ServerConfig, ServerHandle};
+pub use telemetry::{Telemetry, METRICS_SCHEMA};

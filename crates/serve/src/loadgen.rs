@@ -13,13 +13,13 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
-use droplens_obs::{HistogramSummary, Stopwatch};
+use droplens_obs::{Histogram, HistogramSummary, Stopwatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::client::{Client, ClientConfig, RetryPolicy};
 use crate::engine::Engine;
-use crate::protocol::Request;
+use crate::protocol::{Request, KIND_LABELS};
 
 /// Shape of a load run.
 #[derive(Debug, Clone)]
@@ -64,8 +64,27 @@ pub struct LoadReport {
     pub samples: Vec<String>,
     /// End-to-end per-query latency (ns), including retries.
     pub latency: HistogramSummary,
+    /// The same tallies broken down per query kind, in
+    /// [`KIND_LABELS`] order (kinds the mix never sent report zeros).
+    pub kinds: Vec<KindReport>,
     /// Wall clock of the whole run, nanoseconds.
     pub elapsed_ns: u64,
+}
+
+/// Load tallies for one query kind; what BENCH_serve envelopes and
+/// `droplens slo check` target individually.
+#[derive(Debug, Clone)]
+pub struct KindReport {
+    /// The kind label (one of [`KIND_LABELS`]).
+    pub kind: &'static str,
+    /// Queries of this kind attempted.
+    pub sent: u64,
+    /// Queries that got a good reply within the retry budget.
+    pub ok: u64,
+    /// Queries that exhausted the retry budget.
+    pub failed: u64,
+    /// End-to-end latency (ns) of this kind, including retries.
+    pub latency: HistogramSummary,
 }
 
 impl LoadReport {
@@ -98,8 +117,8 @@ impl LoadReport {
 
     /// JSON artifact for CI upload and the bench harness.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\n  \"sent\": {},\n  \"ok\": {},\n  \"failed\": {},\n  \"mismatched\": {},\n  \"qps\": {:.1},\n  \"latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}\n}}\n",
+        let mut out = format!(
+            "{{\n  \"sent\": {},\n  \"ok\": {},\n  \"failed\": {},\n  \"mismatched\": {},\n  \"qps\": {:.1},\n  \"latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \"kinds\": [\n",
             self.sent,
             self.ok,
             self.failed,
@@ -109,7 +128,24 @@ impl LoadReport {
             self.latency.p90,
             self.latency.p99,
             self.latency.max,
-        )
+        );
+        for (i, k) in self.kinds.iter().enumerate() {
+            let comma = if i + 1 == self.kinds.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"sent\": {}, \"ok\": {}, \"failed\": {}, \"latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}}}{}\n",
+                k.kind,
+                k.sent,
+                k.ok,
+                k.failed,
+                k.latency.p50,
+                k.latency.p90,
+                k.latency.p99,
+                k.latency.max,
+                comma,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 
@@ -121,14 +157,26 @@ const REPORT_SAMPLES_KEPT: usize = 8;
 /// against `addr`, comparing deterministic replies with `oracle`.
 pub fn run(addr: SocketAddr, oracle: &Arc<Engine>, config: &LoadConfig) -> LoadReport {
     let histogram = droplens_obs::global().histogram("loadgen.latency_ns");
+    // Per-kind latency is run-local (not the global registry): each
+    // run's report covers exactly that run's samples.
+    let kind_hists: Arc<Vec<Histogram>> =
+        Arc::new(KIND_LABELS.iter().map(|_| Histogram::new()).collect());
     let run_sw = Stopwatch::start();
     let mut handles = Vec::with_capacity(config.connections.max(1));
     for thread_idx in 0..config.connections.max(1) {
         let oracle = Arc::clone(oracle);
         let config = config.clone();
         let histogram = histogram.clone();
+        let kind_hists = Arc::clone(&kind_hists);
         handles.push(std::thread::spawn(move || {
-            drive_thread(addr, &oracle, &config, thread_idx as u64, &histogram)
+            drive_thread(
+                addr,
+                &oracle,
+                &config,
+                thread_idx as u64,
+                &histogram,
+                &kind_hists,
+            )
         }));
     }
     let mut report = LoadReport {
@@ -138,8 +186,10 @@ pub fn run(addr: SocketAddr, oracle: &Arc<Engine>, config: &LoadConfig) -> LoadR
         mismatched: 0,
         samples: Vec::new(),
         latency: HistogramSummary::default(),
+        kinds: Vec::new(),
         elapsed_ns: 0,
     };
+    let mut kind_tallies = [[0u64; 3]; KIND_LABELS.len()];
     for handle in handles {
         let Ok(part) = handle.join() else {
             report.failed += 1;
@@ -150,6 +200,11 @@ pub fn run(addr: SocketAddr, oracle: &Arc<Engine>, config: &LoadConfig) -> LoadR
         report.ok += part.ok;
         report.failed += part.failed;
         report.mismatched += part.mismatched;
+        for (total, thread) in kind_tallies.iter_mut().zip(part.kinds) {
+            for (t, v) in total.iter_mut().zip(thread) {
+                *t += v;
+            }
+        }
         for s in part.samples {
             if report.samples.len() < REPORT_SAMPLES_KEPT {
                 report.samples.push(s);
@@ -158,15 +213,29 @@ pub fn run(addr: SocketAddr, oracle: &Arc<Engine>, config: &LoadConfig) -> LoadR
     }
     report.elapsed_ns = run_sw.elapsed_ns();
     report.latency = histogram.summary();
+    report.kinds = KIND_LABELS
+        .iter()
+        .zip(kind_tallies)
+        .zip(kind_hists.iter())
+        .map(|((kind, [sent, ok, failed]), hist)| KindReport {
+            kind,
+            sent,
+            ok,
+            failed,
+            latency: hist.summary(),
+        })
+        .collect(); // lint: allow(no-unbounded-collect) — one entry per kind
     report
 }
 
-/// Per-thread tallies, merged by [`run`].
+/// Per-thread tallies, merged by [`run`]. `kinds` rows are
+/// `[sent, ok, failed]` per [`KIND_LABELS`] entry.
 struct ThreadPart {
     sent: u64,
     ok: u64,
     failed: u64,
     mismatched: u64,
+    kinds: [[u64; 3]; KIND_LABELS.len()],
     samples: Vec<String>,
 }
 
@@ -176,6 +245,7 @@ fn drive_thread(
     config: &LoadConfig,
     thread_idx: u64,
     histogram: &droplens_obs::Histogram,
+    kind_hists: &[Histogram],
 ) -> ThreadPart {
     // Golden-ratio stride keeps derived seeds well apart.
     let derived = config
@@ -195,19 +265,26 @@ fn drive_thread(
         ok: 0,
         failed: 0,
         mismatched: 0,
+        kinds: [[0; 3]; KIND_LABELS.len()],
         samples: Vec::new(),
     };
     for _ in 0..config.queries_per_conn {
         let req = random_request(&mut mix, oracle);
+        let kind = req.kind_index();
         part.sent += 1;
+        part.kinds[kind][0] += 1;
         let sw = Stopwatch::start();
         match client.query(&req) {
             Ok(reply) => {
-                histogram.record(sw.elapsed_ns());
+                let elapsed = sw.elapsed_ns();
+                histogram.record(elapsed);
+                kind_hists[kind].record(elapsed);
                 part.ok += 1;
-                // Stats replies mix in live counters; every other kind
-                // must equal the offline answer exactly.
-                if !matches!(req, Request::Stats) && reply != oracle.answer(&req) {
+                part.kinds[kind][1] += 1;
+                // Stats and Metrics replies mix in live state; every
+                // other kind must equal the offline answer exactly.
+                if !matches!(req, Request::Stats | Request::Metrics) && reply != oracle.answer(&req)
+                {
                     part.mismatched += 1;
                     if part.samples.len() < REPORT_SAMPLES_KEPT {
                         part.samples
@@ -217,6 +294,7 @@ fn drive_thread(
             }
             Err(e) => {
                 part.failed += 1;
+                part.kinds[kind][2] += 1;
                 if part.samples.len() < REPORT_SAMPLES_KEPT {
                     part.samples.push(e.to_string());
                 }

@@ -189,7 +189,25 @@ pub enum Request {
     },
     /// Health: study facts plus the server's live obs counters.
     Stats,
+    /// Live telemetry: the server's windowed metrics snapshot
+    /// (per-kind q/s and latency quantiles, queue depth, shed counts,
+    /// slow-query ledger) as one stable JSON document.
+    Metrics,
 }
+
+/// Stable per-kind labels, in [`Request::kind_index`] order. The
+/// telemetry plane, the load generator's per-kind report, and the SLO
+/// spec all key on these names.
+pub const KIND_LABELS: [&str; 8] = [
+    "ping",
+    "visibility",
+    "rov",
+    "drop_listed",
+    "drop_history",
+    "scorecard",
+    "stats",
+    "metrics",
+];
 
 /// One answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -235,6 +253,12 @@ pub enum Reply {
         /// The counter pairs, sorted by name.
         pairs: Vec<(String, u64)>,
     },
+    /// Answer to [`Request::Metrics`]: the live telemetry snapshot.
+    Metrics {
+        /// A stable `droplens-metrics/1` JSON document (see
+        /// `droplens_serve::telemetry`).
+        json: String,
+    },
     /// Typed overload shedding: the work queue is full or the server is
     /// draining. Retry later; nothing was processed.
     Busy,
@@ -266,6 +290,7 @@ const K_DROP_LISTED: u8 = 0x04;
 const K_DROP_HISTORY: u8 = 0x05;
 const K_SCORECARD: u8 = 0x06;
 const K_STATS: u8 = 0x07;
+const K_METRICS: u8 = 0x08;
 const K_R_PONG: u8 = 0x81;
 const K_R_VISIBILITY: u8 = 0x82;
 const K_R_ROV: u8 = 0x83;
@@ -273,6 +298,7 @@ const K_R_DROP_LISTED: u8 = 0x84;
 const K_R_DROP_HISTORY: u8 = 0x85;
 const K_R_SCORECARD: u8 = 0x86;
 const K_R_STATS: u8 = 0x87;
+const K_R_METRICS: u8 = 0x88;
 const K_R_BUSY: u8 = 0xf0;
 const K_R_ERROR: u8 = 0xf1;
 
@@ -524,6 +550,7 @@ impl Request {
                 K_SCORECARD
             }
             Request::Stats => K_STATS,
+            Request::Metrics => K_METRICS,
         };
         seal_frame(kind, &e.buf)
     }
@@ -585,6 +612,10 @@ impl Request {
                 Dec::new("Stats request", payload).finish()?;
                 Ok(Request::Stats)
             }
+            K_METRICS => {
+                Dec::new("Metrics request", payload).finish()?;
+                Ok(Request::Metrics)
+            }
             other => Err(FrameError::new(
                 "header",
                 3,
@@ -601,16 +632,24 @@ impl Request {
         }
     }
 
-    /// Stable label for counters and latency histograms.
+    /// Stable label for counters and latency histograms; always
+    /// `KIND_LABELS[self.kind_index()]`.
     pub fn label(&self) -> &'static str {
+        KIND_LABELS[self.kind_index()]
+    }
+
+    /// Dense index of this request's kind into [`KIND_LABELS`], used
+    /// by per-kind telemetry arrays.
+    pub fn kind_index(&self) -> usize {
         match self {
-            Request::Ping => "ping",
-            Request::Visibility { .. } => "visibility",
-            Request::Rov { .. } => "rov",
-            Request::DropListed { .. } => "drop_listed",
-            Request::DropHistory { .. } => "drop_history",
-            Request::Scorecard { .. } => "scorecard",
-            Request::Stats => "stats",
+            Request::Ping => 0,
+            Request::Visibility { .. } => 1,
+            Request::Rov { .. } => 2,
+            Request::DropListed { .. } => 3,
+            Request::DropHistory { .. } => 4,
+            Request::Scorecard { .. } => 5,
+            Request::Stats => 6,
+            Request::Metrics => 7,
         }
     }
 }
@@ -665,6 +704,10 @@ impl Reply {
                     e.u64(*value);
                 }
                 K_R_STATS
+            }
+            Reply::Metrics { json } => {
+                e.str(json);
+                K_R_METRICS
             }
             Reply::Busy => K_R_BUSY,
             Reply::Error { message } => {
@@ -772,6 +815,12 @@ impl Reply {
                 d.finish()?;
                 Ok(Reply::Stats { pairs })
             }
+            K_R_METRICS => {
+                let mut d = Dec::new("Metrics reply", payload);
+                let json = d.str()?;
+                d.finish()?;
+                Ok(Reply::Metrics { json })
+            }
             K_R_BUSY => {
                 Dec::new("Busy reply", payload).finish()?;
                 Ok(Reply::Busy)
@@ -857,6 +906,13 @@ impl Reply {
                 }
                 out
             }
+            Reply::Metrics { json } => {
+                if json.ends_with('\n') {
+                    json.clone()
+                } else {
+                    format!("{json}\n")
+                }
+            }
             Reply::Busy => "busy\n".to_owned(),
             Reply::Error { message } => format!("server error: {message}\n"),
         }
@@ -901,6 +957,33 @@ mod tests {
             source: Some("fig2".to_owned()),
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
+    }
+
+    #[test]
+    fn kind_labels_match_kind_index() {
+        let prefix: Ipv4Prefix = "198.51.100.0/24".parse().unwrap();
+        let date: Date = "2020-06-15".parse().unwrap();
+        let all = [
+            Request::Ping,
+            Request::Visibility { prefix, date },
+            Request::Rov {
+                prefix,
+                origin: Asn(64500),
+                date,
+                all_tals: false,
+            },
+            Request::DropListed { prefix, date },
+            Request::DropHistory { prefix },
+            Request::Scorecard { source: None },
+            Request::Stats,
+            Request::Metrics,
+        ];
+        assert_eq!(all.len(), KIND_LABELS.len());
+        for (i, req) in all.iter().enumerate() {
+            assert_eq!(req.kind_index(), i, "{req:?}");
+            assert_eq!(req.label(), KIND_LABELS[i], "{req:?}");
+        }
     }
 
     #[test]
@@ -930,6 +1013,9 @@ mod tests {
         });
         roundtrip_reply(Reply::Stats {
             pairs: vec![("serve.queries".to_owned(), 7)],
+        });
+        roundtrip_reply(Reply::Metrics {
+            json: "{\"schema\":\"droplens-metrics/1\"}".to_owned(),
         });
         roundtrip_reply(Reply::Busy);
         roundtrip_reply(Reply::Error {

@@ -31,11 +31,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use droplens_obs::Stopwatch;
+use droplens_obs::{Clock, WindowConfig};
 
 use crate::engine::Engine;
 use crate::net::DeadlineStream;
-use crate::protocol::{Reply, Request, WireError};
+use crate::protocol::{self, Reply, Request, WireError};
+use crate::telemetry::{request_args, LifetimeTotals, RequestTiming, Telemetry};
 
 /// How many fault messages the ledger retains verbatim.
 pub const LEDGER_SAMPLES_KEPT: usize = 16;
@@ -53,6 +54,9 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Read/write deadline installed on every connection.
     pub deadline: Duration,
+    /// Requests slower than this land in the telemetry plane's
+    /// slow-query ledger with their args and timing breakdown.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +66,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             deadline: Duration::from_secs(2),
+            slow_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -181,14 +186,43 @@ impl Counters {
             ("serve.queries".to_owned(), self.queries.value()),
         ]
     }
+
+    /// The same counters as a snapshot struct for the telemetry plane.
+    fn totals(&self) -> LifetimeTotals {
+        LifetimeTotals {
+            connections: self.connections.value(),
+            queries: self.queries.value(),
+            busy: self.busy.value(),
+            malformed: self.malformed.value(),
+            io_errors: self.io_errors.value(),
+        }
+    }
+}
+
+/// A connection waiting in the bounded queue, stamped on accept so the
+/// pulling worker can charge the queue-wait phase.
+struct Queued {
+    conn: DeadlineStream,
+    accepted_ns: u64,
 }
 
 /// State shared by the acceptor and every worker.
 struct Shared {
     engine: Arc<Engine>,
     counters: Counters,
+    telemetry: Telemetry,
+    queue_capacity: usize,
+    workers: usize,
     ledger: Mutex<ServeLedger>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Render the live telemetry snapshot (what `Metrics` answers).
+    fn metrics_json(&self) -> String {
+        self.telemetry
+            .snapshot_json(self.counters.totals(), self.queue_capacity, self.workers)
+    }
 }
 
 /// The server's entry point. See the module docs for the architecture.
@@ -210,14 +244,18 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let slow_ns = u64::try_from(config.slow_threshold.as_nanos()).unwrap_or(u64::MAX);
         let shared = Arc::new(Shared {
             engine,
             counters: Counters::new(),
+            telemetry: Telemetry::new(Clock::real(), WindowConfig::default(), slow_ns),
+            queue_capacity: config.queue_depth.max(1),
+            workers: config.workers.max(1),
             ledger: Mutex::new(ServeLedger::default()),
             shutdown: AtomicBool::new(false),
         });
 
-        let (tx, rx) = sync_channel::<DeadlineStream>(config.queue_depth.max(1));
+        let (tx, rx) = sync_channel::<Queued>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -257,6 +295,13 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The live telemetry snapshot, exactly what a `Metrics` frame
+    /// answers — for in-process consumers (tests, the CLI's
+    /// `--metrics-snapshot` artifact) without a socket round-trip.
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics_json()
+    }
+
     /// Request a drain without waiting: stop accepting, shed the queue,
     /// finish requests in flight. Idempotent; safe from a signal
     /// watcher thread.
@@ -294,7 +339,7 @@ impl ServerHandle {
 /// full. Dropping `tx` on exit is what ends the workers.
 fn accept_loop(
     listener: TcpListener,
-    tx: std::sync::mpsc::SyncSender<DeadlineStream>,
+    tx: std::sync::mpsc::SyncSender<Queued>,
     deadline: Duration,
     shared: &Shared,
 ) {
@@ -306,10 +351,25 @@ fn accept_loop(
                     continue;
                 };
                 let _ = conn.set_nodelay(true);
-                match tx.try_send(conn) {
+                let queued = Queued {
+                    conn,
+                    accepted_ns: shared.telemetry.clock().now_ns(),
+                };
+                // Depth goes up before the send: a worker can pull the
+                // connection the instant it lands, and a snapshot must
+                // never see that dequeue before this enqueue.
+                shared.telemetry.enqueued();
+                match tx.try_send(queued) {
                     Ok(()) => {}
-                    Err(TrySendError::Full(mut conn)) => shed(&mut conn, shared),
-                    Err(TrySendError::Disconnected(_)) => break,
+                    Err(TrySendError::Full(q)) => {
+                        shared.telemetry.enqueue_reverted();
+                        let mut conn = q.conn;
+                        shed(&mut conn, shared);
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        shared.telemetry.enqueue_reverted();
+                        break;
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -327,23 +387,28 @@ fn accept_loop(
 /// then close.
 fn shed(conn: &mut DeadlineStream, shared: &Shared) {
     shared.counters.busy.inc();
+    shared.telemetry.shed();
     let _ = Reply::Busy.write_to(conn);
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<DeadlineStream>>>, shared: &Shared) {
+fn worker_loop(rx: &Arc<Mutex<Receiver<Queued>>>, shared: &Shared) {
+    let clock = shared.telemetry.clock().clone();
     loop {
         // Hold the lock only across the recv so workers pull in turn.
-        let conn = {
+        let queued = {
             let guard = match rx.lock() {
                 Ok(g) => g,
                 Err(poisoned) => poisoned.into_inner(),
             };
             match guard.recv() {
-                Ok(conn) => conn,
+                Ok(queued) => queued,
                 Err(_) => break, // acceptor gone, queue drained
             }
         };
-        let mut conn = conn;
+        let mut conn = queued.conn;
+        shared
+            .telemetry
+            .dequeued(clock.now_ns().saturating_sub(queued.accepted_ns));
         if shared.shutdown.load(Ordering::SeqCst) {
             // Draining: queued-but-unserved connections get a typed
             // Busy, not silence and not service.
@@ -351,9 +416,14 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<DeadlineStream>>>, shared: &Shared) {
             continue;
         }
         shared.counters.connections.inc();
-        let sw = Stopwatch::start();
+        shared.telemetry.conn_started();
+        let start_ns = clock.now_ns();
         handle_conn(&mut conn, shared);
-        droplens_obs::global().record_span("serve/conn", sw.elapsed());
+        shared.telemetry.conn_finished();
+        droplens_obs::global().record_span(
+            "serve/conn",
+            Duration::from_nanos(clock.now_ns().saturating_sub(start_ns)),
+        );
     }
 }
 
@@ -361,49 +431,85 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<DeadlineStream>>>, shared: &Shared) {
 /// The shutdown flag is consulted only between requests: a reply being
 /// written always goes out whole.
 fn handle_conn(conn: &mut DeadlineStream, shared: &Shared) {
+    let clock = shared.telemetry.clock().clone();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        match Request::read_from(conn) {
+        // The blocking wait for the next frame is client think-time;
+        // the timed decode phase starts once the frame bytes are here.
+        let (kind, payload) = match protocol::read_frame(conn) {
             Ok(None) => return, // peer closed between frames
-            Ok(Some(req)) => {
-                let sw = Stopwatch::start();
-                let mut reply = shared.engine.answer(&req);
-                if let Reply::Stats { pairs } = &mut reply {
-                    pairs.extend(shared.counters.stats_pairs());
-                    pairs.sort();
-                }
-                shared.counters.queries.inc();
-                shared.counters.latency_ns.record(sw.elapsed_ns());
-                droplens_obs::global()
-                    .record_span(&format!("serve/conn/{}", req.label()), sw.elapsed());
-                if reply.write_to(conn).is_err() {
-                    // Peer gone mid-reply (reset or write deadline);
-                    // isolated to this connection.
-                    shared.counters.io_errors.inc();
-                    return;
-                }
-            }
+            Ok(Some(frame)) => frame,
             Err(WireError::Frame(e)) => {
-                // Malformed or adversarial bytes: count, sample, answer
-                // with a located error (best effort), kill only this
-                // connection.
-                shared.counters.malformed.inc();
-                record_fault(shared, true, e.to_string());
-                let _ = Reply::Error {
-                    message: e.to_string(),
-                }
-                .write_to(conn);
+                malformed_fault(conn, shared, &e);
                 return;
             }
             Err(WireError::Io(e)) => {
                 shared.counters.io_errors.inc();
+                shared.telemetry.io_error();
                 record_fault(shared, false, e.to_string());
                 return;
             }
+        };
+        let read_done = clock.now_ns();
+        let req = match Request::decode(kind, &payload) {
+            Ok(req) => req,
+            Err(e) => {
+                // Malformed or adversarial bytes: count, sample, answer
+                // with a located error (best effort), kill only this
+                // connection.
+                malformed_fault(conn, shared, &e);
+                return;
+            }
+        };
+        let decode_done = clock.now_ns();
+        let mut reply = shared.engine.answer(&req);
+        if let Reply::Stats { pairs } = &mut reply {
+            pairs.extend(shared.counters.stats_pairs());
+            pairs.sort();
+        }
+        if let Reply::Metrics { json } = &mut reply {
+            // Like Stats: the engine leaves the live part to the server.
+            *json = shared.metrics_json();
+        }
+        let engine_done = clock.now_ns();
+        shared.counters.queries.inc();
+        let write_ok = reply.write_to(conn).is_ok();
+        let timing = RequestTiming {
+            decode_ns: decode_done.saturating_sub(read_done),
+            engine_ns: engine_done.saturating_sub(decode_done),
+            write_ns: clock.now_ns().saturating_sub(engine_done),
+        };
+        shared.counters.latency_ns.record(timing.total_ns());
+        droplens_obs::global().record_span(
+            &format!("serve/conn/{}", req.label()),
+            Duration::from_nanos(timing.total_ns()),
+        );
+        shared
+            .telemetry
+            .request_served(&req, write_ok, timing, || request_args(&req));
+        if !write_ok {
+            // Peer gone mid-reply (reset or write deadline); isolated
+            // to this connection. The per-kind error series was already
+            // bumped by `request_served`.
+            shared.counters.io_errors.inc();
+            shared.telemetry.io_error();
+            return;
         }
     }
+}
+
+/// Shared malformed-frame exit: count, sample, best-effort located
+/// error reply, and the caller kills only this connection.
+fn malformed_fault(conn: &mut DeadlineStream, shared: &Shared, e: &crate::protocol::FrameError) {
+    shared.counters.malformed.inc();
+    shared.telemetry.malformed();
+    record_fault(shared, true, e.to_string());
+    let _ = Reply::Error {
+        message: e.to_string(),
+    }
+    .write_to(conn);
 }
 
 fn record_fault(shared: &Shared, malformed: bool, message: String) {

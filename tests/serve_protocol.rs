@@ -30,7 +30,7 @@ fn arb_date() -> impl Strategy<Value = Date> {
 /// has no `prop_oneof!`).
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..7,
+        0u8..8,
         arb_prefix(),
         arb_date(),
         any::<u32>(),
@@ -49,6 +49,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             3 => Request::DropListed { prefix, date },
             4 => Request::DropHistory { prefix },
             5 => Request::Scorecard { source },
+            6 => Request::Metrics,
             _ => Request::Stats,
         })
 }
@@ -82,7 +83,13 @@ fn arb_f64() -> impl Strategy<Value = f64> {
 /// Every reply variant, selector-driven.
 fn arb_reply() -> impl Strategy<Value = Reply> {
     (
-        (0u8..9, any::<bool>(), any::<u32>(), any::<u32>(), arb_f64()),
+        (
+            0u8..10,
+            any::<bool>(),
+            any::<u32>(),
+            any::<u32>(),
+            arb_f64(),
+        ),
         (
             0u8..=2,
             prop::collection::vec("[a-zA-Z0-9 ./]{0,16}", 0..4),
@@ -110,6 +117,7 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                     5 => Reply::Scorecard { text },
                     6 => Reply::Stats { pairs },
                     7 => Reply::Busy,
+                    8 => Reply::Metrics { json: text },
                     _ => Reply::Error { message: text },
                 }
             },
