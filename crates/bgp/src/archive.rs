@@ -45,6 +45,7 @@ impl PathArena {
     }
 
     fn get(&self, id: PathId) -> &AsPath {
+        // lint: allow(no-panic-in-request-path) — PathIds are only minted by intern(), so they index in-bounds
         &self.paths[id.0 as usize]
     }
 }
@@ -294,7 +295,7 @@ impl BgpArchive {
         let lane = self.records.get(prefix)?.by_peer.get(&peer)?;
         // Intervals are chronologically ordered; binary search by start.
         let idx = lane.partition_point(|iv| iv.start <= date);
-        let iv = lane[..idx].last()?;
+        let iv = lane[..idx].last()?; // lint: allow(no-panic-in-request-path) — partition_point returns idx <= lane.len()
         iv.contains(date).then(|| self.paths.get(iv.path))
     }
 

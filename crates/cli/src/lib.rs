@@ -89,7 +89,8 @@ USAGE:
     droplens validate --roas FILE --date YYYY-MM-DD [--all-tals] PREFIX ASN
     droplens perf diff BASE HEAD [--gate PCT] [--floor-ms MS]
     droplens mem diff BASE HEAD [--gate PCT] [--floor-bytes N]
-    droplens lint [--format text|json] [PATHS...]
+    droplens lint [--format text|json|sarif] [--baseline FILE]
+                  [--write-baseline FILE] [--changed [REF]] [PATHS...]
     droplens serve --dir DIR [SERVE FLAGS] [INGEST FLAGS]
     droplens query --addr HOST:PORT [--timeout-ms N] KIND [ARGS...]
     droplens top --addr HOST:PORT [--interval-ms N] [--count N]
@@ -123,15 +124,24 @@ MEM (compare memory reports, gate regressions):
     --floor-bytes N     metrics under N bytes on the base side are never
                         gated (default 1048576)
 
-LINT (check the workspace's own invariants; see DESIGN.md §9):
+LINT (check the workspace's own invariants; DESIGN.md §9 and §14):
     PATHS are files or directories to scan (default: the current
     directory; `target/`, `vendor/`, and fixture corpora are skipped,
-    explicitly named files are always linted). Rules: no-unwrap,
+    explicitly named files are always linted). Token rules: no-unwrap,
     ordered-output, no-wallclock, seeded-rng-only, located-errors,
-    no-unbounded-collect, no-string-keyed-hot-map, no-deadline-free-io.
+    no-unbounded-collect, no-string-keyed-hot-map, no-deadline-free-io,
+    lock-across-io. Workspace rules (call-graph-driven, run when whole
+    directories are linted): no-panic-in-request-path, wallclock-taint.
     Suppress one finding with a trailing `// lint: allow(<rule>)`.
-    --format text|json      diagnostic rendering (default text);
-                            exits nonzero when violations survive
+    --format text|json|sarif  diagnostic rendering (default text);
+                              exits nonzero when violations survive
+    --baseline FILE         subtract a known-findings snapshot; only
+                            findings not in FILE fail the run
+    --write-baseline FILE   snapshot current findings into FILE and
+                            exit 0 (use to adopt the linter gradually)
+    --changed [REF]         lint only files reported changed by
+                            `git diff --name-only REF` (default HEAD);
+                            falls back to a full scan outside a repo
 
 SERVE (long-lived query service over the indexed study; DESIGN.md §12):
     --addr HOST:PORT    bind address (default 127.0.0.1:0; the bound

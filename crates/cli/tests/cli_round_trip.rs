@@ -179,8 +179,14 @@ fn validate_command_on_written_archive() {
 
 #[test]
 fn lint_command_reports_and_gates() {
-    use droplens_cli::commands::LintFormat;
+    use droplens_cli::commands::{LintFormat, LintOptions};
     use droplens_cli::CliError;
+
+    let text = LintOptions::default();
+    let json = LintOptions {
+        format: LintFormat::Json,
+        ..LintOptions::default()
+    };
 
     let dir = temp_dir("lint");
     std::fs::create_dir_all(&dir).expect("mkdir");
@@ -191,7 +197,7 @@ fn lint_command_reports_and_gates() {
         "pub fn parse(s: &str) -> Option<u32> { s.parse().ok() }\n",
     )
     .expect("write clean");
-    let out = commands::lint(std::slice::from_ref(&dir), LintFormat::Text).expect("clean lint");
+    let out = commands::lint(std::slice::from_ref(&dir), &text).expect("clean lint");
     assert!(out.contains("0 violations"), "{out}");
 
     // Add a violating file: the command must fail, carrying the report.
@@ -200,7 +206,7 @@ fn lint_command_reports_and_gates() {
         "pub fn load(s: &str) -> u32 { s.parse().unwrap() }\n",
     )
     .expect("write bad");
-    match commands::lint(std::slice::from_ref(&dir), LintFormat::Text) {
+    match commands::lint(std::slice::from_ref(&dir), &text) {
         Err(CliError::Lint(report)) => {
             assert!(report.contains("[no-unwrap]"), "{report}");
             assert!(report.contains("archive.rs:1:"), "{report}");
@@ -209,10 +215,10 @@ fn lint_command_reports_and_gates() {
     }
 
     // JSON rendering carries the same findings machine-readably.
-    match commands::lint(std::slice::from_ref(&dir), LintFormat::Json) {
+    match commands::lint(std::slice::from_ref(&dir), &json) {
         Err(CliError::Lint(json)) => {
             assert!(
-                json.starts_with("{\"schema\":\"droplens-lint/1\""),
+                json.starts_with("{\"schema\":\"droplens-lint/2\""),
                 "{json}"
             );
             assert!(json.contains("\"rule\":\"no-unwrap\""), "{json}");
@@ -227,7 +233,7 @@ fn lint_command_reports_and_gates() {
         "pub fn load(s: &str) -> u32 { s.parse().unwrap() } // lint: allow(no-unwrap)\n",
     )
     .expect("write escaped");
-    let out = commands::lint(std::slice::from_ref(&dir), LintFormat::Text).expect("escaped lint");
+    let out = commands::lint(std::slice::from_ref(&dir), &text).expect("escaped lint");
     assert!(out.contains("0 violations (1 suppressed)"), "{out}");
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -7,8 +7,8 @@
 //! over the workspace's own sources, run as `droplens lint` locally and
 //! as a CI gate.
 //!
-//! Eight rules, each scoped to the modules where its invariant bites
-//! (see [`rules_for_path`] and DESIGN.md §9):
+//! Nine token-level rules, each scoped to the modules where its
+//! invariant bites (see [`rules_for_path`] and DESIGN.md §9):
 //!
 //! | rule | scope | bans |
 //! |------|-------|------|
@@ -20,18 +20,33 @@
 //! | `no-unbounded-collect` | parser/writer hot paths (format/archive) | `.collect` without an acknowledging escape |
 //! | `no-string-keyed-hot-map` | parser/writer hot paths (format/archive) | `HashMap<String, _>` / `BTreeMap<String, _>` |
 //! | `no-deadline-free-io` | serve-path modules (server/client/loadgen/net) | `TcpStream::connect`, and socket read/write in functions with no configured timeout |
+//! | `lock-across-io` | serve-path modules (server/client/loadgen/net) | a `let`-bound lock guard still live at a blocking socket read/write |
+//!
+//! Plus two **workspace rules** that run over the intra-workspace call
+//! graph ([`parse`], `graph`, `taint`; DESIGN.md §14) when whole file
+//! sets are linted via [`lint_files`]:
+//!
+//! | rule | entry/sink | bans |
+//! |------|------------|------|
+//! | `no-panic-in-request-path` | `pub` fns in `server`/`engine` files | any reachable `.unwrap()`, `.expect()`, panicking macro, or indexing/slicing |
+//! | `wallclock-taint` | ordered-output modules (minus `crates/obs`) | calling any function whose return value derives from `Instant::now`/`SystemTime::now` |
 //!
 //! A finding can be suppressed per line with a trailing
 //! `// lint: allow(<rule>)` comment (or one on its own line directly
-//! above). Escapes naming unknown rules are themselves reported, so a
+//! above). For the workspace rules the same escape on a *call* line is
+//! a per-edge escape: reachability/taint stops propagating through that
+//! call. Escapes naming unknown rules are themselves reported, so a
 //! typo cannot silently disable checking.
 
 #![warn(missing_docs)]
 
+mod graph;
 pub mod lexer;
+pub mod parse;
 mod rules;
+mod taint;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -66,6 +81,18 @@ pub enum Rule {
     /// read/write must configure both `set_read_timeout` and
     /// `set_write_timeout` (or go through `DeadlineStream`, which does).
     NoDeadlineFreeIo,
+    /// No `Mutex`/`RwLock` guard held live across a blocking socket
+    /// read/write on serve paths — a wedged peer would hold the lock
+    /// (and every waiter) hostage for its full network latency.
+    LockAcrossIo,
+    /// Workspace rule: no panic source — `.unwrap()`, `.expect()`,
+    /// panicking macros, indexing/slicing — transitively reachable over
+    /// the call graph from a `server`/`engine` request entry point.
+    NoPanicInRequestPath,
+    /// Workspace rule: no wallclock-derived value (a function returning
+    /// data from `Instant::now`/`SystemTime::now`, directly or through
+    /// callees) called from an ordered-output module.
+    WallclockTaint,
     /// A `// lint: allow(...)` escape that names an unknown rule.
     BadEscape,
 }
@@ -73,7 +100,7 @@ pub enum Rule {
 impl Rule {
     /// Every scannable rule (excludes [`Rule::BadEscape`], which is
     /// emitted by the escape parser, not scanned for).
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 11] = [
         Rule::NoUnwrap,
         Rule::OrderedOutput,
         Rule::NoWallclock,
@@ -82,6 +109,9 @@ impl Rule {
         Rule::NoUnboundedCollect,
         Rule::NoStringKeyedHotMap,
         Rule::NoDeadlineFreeIo,
+        Rule::LockAcrossIo,
+        Rule::NoPanicInRequestPath,
+        Rule::WallclockTaint,
     ];
 
     /// The kebab-case name used in diagnostics and escapes.
@@ -95,6 +125,9 @@ impl Rule {
             Rule::NoUnboundedCollect => "no-unbounded-collect",
             Rule::NoStringKeyedHotMap => "no-string-keyed-hot-map",
             Rule::NoDeadlineFreeIo => "no-deadline-free-io",
+            Rule::LockAcrossIo => "lock-across-io",
+            Rule::NoPanicInRequestPath => "no-panic-in-request-path",
+            Rule::WallclockTaint => "wallclock-taint",
             Rule::BadEscape => "bad-escape",
         }
     }
@@ -125,6 +158,9 @@ pub struct LintReport {
     pub files_checked: usize,
     /// Findings suppressed by `// lint: allow(...)` escapes.
     pub suppressed: usize,
+    /// Findings removed by an accepted baseline snapshot
+    /// ([`LintReport::apply_baseline`]).
+    pub baselined: usize,
     /// Surviving findings, sorted by path, line, rule.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -148,28 +184,35 @@ impl LintReport {
                 d.message
             );
         }
+        let baselined = if self.baselined > 0 {
+            format!(", {} baselined", self.baselined)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "droplens-lint: {} violation{} ({} suppressed) in {} file{}",
+            "droplens-lint: {} violation{} ({} suppressed{}) in {} file{}",
             self.diagnostics.len(),
             if self.diagnostics.len() == 1 { "" } else { "s" },
             self.suppressed,
+            baselined,
             self.files_checked,
             if self.files_checked == 1 { "" } else { "s" },
         );
         out
     }
 
-    /// Render as stable JSON (schema `droplens-lint/1`): diagnostics in
+    /// Render as stable JSON (schema `droplens-lint/2`): diagnostics in
     /// the same sorted order as [`LintReport::to_text`].
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"schema\":\"droplens-lint/1\"");
+        let mut out = String::from("{\"schema\":\"droplens-lint/2\"");
         let _ = write!(
             out,
-            ",\"files_checked\":{},\"violations\":{},\"suppressed\":{},\"diagnostics\":[",
+            ",\"files_checked\":{},\"violations\":{},\"suppressed\":{},\"baselined\":{},\"diagnostics\":[",
             self.files_checked,
             self.diagnostics.len(),
             self.suppressed,
+            self.baselined,
         );
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -186,6 +229,98 @@ impl LintReport {
         }
         out.push_str("]}\n");
         out
+    }
+
+    /// Render as minimal SARIF 2.1.0 for CI annotation. Hand-rolled and
+    /// byte-stable like every other output: the driver lists all known
+    /// rules, results carry `ruleId`, `level: error`, the message, and
+    /// one physical location each, in diagnostic order.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+             \"name\":\"droplens-lint\",\"rules\":[",
+        );
+        let mut rules: Vec<Rule> = Rule::ALL.to_vec();
+        rules.push(Rule::BadEscape);
+        for (i, r) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":\"{}\"}}", r.name());
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]}}",
+                d.rule.name(),
+                json_escape(&d.message),
+                json_escape(&d.path),
+                d.line,
+            );
+        }
+        out.push_str("]}]}\n");
+        out
+    }
+
+    /// Render the surviving findings as a baseline snapshot: one
+    /// `path<TAB>rule<TAB>message` line per finding, in diagnostic
+    /// order, duplicates kept. Line numbers are deliberately omitted so
+    /// a baseline survives unrelated edits above a finding.
+    pub fn to_baseline(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}",
+                d.path,
+                d.rule.name(),
+                json_escape(&d.message)
+            );
+        }
+        out
+    }
+
+    /// Remove findings recorded in `baseline` (a [`to_baseline`]
+    /// snapshot), with multiset semantics: a baseline line absolves at
+    /// most one matching finding. Removed findings are counted in
+    /// [`LintReport::baselined`]. Unknown or malformed baseline lines
+    /// are ignored — a stale baseline can only fail closed (findings
+    /// resurface), never suppress something new.
+    ///
+    /// [`to_baseline`]: LintReport::to_baseline
+    pub fn apply_baseline(&mut self, baseline: &str) {
+        let mut budget: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for line in baseline.lines() {
+            let mut parts = line.splitn(3, '\t');
+            if let (Some(p), Some(r), Some(m)) = (parts.next(), parts.next(), parts.next()) {
+                *budget
+                    .entry((p.to_owned(), r.to_owned(), m.to_owned()))
+                    .or_default() += 1;
+            }
+        }
+        let mut kept = Vec::with_capacity(self.diagnostics.len());
+        for d in std::mem::take(&mut self.diagnostics) {
+            let key = (
+                d.path.clone(),
+                d.rule.name().to_owned(),
+                json_escape(&d.message),
+            );
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    self.baselined += 1;
+                }
+                _ => kept.push(d),
+            }
+        }
+        self.diagnostics = kept;
     }
 }
 
@@ -281,9 +416,58 @@ pub fn rules_for_path(path: &str) -> Vec<Rule> {
     }
     if DEADLINE_STEMS.contains(&stem) {
         rules.push(Rule::NoDeadlineFreeIo);
+        rules.push(Rule::LockAcrossIo);
     }
     rules.sort();
     rules
+}
+
+/// How the file at `path` participates in the workspace-level passes
+/// ([`Rule::NoPanicInRequestPath`], [`Rule::WallclockTaint`]). `None`
+/// when the file contributes no call-graph nodes at all.
+pub(crate) fn graph_role(path: &str) -> Option<GraphRole> {
+    let norm = path.replace('\\', "/");
+    let comps: Vec<&str> = norm
+        .split('/')
+        .filter(|c| !c.is_empty() && *c != ".")
+        .collect();
+    let stem = comps.last()?.strip_suffix(".rs")?;
+    let has = |name: &str| comps.contains(&name);
+    if has("vendor") || has("target") || has(".git") {
+        return None;
+    }
+    // Test-ish trees are not part of the shipped call graph — except
+    // the fixture corpus, which classifies like sources.
+    if !has("fixtures") && (has("tests") || has("benches") || has("examples")) {
+        return None;
+    }
+    Some(GraphRole {
+        // The request-handling surface: every `pub` fn in a `server` or
+        // `engine` file is an entry (the pub filter happens graph-side,
+        // where signatures are known). Coarse on purpose — the public
+        // surface of those files is exactly what a request can invoke.
+        entry: stem == "server" || stem == "engine",
+        // Panic sources no-unwrap already bans lexically are skipped in
+        // these files; the graph rule reports only what is new there.
+        lexical_nounwrap: rules_for_path(path).contains(&Rule::NoUnwrap),
+        // Wallclock-taint sinks: ordered-output modules, minus obs
+        // (which owns the clock).
+        ordered_sink: rules_for_path(path).contains(&Rule::OrderedOutput) && !has("obs"),
+        // Clock reads inside obs are the sanctioned channel (Stopwatch,
+        // spans) — they never seed taint, exactly as they are exempt
+        // from the lexical `no-wallclock`. Taint tracks clock values
+        // born *outside* that boundary.
+        clock_owner: has("obs"),
+    })
+}
+
+/// A file's roles in the workspace passes; see [`graph_role`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GraphRole {
+    pub entry: bool,
+    pub lexical_nounwrap: bool,
+    pub ordered_sink: bool,
+    pub clock_owner: bool,
 }
 
 /// Per-line allow-escapes parsed from `// lint: allow(a, b)` comments.
@@ -366,9 +550,18 @@ fn rule_names() -> String {
         .join(", ")
 }
 
-/// Lint one file's source text under the rules its path selects.
-/// Returns the surviving diagnostics and the suppressed count.
-pub fn lint_source(path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+/// One file's fully-local lint result: its token-rule diagnostics plus
+/// everything the workspace passes need later.
+struct FileUnit {
+    diags: Vec<Diagnostic>,
+    suppressed: usize,
+    /// `Some` when the file contributes call-graph nodes.
+    work: Option<graph::WorkFile>,
+}
+
+/// Lint one file's source under its path-selected token rules and
+/// parse it for the workspace passes.
+fn lint_unit(path: &str, src: &str) -> FileUnit {
     let rules = rules_for_path(path);
     let view = FileView::new(src);
     let escapes = parse_escapes(src, &view);
@@ -399,7 +592,27 @@ pub fn lint_source(path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
         });
     }
     out.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
-    (out, suppressed)
+    let work = graph_role(path).map(|role| graph::WorkFile {
+        label: path.to_owned(),
+        index: parse::parse_file(path, &view),
+        escapes: escapes.allowed,
+        role,
+    });
+    FileUnit {
+        diags: out,
+        suppressed,
+        work,
+    }
+}
+
+/// Lint one file's source text under the token-level rules its path
+/// selects. Returns the surviving diagnostics and the suppressed
+/// count. The workspace rules (`no-panic-in-request-path`,
+/// `wallclock-taint`) need the whole file set and therefore only run
+/// under [`lint_files`].
+pub fn lint_source(path: &str, src: &str) -> (Vec<Diagnostic>, usize) {
+    let unit = lint_unit(path, src);
+    (unit.diags, unit.suppressed)
 }
 
 /// Recursively collect `.rs` files under each input, in sorted order.
@@ -441,21 +654,47 @@ pub fn collect_rs_files(inputs: &[PathBuf]) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint every file in `files` (as returned by [`collect_rs_files`]).
+/// Lint every file in `files` (as returned by [`collect_rs_files`]):
+/// per-file lexing, parsing, and token rules run in parallel on
+/// [`droplens_par`] workers (`DROPLENS_THREADS` honored), then the
+/// workspace passes run over the merged call graph. Output is
+/// byte-identical at any worker count: results are merged in input
+/// order and fully sorted at the end.
 pub fn lint_files(files: &[PathBuf]) -> io::Result<LintReport> {
-    let mut report = LintReport::default();
-    for file in files {
+    lint_files_with(droplens_par::max_threads(), files)
+}
+
+/// [`lint_files`] with an explicit worker count (the determinism tests
+/// and the bench compare `1` against the default).
+pub fn lint_files_with(workers: usize, files: &[PathBuf]) -> io::Result<LintReport> {
+    let units: Vec<io::Result<FileUnit>> = droplens_par::par_map_with(workers, files, |file| {
         let src = std::fs::read_to_string(file)?;
         let label = file.to_string_lossy().replace('\\', "/");
         let label = label.strip_prefix("./").unwrap_or(&label).to_owned();
-        let (diags, suppressed) = lint_source(&label, &src);
+        Ok(lint_unit(&label, &src))
+    });
+    let mut report = LintReport::default();
+    let mut work: Vec<graph::WorkFile> = Vec::new();
+    for unit in units {
+        let unit = unit?;
         report.files_checked += 1;
-        report.suppressed += suppressed;
-        report.diagnostics.extend(diags);
+        report.suppressed += unit.suppressed;
+        report.diagnostics.extend(unit.diags);
+        if let Some(wf) = unit.work {
+            work.push(wf);
+        }
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    // The workspace passes: label order fixes node order, hence
+    // resolution, BFS, and diagnostic order.
+    work.sort_by(|a, b| a.label.cmp(&b.label));
+    let g = graph::Graph::build(&work);
+    let mut graph_suppressed = 0usize;
+    graph::no_panic_in_request_path(&g, &mut report.diagnostics, &mut graph_suppressed);
+    taint::wallclock_taint(&g, &mut report.diagnostics, &mut graph_suppressed);
+    report.suppressed += graph_suppressed;
+    report.diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
     Ok(report)
 }
 
@@ -504,6 +743,33 @@ mod tests {
         // Fixtures classify like sources, not like tests.
         let r = rules_for_path("crates/lint/tests/fixtures/no_unwrap/format.rs");
         assert!(r.contains(&Rule::NoUnwrap));
+    }
+
+    #[test]
+    fn backslash_paths_classify_like_forward_slash_paths() {
+        // Windows-style separators must not defeat path-shape scoping:
+        // every component test (vendor skip, test-tree downgrade,
+        // fixture rescue, stem scopes) keys off normalized components.
+        for (win, unix) in [
+            (r"crates\bgp\src\format.rs", "crates/bgp/src/format.rs"),
+            (r"vendor\rand\src\lib.rs", "vendor/rand/src/lib.rs"),
+            (
+                r"crates\bgp\tests\proptests.rs",
+                "crates/bgp/tests/proptests.rs",
+            ),
+            (
+                r"crates\lint\tests\fixtures\no_unwrap\format.rs",
+                "crates/lint/tests/fixtures/no_unwrap/format.rs",
+            ),
+            (r"crates\serve\src\server.rs", "crates/serve/src/server.rs"),
+        ] {
+            assert_eq!(rules_for_path(win), rules_for_path(unix), "{win}");
+        }
+        // The workspace passes normalize the same way.
+        let win = graph_role(r"crates\serve\src\server.rs").unwrap();
+        let unix = graph_role("crates/serve/src/server.rs").unwrap();
+        assert!(win.entry && unix.entry);
+        assert!(graph_role(r"vendor\rand\src\lib.rs").is_none());
     }
 
     #[test]
@@ -600,6 +866,7 @@ pub fn parse_all(text: &str) -> Result<Vec<u32>, ParseError> {
         let report = LintReport {
             files_checked: 2,
             suppressed: 1,
+            baselined: 0,
             diagnostics: vec![Diagnostic {
                 path: "crates/x/src/format.rs".into(),
                 line: 7,
@@ -609,7 +876,62 @@ pub fn parse_all(text: &str) -> Result<Vec<u32>, ParseError> {
         };
         assert_eq!(
             report.to_json(),
-            "{\"schema\":\"droplens-lint/1\",\"files_checked\":2,\"violations\":1,\"suppressed\":1,\"diagnostics\":[{\"path\":\"crates/x/src/format.rs\",\"line\":7,\"rule\":\"no-unwrap\",\"message\":\"`.unwrap()` bad\"}]}\n"
+            "{\"schema\":\"droplens-lint/2\",\"files_checked\":2,\"violations\":1,\"suppressed\":1,\"baselined\":0,\"diagnostics\":[{\"path\":\"crates/x/src/format.rs\",\"line\":7,\"rule\":\"no-unwrap\",\"message\":\"`.unwrap()` bad\"}]}\n"
         );
+    }
+
+    #[test]
+    fn sarif_report_is_stable() {
+        let report = LintReport {
+            files_checked: 1,
+            suppressed: 0,
+            baselined: 0,
+            diagnostics: vec![Diagnostic {
+                path: "crates/x/src/format.rs".into(),
+                line: 7,
+                rule: Rule::NoUnwrap,
+                message: "`.unwrap()` \"bad\"".into(),
+            }],
+        };
+        let sarif = report.to_sarif();
+        assert!(sarif.starts_with("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("{\"id\":\"no-panic-in-request-path\"}"));
+        assert!(sarif.contains(
+            "{\"ruleId\":\"no-unwrap\",\"level\":\"error\",\
+             \"message\":{\"text\":\"`.unwrap()` \\\"bad\\\"\"},\
+             \"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+             {\"uri\":\"crates/x/src/format.rs\"},\"region\":{\"startLine\":7}}}]}"
+        ));
+    }
+
+    #[test]
+    fn baseline_round_trips_and_is_a_multiset() {
+        let diag = |line: u32, msg: &str| Diagnostic {
+            path: "crates/x/src/format.rs".into(),
+            line,
+            rule: Rule::NoUnwrap,
+            message: msg.into(),
+        };
+        let mut report = LintReport {
+            files_checked: 1,
+            suppressed: 0,
+            baselined: 0,
+            diagnostics: vec![diag(3, "same"), diag(9, "same"), diag(12, "other")],
+        };
+        // Baseline holds one "same" and one "other": exactly two of the
+        // three findings are absolved, line numbers notwithstanding.
+        let baseline = LintReport {
+            files_checked: 1,
+            suppressed: 0,
+            baselined: 0,
+            diagnostics: vec![diag(999, "same"), diag(999, "other")],
+        }
+        .to_baseline();
+        report.apply_baseline(&baseline);
+        assert_eq!(report.baselined, 2);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].message, "same");
+        assert!(report.to_text().contains("(0 suppressed, 2 baselined)"));
     }
 }

@@ -63,6 +63,11 @@ impl<'a> FileView<'a> {
         self.tok(i).map(|t| t.kind)
     }
 
+    /// The kind at sig position `i` (public alias for the parser).
+    pub fn kind_at(&self, i: usize) -> Option<TokenKind> {
+        self.kind(i)
+    }
+
     /// 1-based line of sig position `i` (0 when out of range).
     pub fn line(&self, i: usize) -> u32 {
         self.tok(i).map(|t| t.line).unwrap_or(0)
@@ -161,6 +166,10 @@ pub(crate) fn check(rule: Rule, view: &FileView<'_>, hits: &mut Vec<Hit>) {
         Rule::NoUnboundedCollect => no_unbounded_collect(view, hits),
         Rule::NoStringKeyedHotMap => no_string_keyed_hot_map(view, hits),
         Rule::NoDeadlineFreeIo => no_deadline_free_io(view, hits),
+        Rule::LockAcrossIo => lock_across_io(view, hits),
+        // Workspace rules: run over the call graph in `lib.rs`, not
+        // per file.
+        Rule::NoPanicInRequestPath | Rule::WallclockTaint => {}
         // Emitted during escape parsing, never scanned for.
         Rule::BadEscape => {}
     }
@@ -446,6 +455,149 @@ fn no_deadline_free_io(view: &FileView<'_>, hits: &mut Vec<Hit>) {
             });
         }
     }
+}
+
+/// `lock-across-io`: a `Mutex`/`RwLock` guard held across a blocking
+/// socket read/write serializes the serve path — every other worker
+/// that needs the lock now waits on a peer's network latency. The rule
+/// tracks `let`-bound guards from `.lock(`/`.read(`/`.write(`-style
+/// lock acquisitions (`let g = m.lock()...`, `let Ok(g) = m.lock()
+/// else ...`) inside socket-touching functions and fires on each raw
+/// IO call made while a guard is still live. A guard dies at its
+/// block's closing brace or at an explicit `drop(g)` — the fix is
+/// almost always "copy what you need out of the lock, then do IO".
+///
+/// Token-level approximations: only `let`-bound guards are tracked
+/// (a temporary like `m.lock().push(x)` is dropped at the `;` and
+/// cannot span IO), and a guard smuggled through a helper call is
+/// invisible — escape with `// lint: allow(lock-across-io)` where the
+/// rule is wrong.
+fn lock_across_io(view: &FileView<'_>, hits: &mut Vec<Hit>) {
+    const IO_CALLS: [&str; 5] = ["read", "read_exact", "read_to_end", "write", "write_all"];
+    // Function spans, same pass as no-deadline-free-io.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < view.len() {
+        if view.text(i) == "fn"
+            && view.kind(i + 1) == Some(TokenKind::Ident)
+            && !view.is_test_code(i)
+        {
+            let mut j = i + 2;
+            let mut depth = 0i64;
+            while j < view.len() {
+                match view.text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => break,
+                    "{" if depth == 0 => {
+                        spans.push((i, view.skip_braces(j)));
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    let mentions = |span: (usize, usize), name: &str| -> bool {
+        (span.0..span.1).any(|p| view.text(p) == name)
+    };
+
+    for &span in &spans {
+        if !mentions(span, "TcpStream")
+            && !mentions(span, "TcpListener")
+            && !mentions(span, "DeadlineStream")
+        {
+            continue;
+        }
+        // Live guards: (name, brace depth at the binding).
+        let mut guards: Vec<(String, i64)> = Vec::new();
+        let mut depth = 0i64;
+        let mut p = span.0;
+        while p < span.1 {
+            // Skip nested fns entirely — they run on their own stack
+            // of guards (and get their own span).
+            if p != span.0 && view.text(p) == "fn" && view.kind(p + 1) == Some(TokenKind::Ident) {
+                if let Some(&inner) = spans.iter().find(|s| s.0 == p) {
+                    p = inner.1;
+                    continue;
+                }
+            }
+            match view.text(p) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|&(_, d)| d <= depth);
+                }
+                "lock" if p > 0 && view.text(p - 1) == "." && view.text(p + 1) == "(" => {
+                    if let Some(name) = let_bound_name(view, span.0, p) {
+                        guards.push((name, depth));
+                    }
+                }
+                "drop" if view.text(p + 1) == "(" => {
+                    let dropped = view.text(p + 2);
+                    guards.retain(|(n, _)| n != dropped);
+                }
+                name if IO_CALLS.contains(&name)
+                    && p > 0
+                    && view.text(p - 1) == "."
+                    && view.text(p + 1) == "("
+                    && !guards.is_empty() =>
+                {
+                    let held: Vec<&str> = guards.iter().map(|(n, _)| n.as_str()).collect();
+                    hits.push(Hit {
+                        line: view.line(p),
+                        rule: Rule::LockAcrossIo,
+                        message: format!(
+                            "blocking socket `.{name}(` while lock guard{} `{}` {} live — drop \
+                             the guard before IO or every lock waiter inherits this peer's latency",
+                            if held.len() == 1 { "" } else { "s" },
+                            held.join("`, `"),
+                            if held.len() == 1 { "is" } else { "are" },
+                        ),
+                    });
+                }
+                _ => {}
+            }
+            p += 1;
+        }
+    }
+}
+
+/// For a `.lock(` at sig position `p`, walk back to the statement's
+/// `let` (stopping at `;`/`{`/`}` or the span start) and return the
+/// bound name: `let g = ...`, `let mut g = ...`, or the ident inside
+/// `let Ok(g)` / `let Some(g)`. `None` when the lock result is a
+/// temporary or fed through `match`/`?`.
+fn let_bound_name(view: &FileView<'_>, span_start: usize, p: usize) -> Option<String> {
+    let mut q = p;
+    while q > span_start {
+        q -= 1;
+        match view.text(q) {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let mut n = q + 1;
+                if view.text(n) == "mut" {
+                    n += 1;
+                }
+                if matches!(view.text(n), "Ok" | "Some") && view.text(n + 1) == "(" {
+                    n += 2;
+                    if view.text(n) == "mut" {
+                        n += 1;
+                    }
+                }
+                if view.kind_at(n) == Some(TokenKind::Ident) && view.text(n) != "_" {
+                    return Some(view.text(n).to_owned());
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 /// One function definition found in the file, for `located-errors`.

@@ -1,0 +1,33 @@
+//! Fixture: the escaped twin, plus the pattern the rule wants.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub fn pump(stream: &mut TcpStream, stats: &Mutex<u64>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(50)))?;
+    let mut buf = [0u8; 64];
+    let Ok(mut held) = stats.lock() else {
+        return Ok(());
+    };
+    let n = stream.read(&mut buf)?; // lint: allow(lock-across-io)
+    *held += n as u64;
+    drop(held);
+    stream.write(&buf)?;
+    Ok(())
+}
+
+/// The fixed shape: finish IO first, then take the lock briefly.
+pub fn pump_scoped(stream: &mut TcpStream, stats: &Mutex<u64>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(50)))?;
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf)?;
+    stream.write(&buf)?;
+    if let Ok(mut held) = stats.lock() {
+        *held += n as u64;
+    }
+    Ok(())
+}

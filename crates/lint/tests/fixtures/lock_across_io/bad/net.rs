@@ -1,0 +1,19 @@
+//! Fixture: a mutex guard held across blocking socket IO.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub fn pump(stream: &mut TcpStream, stats: &Mutex<u64>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(50)))?;
+    let mut buf = [0u8; 64];
+    let Ok(mut held) = stats.lock() else {
+        return Ok(());
+    };
+    let n = stream.read(&mut buf)?;
+    *held += n as u64;
+    stream.write(&buf)?;
+    Ok(())
+}

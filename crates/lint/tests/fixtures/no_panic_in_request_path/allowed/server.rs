@@ -1,0 +1,36 @@
+//! Fixture: the escaped-and-fixed twin of the panic-reachable tree.
+
+/// Entry: routes with checked access only — nothing to report.
+pub fn handle_query_ok(raw: u16) -> u32 {
+    route_query_ok(raw)
+}
+
+fn route_query_ok(raw: u16) -> u32 {
+    decode_key_ok(raw).unwrap_or(0)
+}
+
+fn decode_key_ok(raw: u16) -> Option<u32> {
+    let table = [1u32, 2, 3, 4];
+    table.get((raw % 8) as usize).copied()
+}
+
+/// Entry whose risky helper was reviewed: the escape on the call edge
+/// stops the walk before it reaches the indexing below.
+pub fn handle_stats(raw: u16) -> u32 {
+    decode_stat(raw) // lint: allow(no-panic-in-request-path)
+}
+
+fn decode_stat(raw: u16) -> u32 {
+    let table = [5u32, 6, 7, 8];
+    table[(raw % 4) as usize]
+}
+
+/// Entry reaching a panic site that is escaped where it sits.
+pub fn handle_probe(raw: u16) -> u32 {
+    probe_slot(raw)
+}
+
+fn probe_slot(raw: u16) -> u32 {
+    let table = [9u32, 8, 7, 6];
+    table[(raw % 4) as usize] // lint: allow(no-panic-in-request-path)
+}

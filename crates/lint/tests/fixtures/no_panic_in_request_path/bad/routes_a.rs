@@ -1,0 +1,7 @@
+//! Fixture: one of two same-name, same-arity `lookup_route` definitions
+//! that make the entry's call edge ambiguous (never traversed).
+
+pub fn lookup_route(raw: u16) -> u32 {
+    let table = [10u32, 20];
+    table[raw as usize]
+}

@@ -1,0 +1,6 @@
+//! Fixture: the other `lookup_route`; see `routes_a.rs`.
+
+pub fn lookup_route(raw: u16) -> u32 {
+    let table = [30u32, 40];
+    table[raw as usize]
+}

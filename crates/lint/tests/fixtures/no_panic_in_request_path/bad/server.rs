@@ -1,0 +1,23 @@
+//! Fixture: a panic source three calls deep on the request path, and
+//! an ambiguous edge the walk must refuse to follow.
+
+/// Entry: the public handler. The indexing panic lives two private
+/// helpers away — only the call graph can see it.
+pub fn handle_query(raw: u16) -> u32 {
+    route_query(raw)
+}
+
+fn route_query(raw: u16) -> u32 {
+    decode_key(raw)
+}
+
+fn decode_key(raw: u16) -> u32 {
+    let table = [1u32, 2, 3, 4];
+    table[raw as usize]
+}
+
+/// Entry calling a name defined twice elsewhere in the tree: the edge
+/// is ambiguous, so the walk stops and no finding fires through it.
+pub fn handle_ambiguous(raw: u16) -> u32 {
+    lookup_route(raw)
+}

@@ -1,0 +1,11 @@
+//! Fixture: the escaped twin, plus the pattern the rule wants.
+
+pub fn render_totals_reviewed(rows: usize) -> String {
+    format!("{rows} rows at {}", stamp_ms_reviewed()) // lint: allow(wallclock-taint)
+}
+
+/// The fixed shape: ordered output takes elapsed time as plain data,
+/// measured by the caller through `droplens_obs`.
+pub fn render_duration(rows: usize, elapsed_ms: u64) -> String {
+    format!("{rows} rows in {elapsed_ms} ms")
+}

@@ -1,0 +1,7 @@
+//! Fixture: the reviewed twin of the laundering helper.
+
+use std::time::Instant;
+
+pub fn stamp_ms_reviewed() -> u64 {
+    Instant::now().elapsed().as_millis() as u64 // lint: allow(no-wallclock)
+}

@@ -1,0 +1,5 @@
+//! Fixture: an ordered-output writer pulling a laundered clock value.
+
+pub fn render_totals(rows: usize) -> String {
+    format!("{rows} rows at {}", stamp_ms())
+}

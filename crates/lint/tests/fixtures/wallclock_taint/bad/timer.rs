@@ -1,0 +1,9 @@
+//! Fixture: a clock value laundered through a helper's return value.
+//! The lexical escape silences `no-wallclock` here, but taint still
+//! seeds at the read and follows the value to the ordered sink.
+
+use std::time::Instant;
+
+pub fn stamp_ms() -> u64 {
+    Instant::now().elapsed().as_millis() as u64 // lint: allow(no-wallclock)
+}

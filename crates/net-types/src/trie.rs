@@ -269,6 +269,7 @@ impl<V> PrefixTrie<V> {
     fn find(&self, prefix: &Ipv4Prefix) -> Option<u32> {
         let mut cur = self.root;
         while cur != NONE {
+            // lint: allow(no-panic-in-request-path) — node ids come from push_node(), in-bounds by construction
             let node = &self.nodes[cur as usize];
             let node_prefix = node.prefix();
             let common = node_prefix.common_prefix_len(prefix);
@@ -279,7 +280,7 @@ impl<V> PrefixTrie<V> {
                 return Some(cur);
             }
             // node's prefix is a proper prefix of `prefix`
-            cur = node.children[node.slot(prefix)];
+            cur = node.children[node.slot(prefix)]; // lint: allow(no-panic-in-request-path) — slot() is 0|1 into [u32; 2]
         }
         None
     }
@@ -362,18 +363,20 @@ impl<V> PrefixTrie<V> {
         let mut best = None;
         let mut cur = self.root;
         while cur != NONE {
+            // lint: allow(no-panic-in-request-path) — node ids come from push_node(), in-bounds by construction
             let node = &self.nodes[cur as usize];
             let node_prefix = node.prefix();
             if !node_prefix.covers(query) {
                 break;
             }
+            // lint: allow(no-panic-in-request-path) — values is kept the same length as nodes
             if let Some(v) = &self.values[cur as usize] {
                 best = Some((node_prefix, v));
             }
             if node_prefix.len() == query.len() {
                 break;
             }
-            cur = node.children[node.slot(query)];
+            cur = node.children[node.slot(query)]; // lint: allow(no-panic-in-request-path) — slot() is 0|1 into [u32; 2]
         }
         best
     }
@@ -384,18 +387,20 @@ impl<V> PrefixTrie<V> {
         let mut out = Vec::new();
         let mut cur = self.root;
         while cur != NONE {
+            // lint: allow(no-panic-in-request-path) — node ids come from push_node(), in-bounds by construction
             let node = &self.nodes[cur as usize];
             let node_prefix = node.prefix();
             if !node_prefix.covers(query) {
                 break;
             }
+            // lint: allow(no-panic-in-request-path) — values is kept the same length as nodes
             if let Some(v) = &self.values[cur as usize] {
                 out.push((node_prefix, v));
             }
             if node_prefix.len() == query.len() {
                 break;
             }
-            cur = node.children[node.slot(query)];
+            cur = node.children[node.slot(query)]; // lint: allow(no-panic-in-request-path) — slot() is 0|1 into [u32; 2]
         }
         out
     }
@@ -413,6 +418,7 @@ impl<V> PrefixTrie<V> {
         let mut stack = Vec::new();
         let mut cur = self.root;
         while cur != NONE {
+            // lint: allow(no-panic-in-request-path) — node ids come from push_node(), in-bounds by construction
             let node = &self.nodes[cur as usize];
             let node_prefix = node.prefix();
             if query.covers(&node_prefix) {
@@ -422,7 +428,7 @@ impl<V> PrefixTrie<V> {
             if !node_prefix.covers(query) || node_prefix.len() == query.len() {
                 break; // disjoint, or query sits exactly on a leaf-less node
             }
-            cur = node.children[node.slot(query)];
+            cur = node.children[node.slot(query)]; // lint: allow(no-panic-in-request-path) — slot() is 0|1 into [u32; 2]
         }
         Iter { trie: self, stack }
     }

@@ -467,28 +467,26 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(u8, Vec<u8>)>, WireError>
             Err(e) => return Err(WireError::Io(e)),
         }
     }
-    let mut header = [0u8; HEADER_LEN];
-    header[0] = first[0];
-    r.read_exact(&mut header[1..]).map_err(WireError::Io)?;
-    if header[0..2] != MAGIC {
-        return Err(FrameError::new(
-            "header",
-            0,
-            format!("bad magic {:02x}{:02x}", header[0], header[1]),
-        )
-        .into());
+    // Destructured rather than indexed: irrefutable array patterns
+    // cannot panic, so the serve path stays clean for
+    // `no-panic-in-request-path` without any escapes.
+    let mut rest = [0u8; HEADER_LEN - 1];
+    r.read_exact(&mut rest).map_err(WireError::Io)?;
+    let [b0] = first;
+    let [b1, version, kind, l0, l1, l2, l3, c0, c1, c2, c3] = rest;
+    if [b0, b1] != MAGIC {
+        return Err(FrameError::new("header", 0, format!("bad magic {b0:02x}{b1:02x}")).into());
     }
-    if header[2] != VERSION {
+    if version != VERSION {
         return Err(FrameError::new(
             "header",
             2,
-            format!("unsupported version {} (speak {VERSION})", header[2]),
+            format!("unsupported version {version} (speak {VERSION})"),
         )
         .into());
     }
-    let kind = header[3];
-    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-    let declared = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
+    let declared = u32::from_le_bytes([c0, c1, c2, c3]);
     if len > MAX_PAYLOAD {
         return Err(FrameError::new(
             "header",

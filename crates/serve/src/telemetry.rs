@@ -189,7 +189,7 @@ impl Telemetry {
     /// A worker pulled a connection that waited `wait_ns` in the queue.
     pub fn dequeued(&self, wait_ns: u64) {
         self.queue_depth.add(-1);
-        self.phases[0].record(wait_ns);
+        self.phases[0].record(wait_ns); // lint: allow(no-panic-in-request-path) — constant index into [_; 4]
     }
 
     /// A worker started serving a connection.
@@ -228,14 +228,14 @@ impl Telemetry {
         args: impl FnOnce() -> String,
     ) {
         let i = req.kind_index();
-        let series = &self.kinds[i];
+        let series = &self.kinds[i]; // lint: allow(no-panic-in-request-path) — kind_index() < kinds.len() by construction
         series.total.inc();
         series.queries.inc();
         series.latency.record(timing.total_ns());
         self.queries.inc();
-        self.phases[1].record(timing.decode_ns);
-        self.phases[2].record(timing.engine_ns);
-        self.phases[3].record(timing.write_ns);
+        self.phases[1].record(timing.decode_ns); // lint: allow(no-panic-in-request-path) — constant index into [_; 4]
+        self.phases[2].record(timing.engine_ns); // lint: allow(no-panic-in-request-path) — constant index into [_; 4]
+        self.phases[3].record(timing.write_ns); // lint: allow(no-panic-in-request-path) — constant index into [_; 4]
         if !ok {
             series.errors.inc();
         }
